@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared setup for the fig_* speedup benches: the paper's processor
+ * counts (1..14, the Sun Enterprise 5000's size) and a tiny CLI
+ * (--quick shrinks the sweep for smoke runs, --csv emits CSV rows).
+ */
+
+#ifndef HOARD_BENCH_FIG_COMMON_H_
+#define HOARD_BENCH_FIG_COMMON_H_
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "metrics/speedup.h"
+
+namespace hoard {
+namespace bench {
+
+/** Options shared by every figure bench. */
+struct FigCli
+{
+    bool quick = false;
+    bool diagnostics = true;
+};
+
+inline FigCli
+parse_cli(int argc, char** argv)
+{
+    FigCli cli;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            cli.quick = true;
+        else if (std::strcmp(argv[i], "--no-diagnostics") == 0)
+            cli.diagnostics = false;
+    }
+    return cli;
+}
+
+/** The paper's x-axis: 1..14 processors. */
+inline metrics::SpeedupOptions
+paper_options(const FigCli& cli)
+{
+    metrics::SpeedupOptions options;
+    if (cli.quick)
+        options.procs = {1, 2, 4, 8};
+    else
+        options.procs = {1, 2, 4, 6, 8, 10, 12, 14};
+    return options;
+}
+
+/** Runs and prints one figure. */
+inline void
+emit_figure(const std::string& title, const metrics::SpeedupOptions& opt,
+            const metrics::SimWorkloadBody& body, const FigCli& cli)
+{
+    metrics::SpeedupResult result =
+        metrics::run_speedup_experiment(title, opt, body);
+    result.print(std::cout, cli.diagnostics);
+    std::cout << "\n";
+}
+
+}  // namespace bench
+}  // namespace hoard
+
+#endif  // HOARD_BENCH_FIG_COMMON_H_

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * FIG-active (DESIGN.md §4): speedup of active-false — each thread
+ * repeatedly allocates one 8-byte object, writes it many times, frees
+ * it — 1..14 simulated processors.
+ *
+ * Paper shape to match: allocators that carve one cache line across
+ * threads (the serial class) stay near speedup 1 regardless of P,
+ * because every write ping-pongs the shared line; Hoard and the
+ * private-heap classes, whose superblocks are used by one thread at a
+ * time, scale nearly linearly.
+ */
+
+#include "bench/fig_common.h"
+#include "workloads/sim_bodies.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hoard;
+    bench::FigCli cli = bench::parse_cli(argc, argv);
+
+    workloads::FalseSharingParams params;
+    params.total_objects = cli.quick ? 600 : 1680;
+    params.writes_per_object = 600;
+    params.object_bytes = 8;
+
+    bench::emit_figure("FIG-active: active-false speedup vs processors",
+                       bench::paper_options(cli),
+                       workloads::active_false_body(params), cli);
+    return 0;
+}

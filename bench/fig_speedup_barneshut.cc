@@ -1,0 +1,29 @@
+/**
+ * @file
+ * FIG-barnes (DESIGN.md §4): speedup of Barnes-Hut (octree built per
+ * step through the allocator under test, force computation, teardown),
+ * 1..14 simulated processors.
+ *
+ * Paper shape to match: gaps between allocators are modest (compute
+ * dominates) but ordered — Hoard >= private classes >> serial.
+ */
+
+#include "bench/fig_common.h"
+#include "workloads/sim_bodies.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hoard;
+    bench::FigCli cli = bench::parse_cli(argc, argv);
+
+    workloads::BarnesHutParams params;
+    params.total_systems = 28;
+    params.bodies_per_system = cli.quick ? 120 : 150;
+    params.steps = 2;
+
+    bench::emit_figure("FIG-barnes: Barnes-Hut speedup vs processors",
+                       bench::paper_options(cli),
+                       workloads::barneshut_body(params), cli);
+    return 0;
+}

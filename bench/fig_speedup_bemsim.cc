@@ -1,0 +1,31 @@
+/**
+ * @file
+ * FIG-bem (DESIGN.md §4): speedup of the BEMengine proxy (phased bulk
+ * allocation: large panels via the huge path + many mixed-size
+ * elements, assembly writes, scattered frees), 1..14 simulated
+ * processors.
+ *
+ * Paper shape to match: allocation is a smaller fraction of the work
+ * than in the micro-benchmarks, so every allocator scales somewhat;
+ * Hoard stays on top and the serial allocator still trails visibly.
+ */
+
+#include "bench/fig_common.h"
+#include "workloads/sim_bodies.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hoard;
+    bench::FigCli cli = bench::parse_cli(argc, argv);
+
+    workloads::BemSimParams params;
+    params.phases = cli.quick ? 1 : 2;
+    params.total_panels = 16;  // fixed machine total, round-robin
+    params.elements_per_panel = 300;
+
+    bench::emit_figure("FIG-bem: BEM-proxy speedup vs processors",
+                       bench::paper_options(cli),
+                       workloads::bemsim_body(params), cli);
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * FIG-larson (DESIGN.md §4): speedup of the Larson server benchmark
+ * (random slot replacement + epoch-based thread churn, so frees cross
+ * threads), 1..14 simulated processors.
+ *
+ * Paper shape to match: Hoard near-linear (the global heap recycles
+ * orphaned superblocks); serial collapses; ownership trails Hoard
+ * because every cross-thread free locks the remote owner's arena.
+ */
+
+#include "bench/fig_common.h"
+#include "workloads/sim_bodies.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hoard;
+    bench::FigCli cli = bench::parse_cli(argc, argv);
+
+    workloads::LarsonParams params;
+    params.slots_per_thread = 800;
+    // Long epochs: the original benchmark hands slots to a fresh thread
+    // only after a long service interval, so the cache-warm handoff
+    // cost amortizes (our simulator prices it in full).
+    params.rounds_per_epoch = cli.quick ? 60000 : 120000;  // total, split
+    params.epochs = 2;
+
+    bench::emit_figure("FIG-larson: speedup vs processors",
+                       bench::paper_options(cli),
+                       workloads::larson_body(params), cli);
+    return 0;
+}

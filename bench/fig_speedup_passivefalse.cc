@@ -1,0 +1,32 @@
+/**
+ * @file
+ * FIG-passive (DESIGN.md §4): speedup of passive-false — the main
+ * thread hands each worker one small object; workers free the gift and
+ * then run the allocate/hammer/free loop — 1..14 simulated processors.
+ *
+ * Paper shape to match: allocators that recycle a freed fragment to
+ * whichever thread freed it (the pure-private class, and the serial
+ * allocator's shared free lists) *passively* spread one cache line
+ * across threads and stop scaling; Hoard and ownership-based arenas
+ * return the fragment to its home superblock and scale.
+ */
+
+#include "bench/fig_common.h"
+#include "workloads/sim_bodies.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hoard;
+    bench::FigCli cli = bench::parse_cli(argc, argv);
+
+    workloads::FalseSharingParams params;
+    params.total_objects = cli.quick ? 600 : 1680;
+    params.writes_per_object = 600;
+    params.object_bytes = 8;
+
+    bench::emit_figure("FIG-passive: passive-false speedup vs processors",
+                       bench::paper_options(cli),
+                       workloads::passive_false_body(params), cli);
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * FIG-shbench (DESIGN.md §4): speedup of the shbench proxy (mixed sizes
+ * 1..1000 B, random lifetimes), 1..14 simulated processors.
+ *
+ * Paper shape to match: Hoard scales best; the gap to the serial
+ * allocator is large (allocation-dominated); the private-heap classes
+ * scale as well since lifetimes stay thread-local.
+ */
+
+#include "bench/fig_common.h"
+#include "workloads/sim_bodies.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hoard;
+    bench::FigCli cli = bench::parse_cli(argc, argv);
+
+    workloads::ShbenchParams params;
+    params.operations = cli.quick ? 20000 : 60000;  // total, split over P
+    params.working_set = 300;
+
+    bench::emit_figure("FIG-shbench: speedup vs processors",
+                       bench::paper_options(cli),
+                       workloads::shbench_body(params), cli);
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * FIG-threadtest (DESIGN.md §4): speedup of the threadtest benchmark,
+ * 1..14 simulated processors, all four allocators.
+ *
+ * Paper shape to match: Hoard near-linear; the serial allocator flat or
+ * declining (one lock serializes an allocation-dominated load); the
+ * private-heap classes scale since threadtest frees its own objects.
+ */
+
+#include "bench/fig_common.h"
+#include "workloads/sim_bodies.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hoard;
+    bench::FigCli cli = bench::parse_cli(argc, argv);
+
+    workloads::ThreadtestParams params;
+    params.total_objects = cli.quick ? 6000 : 16000;
+    params.iterations = cli.quick ? 3 : 8;
+    params.object_bytes = 8;
+
+    bench::emit_figure("FIG-threadtest: speedup vs processors",
+                       bench::paper_options(cli),
+                       workloads::threadtest_body(params), cli);
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * MICRO (DESIGN.md §4): native single-thread malloc/free latency per
+ * allocator and size (google-benchmark).
+ *
+ * Validates the paper's "fast" column: Hoard's per-operation cost must
+ * stay within a small constant factor of the serial allocator's on one
+ * thread — per-processor heaps and the emptiness bookkeeping cannot be
+ * allowed to tax the common case.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "policy/native_policy.h"
+
+namespace {
+
+using namespace hoard;
+
+/** alloc+free pairs at a fixed size, LIFO reuse (the hot path). */
+void
+pairs_at_size(benchmark::State& state, baselines::AllocatorKind kind)
+{
+    Config config;
+    config.heap_count = 4;
+    auto allocator = baselines::make_allocator<NativePolicy>(kind, config);
+    const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+
+    for (auto _ : state) {
+        void* p = allocator->allocate(bytes);
+        benchmark::DoNotOptimize(p);
+        allocator->deallocate(p);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 2);
+}
+
+/** FIFO churn over a working set: exercises fullness-group movement. */
+void
+churn(benchmark::State& state, baselines::AllocatorKind kind)
+{
+    Config config;
+    config.heap_count = 4;
+    auto allocator = baselines::make_allocator<NativePolicy>(kind, config);
+    const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t kWindow = 256;
+
+    std::vector<void*> window(kWindow, nullptr);
+    std::size_t cursor = 0;
+    for (auto _ : state) {
+        if (window[cursor] != nullptr)
+            allocator->deallocate(window[cursor]);
+        window[cursor] = allocator->allocate(bytes);
+        benchmark::DoNotOptimize(window[cursor]);
+        cursor = (cursor + 1) % kWindow;
+    }
+    for (void* p : window) {
+        if (p != nullptr)
+            allocator->deallocate(p);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 2);
+}
+
+void
+register_benches()
+{
+    for (auto kind : baselines::kAllKinds) {
+        std::string name = baselines::to_string(kind);
+        benchmark::RegisterBenchmark(("pairs/" + name).c_str(),
+                                     [kind](benchmark::State& s) {
+                                         pairs_at_size(s, kind);
+                                     })
+            ->Arg(8)
+            ->Arg(64)
+            ->Arg(256)
+            ->Arg(1024)
+            ->Arg(3500)
+            ->Arg(65536);
+        benchmark::RegisterBenchmark(("churn/" + name).c_str(),
+                                     [kind](benchmark::State& s) {
+                                         churn(s, kind);
+                                     })
+            ->Arg(8)
+            ->Arg(64)
+            ->Arg(256);
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    register_benches();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * MICRO-2 (DESIGN.md §4): microbenchmarks of Hoard's internal
+ * substrates (google-benchmark).  Confirms the O(1) claims for the
+ * building blocks: size-class lookup, superblock block alloc/free,
+ * fullness relinks (via intrusive list ops), and the simulator's cache
+ * model lookup.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/intrusive_list.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/size_classes.h"
+#include "core/superblock.h"
+#include "os/page_provider.h"
+#include "sim/cache_model.h"
+
+namespace {
+
+using namespace hoard;
+
+void
+bm_size_class_lookup(benchmark::State& state)
+{
+    Config config;
+    SizeClasses classes(config,
+                        Superblock::payload_bytes_for(
+                            config.superblock_bytes));
+    detail::Rng rng(1);
+    std::vector<std::size_t> sizes(1024);
+    for (auto& s : sizes)
+        s = rng.range(1, classes.largest());
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(classes.class_for(sizes[i]));
+        i = (i + 1) & 1023;
+    }
+}
+BENCHMARK(bm_size_class_lookup);
+
+void
+bm_superblock_cycle(benchmark::State& state)
+{
+    os::MmapPageProvider provider;
+    Config config;
+    void* mem = provider.map(config.superblock_bytes,
+                             config.superblock_bytes);
+    Superblock* sb =
+        Superblock::create(mem, config.superblock_bytes, 0, 64);
+    for (auto _ : state) {
+        void* p = sb->allocate();
+        benchmark::DoNotOptimize(p);
+        sb->deallocate(p);
+    }
+    provider.unmap(mem, config.superblock_bytes);
+}
+BENCHMARK(bm_superblock_cycle);
+
+struct ListItem
+{
+    detail::ListNode hook;
+    int value = 0;
+};
+
+void
+bm_intrusive_relink(benchmark::State& state)
+{
+    detail::IntrusiveList<ListItem, &ListItem::hook> a;
+    detail::IntrusiveList<ListItem, &ListItem::hook> b;
+    std::vector<ListItem> items(64);
+    for (auto& item : items)
+        a.push_back(&item);
+    for (auto _ : state) {
+        ListItem* item = a.pop_front();
+        if (item == nullptr)
+            continue;  // unreachable: the loop below repopulates a
+        b.push_back(item);
+        ListItem* back = b.pop_front();
+        a.push_back(back);
+    }
+}
+BENCHMARK(bm_intrusive_relink);
+
+void
+bm_cache_model_access(benchmark::State& state)
+{
+    sim::CostModel costs;
+    sim::CacheModel cache(costs);
+    detail::Rng rng(7);
+    std::vector<char> arena(1 << 16);
+    for (auto _ : state) {
+        const char* p = arena.data() + rng.below(arena.size() - 8);
+        benchmark::DoNotOptimize(
+            cache.access(static_cast<int>(rng.below(8)), p, 8,
+                         rng.chance(0.5)));
+    }
+}
+BENCHMARK(bm_cache_model_access);
+
+void
+bm_rng(benchmark::State& state)
+{
+    detail::Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.below(1000));
+}
+BENCHMARK(bm_rng);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * TBL-blowup (DESIGN.md §4): the paper's §2.2 memory-consumption
+ * comparison on producer-consumer.
+ *
+ * Two tables:
+ *  (a) held bytes vs round for one producer/consumer pair — the
+ *      pure-private allocator grows linearly forever (unbounded
+ *      blowup), everyone else plateaus;
+ *  (b) final held bytes vs the number of thread roles P in a
+ *      *rotating* producer-consumer (live memory is always exactly one
+ *      batch) — ownership-class arenas strand one batch per role,
+ *      growing O(P), while Hoard's emptiness invariant recycles
+ *      abandoned heaps through the global heap (the paper's central
+ *      memory claim).
+ *
+ * The workload is allocator-deterministic (logical-thread rebinding,
+ * see workloads/prodcons.h), so these numbers are exactly reproducible.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "metrics/table.h"
+#include "policy/native_policy.h"
+#include "workloads/prodcons.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hoard;
+    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+    // ---- (a) held bytes vs round, one pair ----
+    workloads::ProdConsParams params;
+    params.rounds = quick ? 30 : 60;
+    params.batch_objects = 400;
+    params.object_bytes = 64;
+
+    std::cout << "# TBL-blowup (a): allocator footprint vs round,"
+                 " 1 producer/consumer pair\n";
+    std::cout << "# live memory is one batch ("
+              << metrics::format_bytes(
+                     static_cast<unsigned long long>(params.batch_objects) *
+                     params.object_bytes)
+              << ") at all times\n";
+
+    std::vector<int> sample_rounds = {1, 2, 5, 10, 20, params.rounds};
+    std::vector<std::string> header = {"round"};
+    for (auto kind : baselines::kAllKinds)
+        header.emplace_back(baselines::to_string(kind));
+    metrics::Table table_a(header);
+
+    std::vector<std::vector<std::size_t>> series;
+    for (auto kind : baselines::kAllKinds) {
+        Config config;
+        config.heap_count = 4;
+        auto allocator =
+            baselines::make_allocator<NativePolicy>(kind, config);
+        std::vector<std::size_t> held;
+        workloads::prodcons_pair<NativePolicy>(*allocator, params, 0,
+                                               &held);
+        series.push_back(std::move(held));
+    }
+    for (int round : sample_rounds) {
+        table_a.begin_row();
+        table_a.cell_u64(static_cast<unsigned long long>(round));
+        for (std::size_t k = 0; k < series.size(); ++k)
+            table_a.cell(metrics::format_bytes(
+                series[k][static_cast<std::size_t>(round - 1)]));
+    }
+    table_a.print(std::cout);
+
+    // ---- (b) final held bytes vs rotating roles ----
+    workloads::ProdConsParams rot = params;
+    rot.batch_objects = 6000;  // one 375 KiB batch, always live
+    rot.rounds = quick ? 48 : 96;
+    std::cout << "\n# TBL-blowup (b): final footprint vs thread roles P,"
+                 " rotating producer (live memory = ONE batch = "
+              << metrics::format_bytes(
+                     static_cast<unsigned long long>(rot.batch_objects) *
+                     rot.object_bytes)
+              << ")\n";
+    metrics::Table table_b(header);  // first column reused as "roles"
+    std::vector<int> role_counts = quick ? std::vector<int>{2, 4, 8}
+                                         : std::vector<int>{2, 4, 8, 16};
+    for (int roles : role_counts) {
+        table_b.begin_row();
+        table_b.cell_u64(static_cast<unsigned long long>(roles));
+        for (auto kind : baselines::kAllKinds) {
+            Config config;
+            config.heap_count = roles;
+            auto allocator =
+                baselines::make_allocator<NativePolicy>(kind, config);
+            workloads::prodcons_rotating<NativePolicy>(*allocator, rot,
+                                                       roles);
+            table_b.cell(metrics::format_bytes(
+                allocator->stats().held_bytes.peak()));
+        }
+    }
+    table_b.print(std::cout);
+
+    std::cout << "\n# Expected: 'private' grows with round in (a) without"
+                 " bound; 'ownership' strands one batch per role in (b)"
+                 " (O(P)); 'hoard' and 'serial' stay near one batch.\n";
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * TBL-latency (DESIGN.md §4 extension): per-operation latency
+ * percentiles under contention.
+ *
+ * The speedup figures show throughput; this table shows what the
+ * averages hide.  Each simulated thread runs a larson-style
+ * replacement loop and timestamps every free+alloc pair with its
+ * virtual clock; the per-allocator histograms are merged and the
+ * p50/p90/p99/max spread printed.  The paper-era lesson this
+ * reproduces: the serial allocator's *tail* latency explodes with
+ * queueing (every op waits behind P-1 others) even though each
+ * operation's own work is unchanged.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "common/rng.h"
+#include "metrics/latency.h"
+#include "metrics/table.h"
+#include "policy/sim_policy.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace hoard;
+
+metrics::LatencyHistogram
+measure(baselines::AllocatorKind kind, int procs, int ops_per_thread)
+{
+    Config config;
+    config.heap_count = procs;
+    auto allocator = baselines::make_allocator<SimPolicy>(kind, config);
+
+    std::vector<metrics::LatencyHistogram> per_thread(
+        static_cast<std::size_t>(procs));
+    sim::Machine machine(procs);
+    for (int t = 0; t < procs; ++t) {
+        machine.spawn(t, t, [&, t] {
+            detail::Rng rng(static_cast<std::uint64_t>(t) + 17);
+            std::vector<void*> slots(128, nullptr);
+            auto& hist = per_thread[static_cast<std::size_t>(t)];
+            sim::Machine* m = sim::Machine::current();
+            for (int op = 0; op < ops_per_thread; ++op) {
+                auto slot = static_cast<std::size_t>(
+                    rng.below(slots.size()));
+                std::uint64_t t0 = m->current_clock();
+                if (slots[slot] != nullptr)
+                    allocator->deallocate(slots[slot]);
+                slots[slot] =
+                    allocator->allocate(rng.range(16, 128));
+                hist.record(m->current_clock() - t0);
+            }
+            for (void* p : slots) {
+                if (p != nullptr)
+                    allocator->deallocate(p);
+            }
+        });
+    }
+    machine.run();
+
+    metrics::LatencyHistogram merged;
+    for (const auto& h : per_thread)
+        merged.merge(h);
+    return merged;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    const int procs = 8;
+    const int ops = quick ? 2000 : 6000;
+
+    std::cout << "# TBL-latency: per-op latency (virtual cycles) at P="
+              << procs << ", larson-style replacement loop\n";
+    metrics::Table table(
+        {"allocator", "mean", "p50", "p90", "p99", "max"});
+
+    for (auto kind : baselines::kAllKinds) {
+        metrics::LatencyHistogram hist = measure(kind, procs, ops);
+        table.begin_row();
+        table.cell(baselines::to_string(kind));
+        table.cell_double(hist.mean(), 0);
+        table.cell_double(hist.percentile(50), 0);
+        table.cell_double(hist.percentile(90), 0);
+        table.cell_double(hist.percentile(99), 0);
+        table.cell_u64(hist.max());
+    }
+    table.print(std::cout);
+
+    std::cout << "\n# Expected: hoard's tail stays within a small"
+                 " multiple of its median; the serial allocator's p99"
+                 " and max blow up with queueing delay.\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * TBL-synth (DESIGN.md §4 extension): trace-driven fragmentation on
+ * synthetic workloads, the Wilson/Johnstone methodology underlying the
+ * paper's memory analysis.
+ *
+ * Sweeps size-distribution x lifetime-distribution families, generates
+ * a balanced trace for each, replays it against every allocator, and
+ * reports fragmentation relative to the trace's true maximum live
+ * bytes — the denominator the fragmentation literature uses.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "baselines/factory.h"
+#include "metrics/table.h"
+#include "policy/native_policy.h"
+#include "workloads/synthetic.h"
+#include "workloads/trace.h"
+
+namespace {
+
+using namespace hoard;
+
+const char*
+to_string(workloads::SizeDist d)
+{
+    switch (d) {
+      case workloads::SizeDist::uniform:
+        return "uniform";
+      case workloads::SizeDist::geometric:
+        return "geometric";
+      case workloads::SizeDist::bimodal:
+        return "bimodal";
+    }
+    return "?";
+}
+
+const char*
+to_string(workloads::LifetimeDist d)
+{
+    switch (d) {
+      case workloads::LifetimeDist::exponential:
+        return "expo";
+      case workloads::LifetimeDist::uniform:
+        return "uniform";
+      case workloads::LifetimeDist::phased:
+        return "phased";
+    }
+    return "?";
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+    std::cout << "# TBL-synth: fragmentation (peak held / trace max"
+                 " live) on synthetic traces,\n"
+                 "# 4 logical threads, 10% cross-thread frees\n";
+    std::vector<std::string> header = {"sizes", "lifetimes",
+                                       "max live"};
+    for (auto kind : baselines::kAllKinds)
+        header.emplace_back(baselines::to_string(kind));
+    metrics::Table table(header);
+
+    for (auto sizes :
+         {workloads::SizeDist::uniform, workloads::SizeDist::geometric,
+          workloads::SizeDist::bimodal}) {
+        for (auto lifetimes : {workloads::LifetimeDist::exponential,
+                               workloads::LifetimeDist::uniform,
+                               workloads::LifetimeDist::phased}) {
+            workloads::SyntheticParams params;
+            params.operations = quick ? 8000 : 30000;
+            params.size_dist = sizes;
+            params.lifetime_dist = lifetimes;
+            params.mean_lifetime = 400;
+            params.cross_thread_free_fraction = 0.1;
+            workloads::Trace trace =
+                workloads::generate_synthetic_trace(params);
+
+            table.begin_row();
+            table.cell(to_string(sizes));
+            table.cell(to_string(lifetimes));
+            table.cell(metrics::format_bytes(trace.max_live_bytes()));
+            for (auto kind : baselines::kAllKinds) {
+                Config config;
+                config.heap_count = params.nthreads;
+                auto allocator =
+                    baselines::make_allocator<NativePolicy>(kind,
+                                                            config);
+                auto result = workloads::replay<NativePolicy>(
+                    *allocator, trace);
+                table.cell_double(
+                    static_cast<double>(result.peak_held_bytes) /
+                    static_cast<double>(trace.max_live_bytes()));
+            }
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\n# Expected: hoard stays within a small constant of"
+                 " the trace's live memory across every distribution"
+                 " family; pure-private inflates under cross-thread"
+                 " frees.\n";
+    return 0;
+}

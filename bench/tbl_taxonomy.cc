@@ -1,0 +1,119 @@
+/**
+ * @file
+ * TBL-1 (DESIGN.md §4): the paper's Table 1 — the allocator taxonomy —
+ * regenerated with measured evidence instead of citations.
+ *
+ * For each allocator the bench measures:
+ *   scalable        speedup on threadtest at P=8 (simulated)
+ *   no active FS    remote line transfers per hammer-write at P=8 on
+ *                   active-false (simulated cache model)
+ *   no passive FS   same metric on passive-false
+ *   bounded blowup  footprint growth across producer-consumer rounds
+ * and prints both the yes/no verdict and the number behind it.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "baselines/factory.h"
+#include "metrics/speedup.h"
+#include "metrics/table.h"
+#include "policy/native_policy.h"
+#include "workloads/prodcons.h"
+#include "workloads/sim_bodies.h"
+
+namespace {
+
+using namespace hoard;
+
+std::string
+verdict(bool ok, double value, const char* fmt)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, value);
+    return std::string(ok ? "yes" : "NO") + " (" + buf + ")";
+}
+
+}  // namespace
+
+int
+main()
+{
+    using baselines::AllocatorKind;
+    const std::vector<int> procs = {1, 8};
+
+    // Simulated probes at P=8.
+    metrics::SpeedupOptions opt;
+    opt.procs = procs;
+
+    workloads::ThreadtestParams tt;
+    tt.total_objects = 8000;
+    tt.iterations = 4;
+    auto scalability = metrics::run_speedup_experiment(
+        "taxonomy:threadtest", opt, workloads::threadtest_body(tt));
+
+    workloads::FalseSharingParams fs;
+    fs.total_objects = 640;
+    fs.writes_per_object = 400;
+    auto active = metrics::run_speedup_experiment(
+        "taxonomy:active-false", opt, workloads::active_false_body(fs));
+    auto passive = metrics::run_speedup_experiment(
+        "taxonomy:passive-false", opt,
+        workloads::passive_false_body(fs));
+
+    const double total_writes =
+        static_cast<double>(fs.total_objects) * fs.writes_per_object;
+
+    std::cout << "# TBL-1: allocator taxonomy with measured evidence\n";
+    metrics::Table table({"allocator", "fast (1P)", "scalable (8P)",
+                          "no active FS", "no passive FS",
+                          "bounded blowup"});
+
+    for (std::size_t k = 0; k < baselines::kAllKinds.size(); ++k) {
+        AllocatorKind kind = baselines::kAllKinds[k];
+        table.begin_row();
+        table.cell(baselines::to_string(kind));
+
+        // Fast: single-processor makespan relative to the serial
+        // allocator's (the uniprocessor gold standard).
+        double rel =
+            static_cast<double>(scalability.cells[0][k].makespan) /
+            static_cast<double>(scalability.cells[0][1].makespan);
+        table.cell(verdict(rel < 1.5, rel, "%.2fx serial"));
+
+        double sp = scalability.cells[1][k].speedup;
+        table.cell(verdict(sp > 4.0, sp, "speedup %.1f"));
+
+        double atr = static_cast<double>(
+                         active.cells[1][k].remote_transfers) /
+                     total_writes;
+        table.cell(verdict(atr < 0.05, atr, "%.3f xfers/write"));
+
+        double ptr_rate = static_cast<double>(
+                              passive.cells[1][k].remote_transfers) /
+                          total_writes;
+        table.cell(verdict(ptr_rate < 0.05, ptr_rate, "%.3f xfers/write"));
+
+        // Blowup: run prodcons, compare footprint at round 40 vs 10.
+        Config config;
+        config.heap_count = 4;
+        auto allocator =
+            baselines::make_allocator<NativePolicy>(kind, config);
+        workloads::ProdConsParams pc;
+        pc.rounds = 40;
+        std::vector<std::size_t> held;
+        workloads::prodcons_pair<NativePolicy>(*allocator, pc, 0, &held);
+        double growth = static_cast<double>(held[39]) /
+                        static_cast<double>(held[9]);
+        table.cell(verdict(growth < 1.5, growth, "x%.1f over rounds"));
+    }
+    table.print(std::cout);
+
+    std::cout << "\n# Paper's Table 1 rows: serial is fast but neither"
+                 " scalable nor false-sharing safe; pure private heaps"
+                 " scale but blow up and passively share lines;"
+                 " ownership bounds blowup at O(P); Hoard is yes on"
+                 " every column.\n";
+    return 0;
+}

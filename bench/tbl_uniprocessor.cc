@@ -1,0 +1,94 @@
+/**
+ * @file
+ * TBL-uni (DESIGN.md §4): uniprocessor overhead.
+ *
+ * The paper's companion claim to scalability is that Hoard costs
+ * almost nothing when there is nothing to scale: on one processor its
+ * runtime is within a small factor of a serial allocator's.  This
+ * bench runs every benchmark at P=1 on the simulated machine and
+ * reports each allocator's makespan relative to the serial baseline
+ * (1.00 = identical cost).
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "metrics/speedup.h"
+#include "metrics/table.h"
+#include "workloads/sim_bodies.h"
+
+namespace {
+
+using namespace hoard;
+
+struct NamedBody
+{
+    std::string name;
+    metrics::SimWorkloadBody body;
+};
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+    workloads::ThreadtestParams tt;
+    tt.total_objects = quick ? 6000 : 16000;
+    tt.iterations = quick ? 3 : 6;
+    workloads::ShbenchParams sh;
+    sh.operations = quick ? 20000 : 60000;
+    workloads::LarsonParams la;
+    la.rounds_per_epoch = quick ? 20000 : 60000;
+    la.epochs = 2;
+    workloads::FalseSharingParams fs;
+    fs.total_objects = 640;
+    fs.writes_per_object = 200;
+    workloads::BemSimParams be;
+    be.phases = 1;
+    workloads::BarnesHutParams bh;
+    bh.total_systems = 8;
+    bh.bodies_per_system = 150;
+    bh.steps = 1;
+
+    std::vector<NamedBody> suite = {
+        {"threadtest", workloads::threadtest_body(tt)},
+        {"shbench", workloads::shbench_body(sh)},
+        {"larson", workloads::larson_body(la)},
+        {"active-false", workloads::active_false_body(fs)},
+        {"BEM-proxy", workloads::bemsim_body(be)},
+        {"barnes-hut", workloads::barneshut_body(bh)},
+    };
+
+    std::cout << "# TBL-uni: single-processor cost relative to the"
+                 " serial allocator (1.00 = equal)\n";
+    std::vector<std::string> header = {"benchmark"};
+    for (auto kind : baselines::kAllKinds)
+        header.emplace_back(baselines::to_string(kind));
+    metrics::Table table(header);
+
+    for (const NamedBody& wl : suite) {
+        metrics::SpeedupOptions opt;
+        opt.procs = {1};
+        auto result =
+            metrics::run_speedup_experiment(wl.name, opt, wl.body);
+        double serial =
+            static_cast<double>(result.cells[0][1].makespan);
+        table.begin_row();
+        table.cell(wl.name);
+        for (std::size_t k = 0; k < baselines::kAllKinds.size(); ++k) {
+            table.cell_double(
+                static_cast<double>(result.cells[0][k].makespan) /
+                serial);
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\n# Expected: the hoard column stays near 1.0 — the"
+                 " per-processor heap machinery must not tax the"
+                 " uniprocessor case (paper §'Speed').\n";
+    return 0;
+}

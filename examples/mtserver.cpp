@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Example: a Larson-style multithreaded "server" on real threads.
+ *
+ * Worker threads keep a table of live request objects and continuously
+ * retire/replace them (random sizes, cross-thread handoff every epoch
+ * via logical-id rebinding — the pattern the paper's Larson benchmark
+ * models).  Prints throughput and the allocator's memory story at the
+ * end.  Run with an allocator name to compare:
+ *
+ *   ./build/examples/mtserver [hoard|serial|private|ownership] [threads]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/factory.h"
+#include "metrics/table.h"
+#include "workloads/larson.h"
+#include "workloads/native_bodies.h"
+#include "workloads/runners.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace hoard;
+
+    baselines::AllocatorKind kind = baselines::AllocatorKind::hoard;
+    if (argc > 1) {
+        bool found = false;
+        for (auto k : baselines::kAllKinds) {
+            if (std::strcmp(argv[1], baselines::to_string(k)) == 0) {
+                kind = k;
+                found = true;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "unknown allocator '%s' "
+                         "(hoard|serial|private|ownership)\n",
+                         argv[1]);
+            return 1;
+        }
+    }
+    int nthreads = argc > 2 ? std::atoi(argv[2]) : 4;
+    if (nthreads < 1 || nthreads > 64)
+        nthreads = 4;
+
+    Config config;
+    config.heap_count = nthreads;
+    auto allocator = baselines::make_allocator<NativePolicy>(kind, config);
+
+    workloads::LarsonParams params;
+    params.nthreads = nthreads;
+    params.slots_per_thread = 512;
+    params.rounds_per_epoch = 50000;
+    params.epochs = 4;
+
+    std::printf("mtserver: allocator=%s threads=%d slots=%d"
+                " rounds/epoch=%d epochs=%d\n",
+                allocator->name(), nthreads, params.slots_per_thread,
+                params.rounds_per_epoch, params.epochs);
+
+    auto start = std::chrono::steady_clock::now();
+    workloads::native_run(nthreads, [&](int tid) {
+        workloads::larson_thread<NativePolicy>(*allocator, params, tid);
+    });
+    auto elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+    const detail::AllocatorStats& stats = allocator->stats();
+    double mops = static_cast<double>(stats.allocs.get() +
+                                      stats.frees.get()) /
+                  elapsed / 1e6;
+    std::printf("\n  wall time          %.3f s\n", elapsed);
+    std::printf("  memory ops         %.2f M ops/s\n", mops);
+    std::printf("  peak in use (U)    %s\n",
+                metrics::format_bytes(stats.in_use_bytes.peak()).c_str());
+    std::printf("  peak held (A)      %s\n",
+                metrics::format_bytes(stats.held_bytes.peak()).c_str());
+    std::printf("  fragmentation      %.3f\n", stats.fragmentation());
+    std::printf("\n(wall-clock scalability needs >1 CPU; see the"
+                " fig_speedup_larson bench for the simulated 1..14"
+                " processor figure)\n");
+    return 0;
+}

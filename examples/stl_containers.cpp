@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Example: pooling standard-container memory in Hoard.
+ *
+ * Demonstrates hoard::StlAllocator with vector/map/string across
+ * multiple threads — the "multithreaded C++ application" the paper's
+ * title is about — and compares the footprint Hoard retains against a
+ * baseline after a burst of container churn.
+ *
+ * Build & run:  ./build/examples/stl_containers
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/serial_allocator.h"
+#include "core/hoard_allocator.h"
+#include "core/stl_allocator.h"
+#include "metrics/table.h"
+#include "policy/native_policy.h"
+
+namespace {
+
+using namespace hoard;
+
+template <typename T>
+using HVector = std::vector<T, StlAllocator<T>>;
+
+using HString =
+    std::basic_string<char, std::char_traits<char>, StlAllocator<char>>;
+
+/** Bursty per-thread container churn through @p backend. */
+void
+churn(Allocator& backend, int tid)
+{
+    StlAllocator<int> ints(backend);
+    StlAllocator<char> chars(backend);
+    StlAllocator<std::pair<const int, HString>> pairs(backend);
+
+    for (int round = 0; round < 40; ++round) {
+        HVector<int> v(ints);
+        for (int i = 0; i < 2000; ++i)
+            v.push_back(tid * 1000 + i);
+
+        std::map<int, HString, std::less<int>,
+                 StlAllocator<std::pair<const int, HString>>>
+            m(std::less<int>(), pairs);
+        for (int i = 0; i < 200; ++i) {
+            HString s(chars);
+            s.assign("key-");
+            s += static_cast<char>('a' + i % 26);
+            s.append(static_cast<std::size_t>(i % 64), 'x');
+            m.emplace(i, std::move(s));
+        }
+        // Containers die here; all memory returns to the backend.
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace hoard;
+
+    Config config;
+    config.heap_count = 4;
+    HoardAllocator<NativePolicy> hoard_backend(config);
+    baselines::SerialAllocator<NativePolicy> serial_backend(config);
+
+    auto run = [](Allocator& backend) {
+        std::vector<std::thread> threads;
+        for (int tid = 0; tid < 4; ++tid)
+            threads.emplace_back([&backend, tid] { churn(backend, tid); });
+        for (auto& t : threads)
+            t.join();
+    };
+
+    run(hoard_backend);
+    run(serial_backend);
+
+    auto report = [](const char* name, const Allocator& a) {
+        const detail::AllocatorStats& s = a.stats();
+        std::printf("%-8s  allocs %8llu  peak in use %10s  peak held %10s"
+                    "  frag %.2f\n",
+                    name, static_cast<unsigned long long>(s.allocs.get()),
+                    metrics::format_bytes(s.in_use_bytes.peak()).c_str(),
+                    metrics::format_bytes(s.held_bytes.peak()).c_str(),
+                    s.fragmentation());
+    };
+
+    std::printf("container churn, 4 threads x 40 rounds:\n");
+    report("hoard", hoard_backend);
+    report("serial", serial_backend);
+    std::printf("\nNote: identical correctness behavior; the difference"
+                " is that every hoard heap scales independently\n"
+                "(run the fig_* benches for the timing story).\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Factory over Hoard and all baseline allocators, so the benchmark
+ * harness and the conformance tests can sweep the full taxonomy
+ * (paper Table 1) with one loop.
+ */
+
+#ifndef HOARD_BASELINES_FACTORY_H_
+#define HOARD_BASELINES_FACTORY_H_
+
+#include <array>
+#include <memory>
+
+#include "baselines/ownership_allocator.h"
+#include "baselines/pure_private_allocator.h"
+#include "baselines/serial_allocator.h"
+#include "core/allocator.h"
+#include "core/config.h"
+#include "core/hoard_allocator.h"
+#include "os/page_provider.h"
+
+namespace hoard {
+namespace baselines {
+
+/** The allocator taxonomy of the paper's Table 1. */
+enum class AllocatorKind
+{
+    hoard,         ///< the paper's contribution
+    serial,        ///< single heap + single lock (Solaris malloc class)
+    pure_private,  ///< private heaps, no ownership (Cilk/STL class)
+    ownership,     ///< arenas with ownership (Ptmalloc/MTmalloc class)
+};
+
+/** All kinds, in the column order the benchmark tables print. */
+inline constexpr std::array<AllocatorKind, 4> kAllKinds = {
+    AllocatorKind::hoard,
+    AllocatorKind::serial,
+    AllocatorKind::pure_private,
+    AllocatorKind::ownership,
+};
+
+/** Stable short name (matches Allocator::name()). */
+inline const char*
+to_string(AllocatorKind kind)
+{
+    switch (kind) {
+      case AllocatorKind::hoard:
+        return "hoard";
+      case AllocatorKind::serial:
+        return "serial";
+      case AllocatorKind::pure_private:
+        return "private";
+      case AllocatorKind::ownership:
+        return "ownership";
+    }
+    return "?";
+}
+
+/** Builds an allocator of @p kind under execution policy @p Policy. */
+template <typename Policy>
+std::unique_ptr<Allocator>
+make_allocator(AllocatorKind kind, const Config& config = Config(),
+               os::PageProvider& provider = os::default_page_provider())
+{
+    switch (kind) {
+      case AllocatorKind::hoard:
+        return std::make_unique<HoardAllocator<Policy>>(config, provider);
+      case AllocatorKind::serial:
+        return std::make_unique<SerialAllocator<Policy>>(config, provider);
+      case AllocatorKind::pure_private:
+        return std::make_unique<PurePrivateAllocator<Policy>>(config,
+                                                              provider);
+      case AllocatorKind::ownership:
+        return std::make_unique<OwnershipAllocator<Policy>>(config,
+                                                            provider);
+    }
+    HOARD_PANIC("unknown allocator kind");
+}
+
+}  // namespace baselines
+}  // namespace hoard
+
+#endif  // HOARD_BASELINES_FACTORY_H_

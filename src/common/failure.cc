@@ -1,0 +1,22 @@
+#include "common/failure.h"
+
+#include <cstdarg>
+
+namespace hoard {
+namespace detail {
+
+void
+fail(const char* kind, const char* file, int line, const char* fmt, ...)
+{
+    std::fprintf(stderr, "hoard %s at %s:%d: ", kind, file, line);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace detail
+}  // namespace hoard

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Failure handling for the hoard reproduction library.
+ *
+ * Two severities, following the gem5 convention:
+ *  - HOARD_FATAL: the caller misused the library (bad config, bad pointer).
+ *  - HOARD_PANIC / HOARD_ASSERT: an internal invariant broke (a bug here).
+ *
+ * Both print a message with source location and abort.  The allocator's
+ * hot paths use HOARD_DCHECK, which compiles away in NDEBUG builds.
+ */
+
+#ifndef HOARD_COMMON_FAILURE_H_
+#define HOARD_COMMON_FAILURE_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hoard {
+namespace detail {
+
+/** Prints a formatted failure report and aborts.  Never returns. */
+[[noreturn]] void
+fail(const char* kind, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace detail
+}  // namespace hoard
+
+/** Unrecoverable user error (bad argument, invalid configuration). */
+#define HOARD_FATAL(...) \
+    ::hoard::detail::fail("fatal", __FILE__, __LINE__, __VA_ARGS__)
+
+/** Unrecoverable internal error (a bug in this library). */
+#define HOARD_PANIC(...) \
+    ::hoard::detail::fail("panic", __FILE__, __LINE__, __VA_ARGS__)
+
+/** Internal invariant check, always on. */
+#define HOARD_CHECK(cond)                                                 \
+    do {                                                                  \
+        if (__builtin_expect(!(cond), 0)) {                               \
+            ::hoard::detail::fail("check", __FILE__, __LINE__,            \
+                                  "invariant failed: %s", #cond);         \
+        }                                                                 \
+    } while (0)
+
+/** Internal invariant check, compiled out in NDEBUG builds. */
+#ifdef NDEBUG
+#define HOARD_DCHECK(cond) \
+    do {                   \
+    } while (0)
+#else
+#define HOARD_DCHECK(cond) HOARD_CHECK(cond)
+#endif
+
+#endif  // HOARD_COMMON_FAILURE_H_

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Intrusive doubly-linked list.
+ *
+ * The allocator cannot call malloc to manage its own bookkeeping, so all
+ * superblock lists (fullness groups, the global heap's recycling list) are
+ * intrusive: the element embeds a ListNode hook and the list only relinks
+ * pointers.  All operations are O(1) except size(), which is maintained as
+ * a counter and is O(1) too.
+ */
+
+#ifndef HOARD_COMMON_INTRUSIVE_LIST_H_
+#define HOARD_COMMON_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+
+#include "common/failure.h"
+
+namespace hoard {
+namespace detail {
+
+/** Hook embedded in any object that wants to live on an IntrusiveList. */
+struct ListNode
+{
+    ListNode* prev = nullptr;
+    ListNode* next = nullptr;
+
+    /** True iff this node is currently linked into some list. */
+    bool linked() const { return prev != nullptr || next != nullptr; }
+};
+
+/**
+ * Doubly-linked list of objects of type T, which must embed a ListNode
+ * reachable via the @p Hook pointer-to-member.
+ *
+ * The list does not own its elements; unlinking never destroys anything.
+ */
+template <typename T, ListNode T::* Hook>
+class IntrusiveList
+{
+  public:
+    IntrusiveList()
+    {
+        head_.prev = &head_;
+        head_.next = &head_;
+    }
+
+    IntrusiveList(const IntrusiveList&) = delete;
+    IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+    bool empty() const { return head_.next == &head_; }
+    std::size_t size() const { return size_; }
+
+    /** Inserts @p elem at the front. @pre elem is not on any list. */
+    void
+    push_front(T* elem)
+    {
+        insert_after(&head_, elem);
+    }
+
+    /** Inserts @p elem at the back. @pre elem is not on any list. */
+    void
+    push_back(T* elem)
+    {
+        insert_after(head_.prev, elem);
+    }
+
+    /** Returns the first element, or nullptr if empty. */
+    T*
+    front() const
+    {
+        return empty() ? nullptr : owner(head_.next);
+    }
+
+    /** Returns the last element, or nullptr if empty. */
+    T*
+    back() const
+    {
+        return empty() ? nullptr : owner(head_.prev);
+    }
+
+    /** Unlinks and returns the first element, or nullptr if empty. */
+    T*
+    pop_front()
+    {
+        T* e = front();
+        if (e != nullptr)
+            remove(e);
+        return e;
+    }
+
+    /** Unlinks and returns the last element, or nullptr if empty. */
+    T*
+    pop_back()
+    {
+        T* e = back();
+        if (e != nullptr)
+            remove(e);
+        return e;
+    }
+
+    /** Unlinks @p elem. @pre elem is on *this* list. */
+    void
+    remove(T* elem)
+    {
+        ListNode* n = hook(elem);
+        HOARD_DCHECK(n->linked());
+        HOARD_DCHECK(size_ > 0);
+        n->prev->next = n->next;
+        n->next->prev = n->prev;
+        n->prev = nullptr;
+        n->next = nullptr;
+        --size_;
+    }
+
+    /** Element after @p elem, or nullptr at the end. */
+    T*
+    next(T* elem) const
+    {
+        ListNode* n = hook(elem)->next;
+        return n == &head_ ? nullptr : owner(n);
+    }
+
+    /** True iff @p elem is linked into some list (not necessarily this). */
+    static bool
+    is_linked(const T* elem)
+    {
+        return (elem->*Hook).linked();
+    }
+
+  private:
+    static ListNode* hook(T* elem) { return &(elem->*Hook); }
+    static const ListNode* hook(const T* elem) { return &(elem->*Hook); }
+
+    /** Byte offset of the hook member within T (container_of helper). */
+    static std::ptrdiff_t
+    hook_offset()
+    {
+        // Address-only probe into uninitialized storage; no object is
+        // read or written, we just measure the member displacement.
+        alignas(T) static char storage[sizeof(T)];
+        T* probe = reinterpret_cast<T*>(storage);
+        return reinterpret_cast<char*>(&(probe->*Hook)) -
+               reinterpret_cast<char*>(probe);
+    }
+
+    /** Recovers the T* from a pointer to its embedded hook. */
+    static T*
+    owner(ListNode* n)
+    {
+        return reinterpret_cast<T*>(reinterpret_cast<char*>(n) -
+                                    hook_offset());
+    }
+
+    void
+    insert_after(ListNode* pos, T* elem)
+    {
+        ListNode* n = hook(elem);
+        HOARD_DCHECK(!n->linked());
+        n->prev = pos;
+        n->next = pos->next;
+        pos->next->prev = n;
+        pos->next = n;
+        ++size_;
+    }
+
+    ListNode head_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace detail
+}  // namespace hoard
+
+#endif  // HOARD_COMMON_INTRUSIVE_LIST_H_

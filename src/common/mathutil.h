@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Small integer/alignment helpers shared by every module.
+ */
+
+#ifndef HOARD_COMMON_MATHUTIL_H_
+#define HOARD_COMMON_MATHUTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/failure.h"
+
+namespace hoard {
+namespace detail {
+
+/** True iff @p x is a power of two (0 is not). */
+constexpr bool
+is_pow2(std::size_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Rounds @p x up to the next multiple of @p align (a power of two). */
+constexpr std::size_t
+align_up(std::size_t x, std::size_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Rounds @p x down to a multiple of @p align (a power of two). */
+constexpr std::size_t
+align_down(std::size_t x, std::size_t align)
+{
+    return x & ~(align - 1);
+}
+
+/** True iff @p x is a multiple of @p align (a power of two). */
+constexpr bool
+is_aligned(std::size_t x, std::size_t align)
+{
+    return (x & (align - 1)) == 0;
+}
+
+/** True iff pointer @p p is @p align-aligned. */
+inline bool
+is_aligned(const void* p, std::size_t align)
+{
+    return is_aligned(reinterpret_cast<std::uintptr_t>(p), align);
+}
+
+/** Ceiling division for non-negative integers. */
+constexpr std::size_t
+ceil_div(std::size_t a, std::size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** floor(log2(x)) for x >= 1. */
+constexpr unsigned
+floor_log2(std::size_t x)
+{
+    unsigned r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** Smallest power of two >= x (x >= 1). */
+constexpr std::size_t
+next_pow2(std::size_t x)
+{
+    std::size_t p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+}  // namespace detail
+}  // namespace hoard
+
+#endif  // HOARD_COMMON_MATHUTIL_H_

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Memory-pattern helpers used by tests and conformance suites to detect
+ * overlapping or corrupted allocations, plus the cache-line constant the
+ * false-sharing machinery is built around.
+ */
+
+#ifndef HOARD_COMMON_MEMUTIL_H_
+#define HOARD_COMMON_MEMUTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace hoard {
+namespace detail {
+
+/** Cache-line size assumed by the false-sharing model and tests. */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/** Deterministic byte pattern derived from an address and a salt. */
+inline std::uint8_t
+pattern_byte(const void* p, std::size_t i, std::uint64_t salt)
+{
+    std::uint64_t x = reinterpret_cast<std::uintptr_t>(p) + i * 1315423911ULL +
+                      salt * 2654435761ULL;
+    x ^= x >> 33;
+    return static_cast<std::uint8_t>(x * 0xff51afd7ed558ccdULL >> 56);
+}
+
+/** Fills [p, p+n) with the pattern for (p, salt). */
+inline void
+pattern_fill(void* p, std::size_t n, std::uint64_t salt)
+{
+    auto* b = static_cast<std::uint8_t*>(p);
+    for (std::size_t i = 0; i < n; ++i)
+        b[i] = pattern_byte(p, i, salt);
+}
+
+/** True iff [p, p+n) still holds the pattern for (p, salt). */
+inline bool
+pattern_check(const void* p, std::size_t n, std::uint64_t salt)
+{
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (b[i] != pattern_byte(p, i, salt))
+            return false;
+    }
+    return true;
+}
+
+}  // namespace detail
+}  // namespace hoard
+
+#endif  // HOARD_COMMON_MEMUTIL_H_

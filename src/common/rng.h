@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * The workloads and the simulator need reproducible randomness that is
+ * independent of the C++ standard library implementation, so speedup
+ * tables are bit-identical across runs and toolchains.  xoroshiro-style
+ * splitmix64 core; small, fast, and good enough for workload shaping.
+ */
+
+#ifndef HOARD_COMMON_RNG_H_
+#define HOARD_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/failure.h"
+
+namespace hoard {
+namespace detail {
+
+/** splitmix64: deterministic 64-bit PRNG with full-period state. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        HOARD_DCHECK(bound > 0);
+        // Multiply-shift trick: unbiased enough for workload generation.
+        return (static_cast<unsigned __int128>(next()) * bound) >> 64;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        HOARD_DCHECK(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+}  // namespace detail
+}  // namespace hoard
+
+#endif  // HOARD_COMMON_RNG_H_

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Thread-safe statistic counters and high-water-mark gauges.
+ *
+ * Every allocator in this repository exports the same AllocatorStats
+ * block; the fragmentation and blowup tables (TBL-frag, TBL-blowup in
+ * DESIGN.md) are computed straight from these gauges.
+ */
+
+#ifndef HOARD_COMMON_STATS_H_
+#define HOARD_COMMON_STATS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace hoard {
+namespace detail {
+
+/**
+ * Monotonic event counter.  Relaxed ordering: counters are diagnostics,
+ * never synchronization.
+ */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+    std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/**
+ * Signed level gauge with a high-water mark.  add()/sub() move the
+ * current level; peak() is maintained with a CAS-max loop.
+ */
+class Gauge
+{
+  public:
+    void
+    add(std::uint64_t n)
+    {
+        std::uint64_t now =
+            cur_.fetch_add(n, std::memory_order_relaxed) + n;
+        std::uint64_t seen = peak_.load(std::memory_order_relaxed);
+        while (now > seen &&
+               !peak_.compare_exchange_weak(seen, now,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+
+    void sub(std::uint64_t n) { cur_.fetch_sub(n, std::memory_order_relaxed); }
+
+    std::uint64_t current() const { return cur_.load(std::memory_order_relaxed); }
+    std::uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+    void
+    reset()
+    {
+        cur_.store(0, std::memory_order_relaxed);
+        peak_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> cur_{0};
+    std::atomic<std::uint64_t> peak_{0};
+};
+
+/** Statistics block shared by every allocator implementation. */
+struct AllocatorStats
+{
+    Counter allocs;              ///< calls to allocate()
+    Counter frees;               ///< calls to deallocate()
+    Gauge requested_bytes;       ///< exact bytes the client asked for
+    Gauge in_use_bytes;          ///< block-rounded bytes currently live (U)
+    Gauge held_bytes;            ///< bytes held in superblocks (A)
+    Gauge os_bytes;              ///< bytes currently mapped from the OS
+    Gauge cached_bytes;          ///< bytes parked in thread caches
+    Counter superblock_allocs;   ///< fresh superblocks fetched from the OS
+    Counter superblock_transfers;///< per-proc heap -> global heap moves
+    Counter global_fetches;      ///< superblocks pulled from the global heap
+    Counter huge_allocs;         ///< allocations > S/2 served directly
+
+    /**
+     * Fragmentation as the paper reports it: maximum memory held by the
+     * allocator divided by maximum memory in use by the program.
+     */
+    double
+    fragmentation() const
+    {
+        std::uint64_t u = in_use_bytes.peak();
+        return u == 0 ? 1.0
+                      : static_cast<double>(held_bytes.peak()) /
+                            static_cast<double>(u);
+    }
+};
+
+}  // namespace detail
+}  // namespace hoard
+
+#endif  // HOARD_COMMON_STATS_H_

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Type-erased allocator interface.
+ *
+ * The benchmark harness, the conformance test suite, and the workloads
+ * drive Hoard and every baseline through this interface so a single
+ * driver covers all allocators.  Thread identity is ambient (supplied by
+ * the execution policy), so the interface itself is policy-agnostic.
+ */
+
+#ifndef HOARD_CORE_ALLOCATOR_H_
+#define HOARD_CORE_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstring>
+
+#include "common/stats.h"
+
+namespace hoard {
+
+/** Abstract multithreaded allocator. */
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    /** Allocates @p size bytes; returns nullptr only on OS exhaustion. */
+    virtual void* allocate(std::size_t size) = 0;
+
+    /** Frees a pointer obtained from allocate() on any thread. */
+    virtual void deallocate(void* p) = 0;
+
+    /** Usable bytes behind @p p (>= the requested size). */
+    virtual std::size_t usable_size(const void* p) const = 0;
+
+    /** Statistics block (see TBL-frag / TBL-blowup in DESIGN.md). */
+    virtual const detail::AllocatorStats& stats() const = 0;
+
+    /** Short identifier used in benchmark table headers. */
+    virtual const char* name() const = 0;
+
+    /**
+     * Grows or shrinks @p p to @p size, preserving contents.  Default:
+     * allocate + copy + free; implementations may reuse in place.
+     */
+    virtual void*
+    reallocate(void* p, std::size_t size)
+    {
+        if (p == nullptr)
+            return allocate(size);
+        if (size == 0) {
+            deallocate(p);
+            return nullptr;
+        }
+        std::size_t old = usable_size(p);
+        if (size <= old)
+            return p;
+        void* fresh = allocate(size);
+        if (fresh != nullptr) {
+            std::memcpy(fresh, p, old);
+            deallocate(p);
+        }
+        return fresh;
+    }
+};
+
+}  // namespace hoard
+
+#endif  // HOARD_CORE_ALLOCATOR_H_

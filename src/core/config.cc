@@ -1,0 +1,39 @@
+#include "core/config.h"
+
+#include "common/failure.h"
+#include "common/mathutil.h"
+
+namespace hoard {
+
+void
+Config::validate() const
+{
+    if (!detail::is_pow2(superblock_bytes) || superblock_bytes < 1024) {
+        HOARD_FATAL("superblock_bytes (%zu) must be a power of two >= 1024",
+                    superblock_bytes);
+    }
+    if (!(empty_fraction > 0.0 && empty_fraction < 1.0))
+        HOARD_FATAL("empty_fraction (%f) must be in (0, 1)", empty_fraction);
+    if (!(release_threshold >= empty_fraction &&
+          release_threshold <= 1.0)) {
+        HOARD_FATAL("release_threshold (%f) must be in"
+                    " [empty_fraction, 1]",
+                    release_threshold);
+    }
+    if (!(size_class_base > 1.0 && size_class_base <= 4.0)) {
+        HOARD_FATAL("size_class_base (%f) must be in (1, 4]",
+                    size_class_base);
+    }
+    if (min_block_bytes < 8 || min_block_bytes % 8 != 0) {
+        HOARD_FATAL("min_block_bytes (%zu) must be a multiple of 8 >= 8",
+                    min_block_bytes);
+    }
+    if (heap_count < 1 || heap_count > 4096)
+        HOARD_FATAL("heap_count (%d) must be in [1, 4096]", heap_count);
+    if (min_block_bytes >= superblock_bytes / 4) {
+        HOARD_FATAL("min_block_bytes (%zu) too large for superblock (%zu)",
+                    min_block_bytes, superblock_bytes);
+    }
+}
+
+}  // namespace hoard

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tunable parameters of the Hoard allocator (paper §3).
+ *
+ * Defaults reproduce the paper's configuration: S = 8 KiB superblocks,
+ * empty fraction f = 1/4, slack K = 0, geometric size classes with base
+ * b = 1.2.  Every knob here is swept by an ablation bench (DESIGN.md §6).
+ */
+
+#ifndef HOARD_CORE_CONFIG_H_
+#define HOARD_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace hoard {
+
+/** Allocator configuration; validate() is called at construction. */
+struct Config
+{
+    /** Superblock size S in bytes; must be a power of two >= 1024. */
+    std::size_t superblock_bytes = 8192;
+
+    /**
+     * Empty fraction f in (0, 1): a heap must keep
+     * u_i >= (1 - f) * a_i (up to the K*S slack) or it releases a
+     * superblock to the global heap.
+     */
+    double empty_fraction = 0.25;
+
+    /**
+     * Slack K in superblocks: u_i >= a_i - K*S is always tolerated.
+     * K > 0 damps superblock bouncing: a heap whose active size classes
+     * each hold one partial superblock naturally sits below the
+     * (1-f) occupancy line, and with K = 0 it would shuttle superblocks
+     * to and from the global heap on nearly every free/alloc pair.
+     * K = 8 absorbs a typical spread of partial classes (mixed-size
+     * workloads touch 10-25 classes) while keeping the blowup bound
+     * O(1); the ABL-K bench maps the cliff.
+     */
+    std::size_t slack_superblocks = 8;
+
+    /**
+     * Fraction of a superblock that must be free before it may be
+     * transferred to the global heap (the "victim" rule).  The paper's
+     * Figure 3 transfers any superblock that is at least f empty;
+     * implemented literally, a workload whose natural heap density
+     * sits below (1-f) — e.g. mixed sizes spread over many classes —
+     * is *pinned at the emptiness boundary*: every free transfers a
+     * partial superblock and the next allocation fetches it straight
+     * back, serializing all heaps on the global lock (the ABL-release
+     * bench measures a ~4x scalability loss on the shbench mix, and
+     * shows that any t < 1 still churns — sparse classes live
+     * permanently in the emptiest band).  The default transfers only
+     * *completely empty* superblocks, which is what the released Hoard
+     * implementations do; the cost is that the O(1) blowup bound holds
+     * per retained-superblock occupancy rather than by the paper's
+     * 1/(1-f) argument (an adversary keeping every superblock one
+     * block full evades it — the classic size-class fragmentation
+     * bound applies instead).  Set t = empty_fraction for the
+     * paper-literal mode, which the invariant property tests validate.
+     * Must lie in [empty_fraction, 1].
+     */
+    double release_threshold = 1.0;
+
+    /** Geometric size-class growth factor b (> 1). */
+    double size_class_base = 1.2;
+
+    /** Smallest block size in bytes (>= 8, multiple of 8). */
+    std::size_t min_block_bytes = 8;
+
+    /**
+     * Number of per-processor heaps P (heap 0 is the global heap and is
+     * additional).  Threads map to heap 1 + (tid mod P).
+     */
+    int heap_count = 16;
+
+    /**
+     * Completely-empty superblocks the global heap caches before
+     * returning memory to the OS.  The paper's Hoard retains them; set a
+     * finite limit to trade fragmentation for syscalls (ABL benches).
+     */
+    std::size_t empty_cache_limit = std::numeric_limits<std::size_t>::max();
+
+    /**
+     * Extension (not in the paper; the direction later allocators —
+     * Hoard 3.x, tcmalloc — took): per-logical-thread block caches in
+     * front of the heaps.  A freed block parks in the freeing thread's
+     * cache and the next allocation of that class pops it without
+     * touching any heap.  Value = blocks cached per size class per
+     * thread slot; 0 disables (the default, keeping the measured system
+     * the paper's).  Caches are bounded (this many blocks per class)
+     * and flushed to the owning heaps on overflow, so blowup gains only
+     * a constant.  ABL-cache quantifies the effect.
+     */
+    std::uint32_t thread_cache_blocks = 0;
+
+    /** Aborts with HOARD_FATAL on any out-of-range parameter. */
+    void validate() const;
+};
+
+}  // namespace hoard
+
+#endif  // HOARD_CORE_CONFIG_H_

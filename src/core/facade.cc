@@ -1,0 +1,92 @@
+#include "core/facade.h"
+
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+#include "common/mathutil.h"
+
+namespace hoard {
+
+HoardAllocator<NativePolicy>&
+global_allocator()
+{
+    // Leaked singleton: outlives all static destructors that might free.
+    static auto* instance = [] {
+        Config config;
+        unsigned hw = std::thread::hardware_concurrency();
+        config.heap_count = hw == 0 ? 1 : static_cast<int>(hw);
+        return new HoardAllocator<NativePolicy>(config);
+    }();
+    return *instance;
+}
+
+void*
+hoard_malloc(std::size_t size)
+{
+    return global_allocator().allocate(size == 0 ? 1 : size);
+}
+
+void
+hoard_free(void* p)
+{
+    global_allocator().deallocate(p);
+}
+
+void*
+hoard_calloc(std::size_t count, std::size_t size)
+{
+    if (size != 0 &&
+        count > std::numeric_limits<std::size_t>::max() / size) {
+        return nullptr;  // multiplication would overflow
+    }
+    std::size_t bytes = count * size;
+    void* p = hoard_malloc(bytes);
+    if (p != nullptr)
+        std::memset(p, 0, bytes);
+    return p;
+}
+
+void*
+hoard_realloc(void* p, std::size_t size)
+{
+    return global_allocator().reallocate(p, size);
+}
+
+void*
+hoard_aligned_alloc(std::size_t align, std::size_t size)
+{
+    return global_allocator().allocate_aligned(size, align);
+}
+
+int
+hoard_posix_memalign(void** out, std::size_t align, std::size_t size)
+{
+    if (out == nullptr)
+        return EINVAL;
+    if (!detail::is_pow2(align) || align % sizeof(void*) != 0 ||
+        align > global_allocator().config().superblock_bytes / 2) {
+        return EINVAL;
+    }
+    void* p = global_allocator().allocate_aligned(size == 0 ? 1 : size,
+                                                  align);
+    if (p == nullptr)
+        return ENOMEM;
+    *out = p;
+    return 0;
+}
+
+std::size_t
+hoard_usable_size(const void* p)
+{
+    return global_allocator().usable_size(p);
+}
+
+const detail::AllocatorStats&
+hoard_stats()
+{
+    return global_allocator().stats();
+}
+
+}  // namespace hoard

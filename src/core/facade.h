@@ -1,0 +1,56 @@
+/**
+ * @file
+ * C-style convenience API over a process-wide native Hoard instance.
+ *
+ * This is the "drop-in" face of the library: hoard_malloc/hoard_free
+ * mirror malloc/free semantics (including calloc zeroing, realloc
+ * content preservation, and C11 aligned allocation) on top of
+ * HoardAllocator<NativePolicy>.  The global instance is created on first
+ * use and intentionally never destroyed (static-destruction-order safe).
+ */
+
+#ifndef HOARD_CORE_FACADE_H_
+#define HOARD_CORE_FACADE_H_
+
+#include <cstddef>
+
+#include "common/stats.h"
+#include "core/hoard_allocator.h"
+#include "policy/native_policy.h"
+
+namespace hoard {
+
+/** The process-wide native allocator behind the C-style API. */
+HoardAllocator<NativePolicy>& global_allocator();
+
+/** malloc: allocates @p size bytes (size 0 yields a unique pointer). */
+void* hoard_malloc(std::size_t size);
+
+/** free: releases @p p; nullptr is a no-op. */
+void hoard_free(void* p);
+
+/** calloc: allocates @p count * @p size zeroed bytes. */
+void* hoard_calloc(std::size_t count, std::size_t size);
+
+/** realloc with malloc-compatible edge cases. */
+void* hoard_realloc(void* p, std::size_t size);
+
+/** aligned allocation; @p align must be a power of two <= S/2. */
+void* hoard_aligned_alloc(std::size_t align, std::size_t size);
+
+/**
+ * POSIX-style aligned allocation: stores the block in *out and returns
+ * 0, or EINVAL for a bad alignment (not a power of two, not a multiple
+ * of sizeof(void*), or beyond S/2) and ENOMEM on exhaustion.
+ */
+int hoard_posix_memalign(void** out, std::size_t align, std::size_t size);
+
+/** Usable bytes behind @p p. */
+std::size_t hoard_usable_size(const void* p);
+
+/** Statistics of the global instance. */
+const detail::AllocatorStats& hoard_stats();
+
+}  // namespace hoard
+
+#endif  // HOARD_CORE_FACADE_H_

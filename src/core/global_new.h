@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Global operator new/delete replacement.
+ *
+ * Including this header in exactly ONE translation unit of a program
+ * and defining HOARD_REPLACE_GLOBAL_NEW before the include routes
+ * every C++ `new`/`delete` in the process through the global Hoard
+ * instance — the "relink your application against Hoard" deployment
+ * mode the paper describes for its benchmarks.
+ *
+ *   #define HOARD_REPLACE_GLOBAL_NEW
+ *   #include "core/global_new.h"
+ *
+ * All replaceable forms are provided (sized, aligned, nothrow,
+ * array).  The integration test suite builds one binary this way, so
+ * gtest itself, the standard library containers, and the tests all
+ * run on Hoard.
+ */
+
+#ifndef HOARD_CORE_GLOBAL_NEW_H_
+#define HOARD_CORE_GLOBAL_NEW_H_
+
+#include <cstddef>
+#include <new>
+
+#include "core/facade.h"
+
+#ifdef HOARD_REPLACE_GLOBAL_NEW
+
+#include <atomic>
+#include <cstdint>
+
+namespace hoard {
+namespace detail {
+
+/**
+ * Bootstrap arena.  Constructing the global Hoard instance itself
+ * allocates (heap tables, size-class tables); with operator new
+ * replaced, those allocations would re-enter the instance's own
+ * magic-static initializer and deadlock.  A per-thread re-entrancy
+ * depth detects construction-time allocations and serves them from
+ * this static bump arena instead; frees into the arena's range are
+ * no-ops (the metadata lives for the process lifetime anyway).
+ */
+inline constexpr std::size_t kBootstrapBytes = 1 << 20;
+
+inline unsigned char*
+bootstrap_buffer()
+{
+    alignas(16) static unsigned char buffer[kBootstrapBytes];
+    return buffer;
+}
+
+inline std::atomic<std::size_t>&
+bootstrap_cursor()
+{
+    static std::atomic<std::size_t> cursor{0};
+    return cursor;
+}
+
+inline void*
+bootstrap_alloc(std::size_t size)
+{
+    size = (size + 15) & ~std::size_t{15};
+    std::size_t offset =
+        bootstrap_cursor().fetch_add(size, std::memory_order_relaxed);
+    if (offset + size > kBootstrapBytes)
+        throw std::bad_alloc();  // enlarge kBootstrapBytes if ever hit
+    return bootstrap_buffer() + offset;
+}
+
+inline bool
+bootstrap_owns(const void* p)
+{
+    auto addr = reinterpret_cast<std::uintptr_t>(p);
+    auto base = reinterpret_cast<std::uintptr_t>(bootstrap_buffer());
+    return addr >= base && addr < base + kBootstrapBytes;
+}
+
+inline int&
+new_depth()
+{
+    static thread_local int depth = 0;
+    return depth;
+}
+
+inline void*
+global_new_impl(std::size_t size)
+{
+    if (new_depth() > 0)
+        return bootstrap_alloc(size);
+    for (;;) {
+        ++new_depth();
+        void* p = hoard_malloc(size);
+        --new_depth();
+        if (p != nullptr)
+            return p;
+        std::new_handler handler = std::get_new_handler();
+        if (handler == nullptr)
+            throw std::bad_alloc();
+        handler();
+    }
+}
+
+inline void
+global_delete_impl(void* p) noexcept
+{
+    if (p == nullptr || bootstrap_owns(p))
+        return;
+    hoard_free(p);
+}
+
+}  // namespace detail
+}  // namespace hoard
+
+void*
+operator new(std::size_t size)
+{
+    return hoard::detail::global_new_impl(size);
+}
+
+void*
+operator new[](std::size_t size)
+{
+    return hoard::detail::global_new_impl(size);
+}
+
+void*
+operator new(std::size_t size, const std::nothrow_t&) noexcept
+{
+    try {
+        return hoard::detail::global_new_impl(size);
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void*
+operator new[](std::size_t size, const std::nothrow_t&) noexcept
+{
+    return operator new(size, std::nothrow);
+}
+
+void*
+operator new(std::size_t size, std::align_val_t align)
+{
+    auto alignment = static_cast<std::size_t>(align);
+    if (hoard::detail::new_depth() > 0) {
+        // Bootstrap path: over-allocate and align by hand.
+        auto addr = reinterpret_cast<std::uintptr_t>(
+            hoard::detail::bootstrap_alloc(size + alignment));
+        return reinterpret_cast<void*>((addr + alignment - 1) &
+                                       ~(alignment - 1));
+    }
+    ++hoard::detail::new_depth();
+    void* p = hoard::hoard_aligned_alloc(alignment, size);
+    --hoard::detail::new_depth();
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void*
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return operator new(size, align);
+}
+
+void
+operator delete(void* p) noexcept
+{
+    hoard::detail::global_delete_impl(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    hoard::detail::global_delete_impl(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    hoard::detail::global_delete_impl(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    hoard::detail::global_delete_impl(p);
+}
+
+void
+operator delete(void* p, std::align_val_t) noexcept
+{
+    hoard::detail::global_delete_impl(p);
+}
+
+void
+operator delete[](void* p, std::align_val_t) noexcept
+{
+    hoard::detail::global_delete_impl(p);
+}
+
+void
+operator delete(void* p, std::size_t, std::align_val_t) noexcept
+{
+    hoard::detail::global_delete_impl(p);
+}
+
+void
+operator delete[](void* p, std::size_t, std::align_val_t) noexcept
+{
+    hoard::detail::global_delete_impl(p);
+}
+
+void
+operator delete(void* p, const std::nothrow_t&) noexcept
+{
+    hoard::detail::global_delete_impl(p);
+}
+
+void
+operator delete[](void* p, const std::nothrow_t&) noexcept
+{
+    hoard::detail::global_delete_impl(p);
+}
+
+#endif  // HOARD_REPLACE_GLOBAL_NEW
+
+#endif  // HOARD_CORE_GLOBAL_NEW_H_

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * One Hoard heap (paper §3): a lock, the u_i / a_i byte counters, and
+ * per-size-class superblock lists segregated into fullness groups.
+ *
+ * The same structure serves the P per-processor heaps and the global
+ * heap (heap 0); only the global heap uses the empty-superblock
+ * recycling list.  All fields are guarded by `mutex` except where the
+ * allocator notes otherwise.
+ */
+
+#ifndef HOARD_CORE_HEAP_H_
+#define HOARD_CORE_HEAP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/failure.h"
+#include "core/superblock.h"
+
+namespace hoard {
+
+/** Fullness-group lists for one size class within one heap. */
+struct SizeClassBin
+{
+    SuperblockList groups[Superblock::kGroupCount];
+};
+
+/** One heap; template parameter supplies the mutex type. */
+template <typename Policy>
+struct HoardHeap
+{
+    using Mutex = typename Policy::Mutex;
+
+    explicit HoardHeap(int index_, int num_classes)
+        : index(index_), bins(static_cast<std::size_t>(num_classes))
+    {}
+
+    HoardHeap(const HoardHeap&) = delete;
+    HoardHeap& operator=(const HoardHeap&) = delete;
+
+    /** Heap number; 0 is the global heap. */
+    const int index;
+
+    Mutex mutex;
+
+    /** u_i: block bytes currently handed to the program from this heap. */
+    std::size_t in_use = 0;
+
+    /** a_i: bytes held in this heap's superblocks (span bytes). */
+    std::size_t held = 0;
+
+    /** Superblock lists per size class, segregated by fullness. */
+    std::vector<SizeClassBin> bins;
+
+    /** Completely-empty superblocks (global heap only). */
+    SuperblockList empty_list;
+
+    /**
+     * Finds a superblock of @p cls with a free block, preferring the
+     * fullest (paper §3.1 allocates from nearly-full superblocks to keep
+     * memory dense).  Returns nullptr when no superblock has space.
+     * Caller holds the lock and charges one list_op per probed group.
+     */
+    Superblock*
+    find_allocatable(int cls, int* probes)
+    {
+        SizeClassBin& bin = bins[static_cast<std::size_t>(cls)];
+        *probes = 0;
+        for (int g = Superblock::kFullnessBands - 1; g >= 0; --g) {
+            ++*probes;
+            if (Superblock* sb = bin.groups[g].front())
+                return sb;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Finds a superblock that is at least @p f empty for transfer to the
+     * global heap; emptiest candidates first.  Returns nullptr if none
+     * qualifies.  Caller holds the lock.
+     */
+    Superblock*
+    find_transfer_victim(double f)
+    {
+        // A superblock in band g has used/capacity >= g / kFullnessBands;
+        // bands beyond (1-f) cannot contain an f-empty superblock.
+        const double band_width = 1.0 / Superblock::kFullnessBands;
+        for (int g = 0; g < Superblock::kFullnessBands; ++g) {
+            if (g * band_width > 1.0 - f)
+                break;
+            for (auto& bin : bins) {
+                for (Superblock* sb = bin.groups[g].front(); sb != nullptr;
+                     sb = bin.groups[g].next(sb)) {
+                    if (sb->at_least_fraction_empty(f))
+                        return sb;
+                }
+            }
+        }
+        return nullptr;
+    }
+
+    /** Links @p sb into the right fullness group. Caller holds lock. */
+    void
+    link(Superblock* sb)
+    {
+        HOARD_DCHECK(!SuperblockList::is_linked(sb));
+        bins[static_cast<std::size_t>(sb->size_class())]
+            .groups[sb->fullness_group()]
+            .push_front(sb);
+    }
+
+    /** Unlinks @p sb from its current group. Caller holds lock. */
+    void
+    unlink(Superblock* sb, int group)
+    {
+        bins[static_cast<std::size_t>(sb->size_class())]
+            .groups[group]
+            .remove(sb);
+    }
+
+    /** Moves @p sb between groups after its fullness changed. */
+    void
+    relink(Superblock* sb, int old_group)
+    {
+        int now = sb->fullness_group();
+        if (now == old_group)
+            return;
+        unlink(sb, old_group);
+        bins[static_cast<std::size_t>(sb->size_class())]
+            .groups[now]
+            .push_front(sb);
+    }
+};
+
+}  // namespace hoard
+
+#endif  // HOARD_CORE_HEAP_H_

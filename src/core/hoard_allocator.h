@@ -1,0 +1,767 @@
+/**
+ * @file
+ * The Hoard allocator (paper §3, Figures 2-3).
+ *
+ * Structure: P per-processor heaps plus one global heap (heap 0).  A
+ * thread allocates from heap `1 + (tid mod P)`.  Each heap tracks the
+ * bytes it holds (a_i) and the bytes in use by the program (u_i) and
+ * maintains the emptiness invariant
+ *
+ *     u_i >= a_i - K*S   or   u_i >= (1 - f) * a_i
+ *
+ * by transferring a superblock that is at least f empty to the global
+ * heap whenever a free leaves both conditions violated.  That invariant
+ * is the paper's central device: it bounds blowup to O(1) and makes the
+ * expected synchronization per operation constant.
+ *
+ * The class is templated on an execution policy (NativePolicy /
+ * SimPolicy) so the identical algorithm runs under real threads and on
+ * the virtual-time multiprocessor that regenerates the paper's figures.
+ */
+
+#ifndef HOARD_CORE_HOARD_ALLOCATOR_H_
+#define HOARD_CORE_HOARD_ALLOCATOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/failure.h"
+#include "common/mathutil.h"
+#include "common/memutil.h"
+#include "common/stats.h"
+#include "core/allocator.h"
+#include "core/config.h"
+#include "core/heap.h"
+#include "core/size_classes.h"
+#include "core/superblock.h"
+#include "os/page_provider.h"
+#include "policy/cost_kind.h"
+
+namespace hoard {
+
+/** Hoard allocator, parameterized by execution policy. */
+template <typename Policy>
+class HoardAllocator final : public Allocator
+{
+  public:
+    using Heap = HoardHeap<Policy>;
+
+    explicit HoardAllocator(
+        const Config& config = Config(),
+        os::PageProvider& provider = os::default_page_provider())
+        : config_(validated(config)),
+          provider_(provider),
+          classes_(config_,
+                   Superblock::payload_bytes_for(config_.superblock_bytes))
+    {
+        heaps_.reserve(static_cast<std::size_t>(config_.heap_count) + 1);
+        for (int i = 0; i <= config_.heap_count; ++i)
+            heaps_.push_back(std::make_unique<Heap>(i, classes_.count()));
+        if (config_.thread_cache_blocks > 0) {
+            std::size_t slots =
+                static_cast<std::size_t>(config_.heap_count) * 2;
+            for (std::size_t i = 0; i < slots; ++i)
+                caches_.push_back(std::make_unique<ThreadCacheSlot>(
+                    static_cast<std::size_t>(classes_.count())));
+        }
+    }
+
+    ~HoardAllocator() override { release_everything(); }
+
+    HoardAllocator(const HoardAllocator&) = delete;
+    HoardAllocator& operator=(const HoardAllocator&) = delete;
+
+    /// @name Allocator interface
+    /// @{
+
+    void*
+    allocate(std::size_t size) override
+    {
+        Policy::work(CostKind::malloc_base);
+        int cls = classes_.class_for(size);
+        if (cls == SizeClasses::kHuge)
+            return allocate_huge(size, /*align=*/16);
+        void* block = nullptr;
+        if (!caches_.empty())
+            block = cache_pop(cls);
+        if (block == nullptr)
+            block = allocate_from_class(cls);
+        if (block == nullptr)
+            return nullptr;
+        stats_.allocs.add();
+        stats_.requested_bytes.add(size);
+        stats_.in_use_bytes.add(classes_.block_size(cls));
+        return block;
+    }
+
+    void
+    deallocate(void* p) override
+    {
+        if (p == nullptr)
+            return;
+        Policy::work(CostKind::free_base);
+        Superblock* sb =
+            Superblock::from_pointer(p, config_.superblock_bytes);
+        if (sb->huge()) {
+            deallocate_huge(sb);
+            return;
+        }
+        stats_.frees.add();
+        stats_.in_use_bytes.sub(sb->block_bytes());
+        if (!caches_.empty() && cache_push(sb, p))
+            return;
+        free_block(sb, p);
+    }
+
+    std::size_t
+    usable_size(const void* p) const override
+    {
+        const Superblock* sb =
+            Superblock::from_pointer(p, config_.superblock_bytes);
+        if (sb->huge())
+            return sb->huge_user_bytes();
+        // The usable span runs from the given pointer to the block end
+        // (aligned allocations hand out interior pointers).
+        auto addr = reinterpret_cast<std::uintptr_t>(p);
+        auto begin = reinterpret_cast<std::uintptr_t>(sb->block_start(p));
+        return sb->block_bytes() - (addr - begin);
+    }
+
+    const detail::AllocatorStats& stats() const override { return stats_; }
+    const char* name() const override { return "hoard"; }
+
+    /// @}
+
+    /**
+     * Allocates @p size bytes aligned to @p align (power of two, at most
+     * S/2).  Alignments up to 16 are free; larger ones may return an
+     * interior pointer of a larger block, which deallocate() handles.
+     */
+    void*
+    allocate_aligned(std::size_t size, std::size_t align)
+    {
+        if (!detail::is_pow2(align))
+            HOARD_FATAL("alignment %zu is not a power of two", align);
+        if (align > config_.superblock_bytes / 2) {
+            HOARD_FATAL("alignment %zu exceeds S/2 = %zu", align,
+                        config_.superblock_bytes / 2);
+        }
+        if (align <= 16)
+            return allocate(size == 0 ? 1 : size);
+
+        Policy::work(CostKind::malloc_base);
+        // Find a class big enough that an aligned point with `size`
+        // bytes after it must exist inside the block.
+        std::size_t need = size + align;
+        int cls = classes_.class_for(need);
+        void* block;
+        if (cls == SizeClasses::kHuge) {
+            return allocate_huge(size, align);
+        }
+        block = allocate_from_class(cls);
+        if (block == nullptr)
+            return nullptr;
+        stats_.allocs.add();
+        stats_.requested_bytes.add(size);
+        stats_.in_use_bytes.add(classes_.block_size(cls));
+        auto addr = reinterpret_cast<std::uintptr_t>(block);
+        return reinterpret_cast<void*>(detail::align_up(addr, align));
+    }
+
+    const Config& config() const { return config_; }
+    const SizeClasses& size_classes() const { return classes_; }
+    int heap_count() const { return config_.heap_count; }
+
+    /**
+     * Drains every thread cache back to the owning heaps (no-op when
+     * thread caching is disabled).  Call when quiescing — e.g. before
+     * reading footprint gauges or asserting leak-freedom in tests.
+     */
+    void
+    flush_thread_caches()
+    {
+        for (auto& slot : caches_) {
+            std::lock_guard<typename Policy::Mutex> guard(slot->mutex);
+            for (auto& list : slot->lists) {
+                while (list.head != nullptr) {
+                    void* block = list.head;
+                    list.head = *static_cast<void**>(block);
+                    --list.count;
+                    Superblock* sb = Superblock::from_pointer(
+                        block, config_.superblock_bytes);
+                    stats_.cached_bytes.sub(sb->block_bytes());
+                    free_block(sb, block);
+                }
+                HOARD_DCHECK(list.count == 0);
+            }
+        }
+    }
+
+    /// @name Introspection for tests and tables.
+    /// @{
+
+    /**
+     * Writes a human-readable report of every heap: u_i/a_i, the
+     * superblock population per size class with its fullness-group
+     * histogram, the global empty cache, and thread-cache occupancy.
+     * Takes each heap's lock briefly; intended for quiesced moments or
+     * operator diagnostics, not hot paths.
+     */
+    void
+    dump(std::ostream& os)
+    {
+        os << "HoardAllocator S=" << config_.superblock_bytes
+           << " f=" << config_.empty_fraction
+           << " K=" << config_.slack_superblocks
+           << " t=" << config_.release_threshold
+           << " P=" << config_.heap_count << "\n";
+        for (auto& heap_ptr : heaps_) {
+            Heap& heap = *heap_ptr;
+            std::lock_guard<typename Policy::Mutex> guard(heap.mutex);
+            os << (heap.index == 0 ? "  heap 0 (global)" : "  heap ")
+               << (heap.index == 0 ? "" : std::to_string(heap.index))
+               << ": in-use " << heap.in_use << " held " << heap.held;
+            if (heap.index == 0)
+                os << " empty-cached " << heap.empty_list.size();
+            os << "\n";
+            for (std::size_t cls = 0; cls < heap.bins.size(); ++cls) {
+                auto& bin = heap.bins[cls];
+                std::size_t count = 0;
+                for (auto& group : bin.groups)
+                    count += group.size();
+                if (count == 0)
+                    continue;
+                os << "    class " << cls << " ("
+                   << classes_.block_size(static_cast<int>(cls))
+                   << " B): " << count << " superblock(s), groups [";
+                for (int g = 0; g < Superblock::kGroupCount; ++g) {
+                    if (g != 0)
+                        os << ' ';
+                    os << bin.groups[g].size();
+                }
+                os << "]\n";
+            }
+        }
+        if (!caches_.empty()) {
+            std::size_t cached_blocks = 0;
+            for (auto& slot : caches_) {
+                std::lock_guard<typename Policy::Mutex> guard(
+                    slot->mutex);
+                for (auto& list : slot->lists)
+                    cached_blocks += list.count;
+            }
+            os << "  thread caches: " << cached_blocks << " block(s), "
+               << stats_.cached_bytes.current() << " B\n";
+        }
+        os.flush();
+    }
+
+    /** u_i of heap @p i (0 = global). */
+    std::size_t
+    heap_in_use(int i)
+    {
+        Heap& h = *heaps_[static_cast<std::size_t>(i)];
+        std::lock_guard<typename Policy::Mutex> guard(h.mutex);
+        return h.in_use;
+    }
+
+    /** a_i of heap @p i (0 = global). */
+    std::size_t
+    heap_held(int i)
+    {
+        Heap& h = *heaps_[static_cast<std::size_t>(i)];
+        std::lock_guard<typename Policy::Mutex> guard(h.mutex);
+        return h.held;
+    }
+
+    /** Heap index the calling thread allocates from. */
+    int
+    my_heap_index() const
+    {
+        return 1 + Policy::thread_index() % config_.heap_count;
+    }
+
+    /**
+     * Walks every heap verifying counter consistency and the emptiness
+     * invariant (allowing the one-superblock transient and per-header
+     * slack discussed in DESIGN.md).  Aborts on violation; returns true
+     * so it can sit inside EXPECT_TRUE.
+     */
+    bool
+    check_invariants()
+    {
+        for (auto& heap : heaps_)
+            check_heap(*heap);
+        return true;
+    }
+
+    /// @}
+
+  private:
+    /** One per-thread-slot block cache (extension, see Config). */
+    struct ThreadCacheSlot
+    {
+        explicit ThreadCacheSlot(std::size_t num_classes)
+            : lists(num_classes)
+        {}
+
+        struct ClassList
+        {
+            void* head = nullptr;     ///< LIFO threaded through blocks
+            std::uint32_t count = 0;
+        };
+
+        typename Policy::Mutex mutex;
+        std::vector<ClassList> lists;
+        /// Slots are written by one thread at a time; keep them off
+        /// each other's cache lines.
+        char pad[detail::kCacheLineBytes] = {};
+    };
+
+    static const Config&
+    validated(const Config& config)
+    {
+        config.validate();
+        return config;
+    }
+
+    ThreadCacheSlot&
+    my_cache()
+    {
+        auto idx = static_cast<std::size_t>(Policy::thread_index()) %
+                   caches_.size();
+        return *caches_[idx];
+    }
+
+    /** Pops a cached block of @p cls, or nullptr. */
+    void*
+    cache_pop(int cls)
+    {
+        ThreadCacheSlot& slot = my_cache();
+        std::lock_guard<typename Policy::Mutex> guard(slot.mutex);
+        auto& list = slot.lists[static_cast<std::size_t>(cls)];
+        if (list.head == nullptr)
+            return nullptr;
+        void* block = list.head;
+        Policy::touch(block, sizeof(void*), false);
+        list.head = *static_cast<void**>(block);
+        --list.count;
+        stats_.cached_bytes.sub(classes_.block_size(cls));
+        return block;
+    }
+
+    /**
+     * Parks the (whole, free) block containing @p p in the caller's
+     * cache; on overflow, spills half the class list to the heaps.
+     * Returns false when caching is a loss (never, currently).
+     */
+    bool
+    cache_push(Superblock* sb, void* p)
+    {
+        void* block = sb->block_start(p);
+        int cls = sb->size_class();
+        const std::size_t block_bytes = sb->block_bytes();
+
+        ThreadCacheSlot& slot = my_cache();
+        std::lock_guard<typename Policy::Mutex> guard(slot.mutex);
+        auto& list = slot.lists[static_cast<std::size_t>(cls)];
+        if (list.count >= config_.thread_cache_blocks) {
+            // Spill the older half back to the owning heaps.
+            std::uint32_t spill = list.count / 2 + 1;
+            for (std::uint32_t i = 0; i < spill; ++i) {
+                void* victim = list.head;
+                list.head = *static_cast<void**>(victim);
+                --list.count;
+                Superblock* vsb = Superblock::from_pointer(
+                    victim, config_.superblock_bytes);
+                stats_.cached_bytes.sub(vsb->block_bytes());
+                free_block(vsb, victim);
+            }
+        }
+        Policy::touch(block, sizeof(void*), true);
+        *static_cast<void**>(block) = list.head;
+        list.head = block;
+        ++list.count;
+        stats_.cached_bytes.add(block_bytes);
+        return true;
+    }
+
+    Heap& global_heap() { return *heaps_[0]; }
+
+    Heap&
+    my_heap()
+    {
+        return *heaps_[static_cast<std::size_t>(my_heap_index())];
+    }
+
+    /** malloc slow+fast path for a non-huge class (paper Figure 2). */
+    void*
+    allocate_from_class(int cls)
+    {
+        const std::size_t block_bytes = classes_.block_size(cls);
+        Heap& heap = my_heap();
+        std::lock_guard<typename Policy::Mutex> guard(heap.mutex);
+
+        int probes = 0;
+        Superblock* sb = heap.find_allocatable(cls, &probes);
+        for (int i = 0; i < probes; ++i)
+            Policy::work(CostKind::list_op);
+
+        if (sb == nullptr) {
+            sb = fetch_from_global(cls, heap);
+            if (sb == nullptr) {
+                sb = fresh_superblock(cls);
+                if (sb == nullptr)
+                    return nullptr;  // OS exhausted
+                // A fresh superblock is invisible to other threads (no
+                // block of it has escaped), so adopting it outside the
+                // global lock is race-free.
+                adopt(heap, sb);
+            }
+        }
+
+        int old_group = sb->fullness_group();
+        Policy::touch(sb, sizeof(Superblock), true);
+        void* block = sb->allocate();
+        heap.in_use += block_bytes;
+        heap.relink(sb, old_group);
+        Policy::work(CostKind::list_op);
+        return block;
+    }
+
+    /** free path for a non-huge block (paper Figure 3). */
+    void
+    free_block(Superblock* sb, void* p)
+    {
+        const std::size_t block_bytes = sb->block_bytes();
+
+        // Lock the owning heap; the owner may change while we wait
+        // (another thread can transfer the superblock), so re-check and
+        // retry until the lock we hold matches the owner (paper §3.4).
+        Heap* heap;
+        for (;;) {
+            heap = static_cast<Heap*>(sb->owner());
+            heap->mutex.lock();
+            if (static_cast<Heap*>(sb->owner()) == heap)
+                break;
+            heap->mutex.unlock();
+        }
+
+        int old_group = sb->fullness_group();
+        Policy::touch(p, sizeof(void*), true);
+        Policy::touch(sb, sizeof(Superblock), true);
+        sb->deallocate(p);
+        heap->in_use -= block_bytes;
+        heap->relink(sb, old_group);
+        Policy::work(CostKind::list_op);
+
+        if (heap->index == 0) {
+            // Global heap: recycle fully-empty superblocks across
+            // classes instead of enforcing the emptiness invariant.
+            if (sb->empty()) {
+                heap->unlink(sb, sb->fullness_group());
+                retire_empty_locked(*heap, sb);
+            }
+            heap->mutex.unlock();
+            return;
+        }
+
+        maybe_release_superblock(*heap);
+        heap->mutex.unlock();
+    }
+
+    /**
+     * Emptiness-invariant enforcement: while u_i < a_i - K*S and
+     * u_i < (1-f) a_i, move at-least-f-empty superblocks to the global
+     * heap.  The paper's Figure 3 transfers once per free; because we
+     * pick the *emptiest* victim first, once is almost always enough —
+     * but a victim sitting right at the f-empty boundary reduces the
+     * deficit by less than one free added, so a single transfer does
+     * not restore the invariant inductively.  Looping does, keeps the
+     * amortized cost O(1) (every transferred superblock was paid for
+     * by the frees that emptied it), and is what the invariant-based
+     * blowup bound actually requires.  Caller holds the heap lock.
+     */
+    void
+    maybe_release_superblock(Heap& heap)
+    {
+        const std::size_t slack =
+            config_.slack_superblocks * config_.superblock_bytes;
+        const double keep_fraction = 1.0 - config_.empty_fraction;
+
+        while (heap.in_use + slack < heap.held &&
+               static_cast<double>(heap.in_use) <
+                   keep_fraction * static_cast<double>(heap.held)) {
+            Superblock* victim =
+                heap.find_transfer_victim(config_.release_threshold);
+            if (victim == nullptr)
+                return;  // only header slack remains (rare)
+
+            Policy::work(CostKind::transfer);
+            heap.unlink(victim, victim->fullness_group());
+            heap.held -= victim->span_bytes();
+            heap.in_use -= victim->used_bytes();
+            stats_.superblock_transfers.add();
+
+            Heap& global = global_heap();
+            std::lock_guard<typename Policy::Mutex> guard(global.mutex);
+            victim->set_owner(&global);
+            global.held += victim->span_bytes();
+            global.in_use += victim->used_bytes();
+            if (victim->empty())
+                retire_empty_locked(global, victim);
+            else
+                global.link(victim);
+        }
+    }
+
+    /**
+     * Pulls a superblock of @p cls from the global heap — a partial one
+     * of the same class if available, otherwise a recycled empty one
+     * reformatted to @p cls — and hands it to @p dest, whose lock the
+     * caller holds.  The handover happens entirely under the global
+     * lock: a superblock with escaped blocks must never have a null or
+     * stale owner, or a concurrent free would lock (or dereference)
+     * the wrong heap.  Returns nullptr when the global heap is empty.
+     */
+    Superblock*
+    fetch_from_global(int cls, Heap& dest)
+    {
+        Heap& global = global_heap();
+        std::lock_guard<typename Policy::Mutex> guard(global.mutex);
+
+        int probes = 0;
+        Superblock* sb = global.find_allocatable(cls, &probes);
+        for (int i = 0; i < probes; ++i)
+            Policy::work(CostKind::list_op);
+
+        if (sb != nullptr) {
+            global.unlink(sb, sb->fullness_group());
+        } else if ((sb = global.empty_list.pop_front()) != nullptr) {
+            if (sb->size_class() != cls) {
+                Policy::work(CostKind::superblock_init);
+                sb->reformat(cls, static_cast<std::uint32_t>(
+                                      classes_.block_size(cls)));
+            }
+        } else {
+            return nullptr;
+        }
+
+        global.held -= sb->span_bytes();
+        global.in_use -= sb->used_bytes();
+        stats_.global_fetches.add();
+        adopt(dest, sb);
+        return sb;
+    }
+
+    /** Maps and formats a brand-new superblock of @p cls. */
+    Superblock*
+    fresh_superblock(int cls)
+    {
+        Policy::work(CostKind::os_map);
+        Policy::work(CostKind::superblock_init);
+        void* memory = provider_.map(config_.superblock_bytes,
+                                     config_.superblock_bytes);
+        if (memory == nullptr)
+            return nullptr;
+        stats_.superblock_allocs.add();
+        stats_.os_bytes.add(config_.superblock_bytes);
+        stats_.held_bytes.add(config_.superblock_bytes);
+        return Superblock::create(
+            memory, config_.superblock_bytes, cls,
+            static_cast<std::uint32_t>(classes_.block_size(cls)));
+    }
+
+    /** Hands ownership of unowned @p sb to @p heap. Caller holds lock. */
+    void
+    adopt(Heap& heap, Superblock* sb)
+    {
+        sb->set_owner(&heap);
+        heap.held += sb->span_bytes();
+        heap.in_use += sb->used_bytes();
+        heap.link(sb);
+    }
+
+    /**
+     * Parks empty @p sb on the global empty list, unmapping it instead
+     * when the cache is over its limit.  Caller holds the global lock.
+     */
+    void
+    retire_empty_locked(Heap& global, Superblock* sb)
+    {
+        if (global.empty_list.size() >= config_.empty_cache_limit) {
+            global.held -= sb->span_bytes();
+            stats_.held_bytes.sub(sb->span_bytes());
+            stats_.os_bytes.sub(sb->span_bytes());
+            Policy::work(CostKind::os_map);
+            std::size_t bytes = sb->span_bytes();
+            sb->~Superblock();
+            provider_.unmap(sb, bytes);
+            return;
+        }
+        global.empty_list.push_front(sb);
+    }
+
+    /** Huge path: a dedicated chunk with a superblock header. */
+    void*
+    allocate_huge(std::size_t size, std::size_t align)
+    {
+        Policy::work(CostKind::os_map);
+        std::size_t header = Superblock::header_bytes();
+        std::size_t offset =
+            align <= header ? header : detail::align_up(header, align);
+        std::size_t total = offset + size;
+        void* memory = provider_.map(total, config_.superblock_bytes);
+        if (memory == nullptr)
+            return nullptr;
+        Superblock* sb = Superblock::create_huge(memory, total, size);
+        {
+            std::lock_guard<typename Policy::Mutex> guard(huge_mutex_);
+            huge_list_.push_front(sb);
+        }
+        stats_.allocs.add();
+        stats_.huge_allocs.add();
+        stats_.requested_bytes.add(size);
+        stats_.in_use_bytes.add(size);
+        stats_.held_bytes.add(total);
+        stats_.os_bytes.add(total);
+        return static_cast<char*>(memory) + offset;
+    }
+
+    void
+    deallocate_huge(Superblock* sb)
+    {
+        Policy::work(CostKind::os_map);
+        {
+            std::lock_guard<typename Policy::Mutex> guard(huge_mutex_);
+            huge_list_.remove(sb);
+        }
+        std::size_t user = sb->huge_user_bytes();
+        std::size_t total = sb->span_bytes();
+        stats_.frees.add();
+        stats_.in_use_bytes.sub(user);
+        stats_.held_bytes.sub(total);
+        stats_.os_bytes.sub(total);
+        sb->~Superblock();
+        provider_.unmap(sb, total);
+    }
+
+    /** Destructor support: unmaps every superblock still held. */
+    void
+    release_everything()
+    {
+        for (auto& heap : heaps_) {
+            for (auto& bin : heap->bins) {
+                for (auto& group : bin.groups) {
+                    while (Superblock* sb = group.pop_front())
+                        unmap_superblock(sb);
+                }
+            }
+            while (Superblock* sb = heap->empty_list.pop_front())
+                unmap_superblock(sb);
+        }
+        while (Superblock* sb = huge_list_.pop_front())
+            unmap_superblock(sb);
+    }
+
+    void
+    unmap_superblock(Superblock* sb)
+    {
+        std::size_t bytes = sb->span_bytes();
+        sb->~Superblock();
+        provider_.unmap(sb, bytes);
+    }
+
+    void
+    check_heap(Heap& heap)
+    {
+        std::lock_guard<typename Policy::Mutex> guard(heap.mutex);
+        std::size_t used_sum = 0;
+        std::size_t held_sum = 0;
+        std::size_t uncarved = 0;  // header + tail remainder per sb
+        std::size_t active_classes = 0;
+        for (std::size_t cls = 0; cls < heap.bins.size(); ++cls) {
+            auto& bin = heap.bins[cls];
+            bool any = false;
+            for (int g = 0; g < Superblock::kGroupCount; ++g)
+                any = any || !bin.groups[g].empty();
+            if (any)
+                ++active_classes;
+            for (int g = 0; g < Superblock::kGroupCount; ++g) {
+                for (Superblock* sb = bin.groups[g].front(); sb != nullptr;
+                     sb = bin.groups[g].next(sb)) {
+                    HOARD_CHECK(sb->size_class() ==
+                                static_cast<int>(cls));
+                    HOARD_CHECK(sb->fullness_group() == g);
+                    HOARD_CHECK(sb->owner() == &heap);
+                    HOARD_CHECK(sb->used() <= sb->capacity());
+                    used_sum += sb->used_bytes();
+                    held_sum += sb->span_bytes();
+                    uncarved += sb->span_bytes() -
+                                static_cast<std::size_t>(sb->capacity()) *
+                                    sb->block_bytes();
+                }
+            }
+        }
+        for (Superblock* sb = heap.empty_list.front(); sb != nullptr;
+             sb = heap.empty_list.next(sb)) {
+            HOARD_CHECK(sb->empty());
+            held_sum += sb->span_bytes();
+        }
+        HOARD_CHECK(used_sum == heap.in_use);
+        HOARD_CHECK(held_sum == heap.held);
+
+        if (heap.index != 0) {
+            // Emptiness invariant, in the form the algorithm actually
+            // guarantees at an arbitrary instant:
+            //
+            //   u >= (1-t) * (a - allowance) - K*S
+            //
+            // with t the victim release threshold: the transfer loop
+            // stops either restored (u >= (1-f)a, stronger since
+            // t >= f) or because no superblock is t-empty, i.e. every
+            // superblock has used > (1-t)*capacity.  The allowance
+            // covers (a) bytes a superblock cannot carve into blocks
+            // (header + tail remainder); (b) one *fetched* superblock
+            // per active size class — enforcement runs on free only
+            // (paper Figure 3), and an allocation may pull one partial
+            // superblock per class from the global heap between frees;
+            // (c) one superblock of transient for the free currently
+            // in flight on another thread.
+            const double t = config_.release_threshold;
+            const std::size_t S = config_.superblock_bytes;
+            const std::size_t k_slack =
+                config_.slack_superblocks * S + S;
+            const std::size_t allowance =
+                uncarved + (active_classes + 1) * S;
+            bool ok =
+                heap.in_use + k_slack >= heap.held ||
+                static_cast<double>(heap.in_use) >=
+                    (1.0 - t) *
+                            static_cast<double>(heap.held - std::min(
+                                                    allowance,
+                                                    heap.held)) -
+                        static_cast<double>(k_slack);
+            HOARD_CHECK(ok);
+        }
+    }
+
+    const Config config_;
+    os::PageProvider& provider_;
+    SizeClasses classes_;
+    std::vector<std::unique_ptr<Heap>> heaps_;
+    std::vector<std::unique_ptr<ThreadCacheSlot>> caches_;
+    typename Policy::Mutex huge_mutex_;
+    SuperblockList huge_list_;
+    detail::AllocatorStats stats_;
+};
+
+}  // namespace hoard
+
+#endif  // HOARD_CORE_HOARD_ALLOCATOR_H_

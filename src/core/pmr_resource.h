@@ -1,0 +1,98 @@
+/**
+ * @file
+ * std::pmr::memory_resource adapter: plugs any hoard::Allocator into
+ * the polymorphic-allocator ecosystem (std::pmr::vector, string, map,
+ * monotonic chains, ...).  Alignments above the natural 16 bytes are
+ * honored through HoardAllocator's aligned path when the backend is a
+ * Hoard instance; other backends accept up to their natural alignment
+ * and fail loudly beyond it.
+ */
+
+#ifndef HOARD_CORE_PMR_RESOURCE_H_
+#define HOARD_CORE_PMR_RESOURCE_H_
+
+#include <memory_resource>
+
+#include "common/failure.h"
+#include "core/allocator.h"
+#include "core/hoard_allocator.h"
+#include "policy/native_policy.h"
+
+namespace hoard {
+
+/** memory_resource over a generic Allocator (alignment <= 16). */
+class PmrResource : public std::pmr::memory_resource
+{
+  public:
+    explicit PmrResource(Allocator& backend) : backend_(&backend) {}
+
+    Allocator* backend() const { return backend_; }
+
+  protected:
+    void*
+    do_allocate(std::size_t bytes, std::size_t alignment) override
+    {
+        void* p = allocate_aligned_impl(bytes, alignment);
+        if (p == nullptr)
+            throw std::bad_alloc();
+        return p;
+    }
+
+    void
+    do_deallocate(void* p, std::size_t /*bytes*/,
+                  std::size_t /*alignment*/) override
+    {
+        backend_->deallocate(p);
+    }
+
+    bool
+    do_is_equal(const std::pmr::memory_resource& other) const noexcept
+        override
+    {
+        auto* rhs = dynamic_cast<const PmrResource*>(&other);
+        return rhs != nullptr && rhs->backend_ == backend_;
+    }
+
+    /** Hook for backends with a real aligned path. */
+    virtual void*
+    allocate_aligned_impl(std::size_t bytes, std::size_t alignment)
+    {
+        if (alignment > 16) {
+            HOARD_FATAL("backend '%s' supports alignment <= 16 via the"
+                        " generic PMR adapter (got %zu); use"
+                        " HoardPmrResource",
+                        backend_->name(), alignment);
+        }
+        return backend_->allocate(bytes == 0 ? 1 : bytes);
+    }
+
+  private:
+    Allocator* backend_;
+};
+
+/** memory_resource over a native Hoard instance, any alignment. */
+class HoardPmrResource final : public PmrResource
+{
+  public:
+    explicit HoardPmrResource(HoardAllocator<NativePolicy>& backend)
+        : PmrResource(backend), hoard_(&backend)
+    {}
+
+  protected:
+    void*
+    allocate_aligned_impl(std::size_t bytes,
+                          std::size_t alignment) override
+    {
+        if (alignment <= 16)
+            return hoard_->allocate(bytes == 0 ? 1 : bytes);
+        return hoard_->allocate_aligned(bytes == 0 ? 1 : bytes,
+                                        alignment);
+    }
+
+  private:
+    HoardAllocator<NativePolicy>* hoard_;
+};
+
+}  // namespace hoard
+
+#endif  // HOARD_CORE_PMR_RESOURCE_H_

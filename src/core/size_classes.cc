@@ -1,0 +1,43 @@
+#include "core/size_classes.h"
+
+#include <cmath>
+
+#include "common/failure.h"
+#include "common/mathutil.h"
+
+namespace hoard {
+
+SizeClasses::SizeClasses(const Config& config, std::size_t payload_bytes)
+{
+    const std::size_t max_block = payload_bytes / 2;
+    HOARD_CHECK(config.min_block_bytes <= max_block);
+
+    std::size_t size = config.min_block_bytes;
+    while (size <= max_block) {
+        sizes_.push_back(size);
+        // Grow geometrically, rounded up to the class alignment; always
+        // advance by at least one alignment unit so classes are distinct.
+        std::size_t align = size < 16 ? 8 : 16;
+        auto grown = static_cast<std::size_t>(
+            std::ceil(static_cast<double>(size) * config.size_class_base));
+        std::size_t next = detail::align_up(grown, align);
+        if (next <= size)
+            next = size + align;
+        size = next;
+    }
+    HOARD_CHECK(!sizes_.empty());
+
+    // Direct-mapped lookup: slot i covers sizes ((i-1)*8, i*8].
+    std::size_t slots = sizes_.back() / kLutGranularity + 1;
+    lut_.assign(slots, kHuge);
+    std::size_t cls = 0;
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+        std::size_t covered = slot * kLutGranularity;
+        while (cls < sizes_.size() && sizes_[cls] < covered)
+            ++cls;
+        HOARD_CHECK(cls < sizes_.size());
+        lut_[slot] = static_cast<std::int16_t>(cls);
+    }
+}
+
+}  // namespace hoard

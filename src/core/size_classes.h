@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Geometric size classes (paper §3.1: block sizes b^k).
+ *
+ * Classes start at min_block_bytes and grow by the configured base,
+ * rounded to the alignment the class must guarantee (8 bytes below 16,
+ * 16 bytes at and above).  The largest class fits at least two blocks in
+ * a superblock payload; anything bigger is a "huge" allocation served by
+ * a dedicated superblock.
+ */
+
+#ifndef HOARD_CORE_SIZE_CLASSES_H_
+#define HOARD_CORE_SIZE_CLASSES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+
+namespace hoard {
+
+/** Immutable size-class table computed from a Config. */
+class SizeClasses
+{
+  public:
+    /**
+     * @param config         allocator configuration (base, min block)
+     * @param payload_bytes  usable bytes in a superblock after its header
+     */
+    SizeClasses(const Config& config, std::size_t payload_bytes);
+
+    /** Number of classes. */
+    int count() const { return static_cast<int>(sizes_.size()); }
+
+    /**
+     * Class index whose block size covers @p size, or kHuge when the
+     * request exceeds the largest class.  size == 0 is served as 1.
+     */
+    int
+    class_for(std::size_t size) const
+    {
+        if (size == 0)
+            size = 1;
+        std::size_t slot = (size + kLutGranularity - 1) / kLutGranularity;
+        if (slot >= lut_.size())
+            return kHuge;
+        return lut_[slot];
+    }
+
+    /** Block size of class @p cls. */
+    std::size_t
+    block_size(int cls) const
+    {
+        return sizes_[static_cast<std::size_t>(cls)];
+    }
+
+    /** Largest non-huge request size. */
+    std::size_t largest() const { return sizes_.back(); }
+
+    /** Sentinel returned by class_for() for huge requests. */
+    static constexpr int kHuge = -1;
+
+  private:
+    static constexpr std::size_t kLutGranularity = 8;
+
+    std::vector<std::size_t> sizes_;
+    std::vector<std::int16_t> lut_;  ///< (size/8 rounded up) -> class
+};
+
+}  // namespace hoard
+
+#endif  // HOARD_CORE_SIZE_CLASSES_H_

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * std::allocator-compatible adapter so standard containers draw from a
+ * Hoard (or baseline) Allocator.  Examples and tests use it to exercise
+ * realistic container churn through the public API.
+ */
+
+#ifndef HOARD_CORE_STL_ALLOCATOR_H_
+#define HOARD_CORE_STL_ALLOCATOR_H_
+
+#include <cstddef>
+#include <new>
+
+#include "common/failure.h"
+#include "core/allocator.h"
+#include "core/facade.h"
+
+namespace hoard {
+
+/**
+ * STL allocator forwarding to an hoard::Allocator.  Defaults to the
+ * process-wide native Hoard instance; pass any Allocator to pool
+ * container memory elsewhere (e.g. a baseline, for comparisons).
+ */
+template <typename T>
+class StlAllocator
+{
+  public:
+    using value_type = T;
+
+    StlAllocator() noexcept : backend_(&global_allocator()) {}
+    explicit StlAllocator(Allocator& backend) noexcept
+        : backend_(&backend)
+    {}
+
+    template <typename U>
+    StlAllocator(const StlAllocator<U>& other) noexcept
+        : backend_(other.backend())
+    {}
+
+    T*
+    allocate(std::size_t n)
+    {
+        void* p = backend_->allocate(n * sizeof(T));
+        if (p == nullptr)
+            throw std::bad_alloc();
+        return static_cast<T*>(p);
+    }
+
+    void
+    deallocate(T* p, std::size_t /* n */) noexcept
+    {
+        backend_->deallocate(p);
+    }
+
+    Allocator* backend() const noexcept { return backend_; }
+
+    friend bool
+    operator==(const StlAllocator& a, const StlAllocator& b) noexcept
+    {
+        return a.backend_ == b.backend_;
+    }
+
+    friend bool
+    operator!=(const StlAllocator& a, const StlAllocator& b) noexcept
+    {
+        return !(a == b);
+    }
+
+  private:
+    Allocator* backend_;
+};
+
+}  // namespace hoard
+
+#endif  // HOARD_CORE_STL_ALLOCATOR_H_

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Superblocks (paper §3.1).
+ *
+ * A superblock is an S-byte, S-aligned chunk carved into equal-size
+ * blocks of one size class.  Because every superblock is S-aligned,
+ * `pointer -> superblock` is a mask — the reproduction's substitute for
+ * the paper's per-block back-pointer, with zero per-block overhead.
+ *
+ * The header lives at the start of the chunk; blocks follow.  Free
+ * blocks form a LIFO list threaded through their first word; blocks that
+ * have never been allocated are handed out by a bump cursor so a fresh
+ * superblock needs no list construction.
+ *
+ * Thread safety: all mutation happens under the owning heap's lock,
+ * except the owner field itself, which is atomic because the free path
+ * must read it before it can know which lock to take (paper §3.4's
+ * ownership-change race).
+ *
+ * Huge allocations (> S/2) get a dedicated chunk with the same header so
+ * the mask in free() works uniformly.
+ */
+
+#ifndef HOARD_CORE_SUPERBLOCK_H_
+#define HOARD_CORE_SUPERBLOCK_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+#include "common/failure.h"
+#include "common/intrusive_list.h"
+#include "common/mathutil.h"
+#include "common/memutil.h"
+
+namespace hoard {
+
+/** Header + block-carving logic for one superblock. */
+class Superblock
+{
+  public:
+    /** Number of partial fullness bands; band index 0 is emptiest. */
+    static constexpr int kFullnessBands = 8;
+
+    /** Group index used for completely-full superblocks. */
+    static constexpr int kFullGroup = kFullnessBands;
+
+    /** Total number of group lists a heap keeps per size class. */
+    static constexpr int kGroupCount = kFullnessBands + 1;
+
+    /**
+     * Formats @p memory (S-aligned, @p superblock_bytes long) as a
+     * superblock of @p size_class with @p block_bytes blocks.
+     */
+    static Superblock*
+    create(void* memory, std::size_t superblock_bytes, int size_class,
+           std::uint32_t block_bytes)
+    {
+        HOARD_DCHECK(detail::is_aligned(memory, superblock_bytes));
+        auto* sb = new (memory) Superblock();
+        sb->span_bytes_ = superblock_bytes;
+        sb->reformat(size_class, block_bytes);
+        return sb;
+    }
+
+    /**
+     * Formats @p memory as a dedicated superblock for one huge object of
+     * @p user_bytes; @p total_bytes is the full mapped span.
+     */
+    static Superblock*
+    create_huge(void* memory, std::size_t total_bytes,
+                std::size_t user_bytes)
+    {
+        auto* sb = new (memory) Superblock();
+        sb->span_bytes_ = total_bytes;
+        sb->size_class_ = kHugeClass;
+        sb->block_bytes_ = 0;
+        sb->capacity_ = 1;
+        sb->used_ = 1;
+        sb->huge_user_bytes_ = user_bytes;
+        return sb;
+    }
+
+    /**
+     * Recovers the superblock containing @p p.  @p superblock_bytes must
+     * match the allocator's S.  Checks the magic word, so handing a
+     * foreign pointer to free() fails loudly instead of corrupting.
+     */
+    static Superblock*
+    from_pointer(const void* p, std::size_t superblock_bytes)
+    {
+        auto addr = reinterpret_cast<std::uintptr_t>(p);
+        auto* sb = reinterpret_cast<Superblock*>(
+            detail::align_down(addr, superblock_bytes));
+        if (sb->magic_ != kMagic)
+            HOARD_FATAL("free of pointer %p not from this allocator", p);
+        return sb;
+    }
+
+    /**
+     * Re-carves an empty superblock for a (possibly different) size
+     * class — how the global heap recycles fully-empty superblocks
+     * across classes.  @pre empty().
+     */
+    void
+    reformat(int size_class, std::uint32_t block_bytes)
+    {
+        HOARD_DCHECK(used_ == 0 || magic_ != kMagic);
+        size_class_ = size_class;
+        block_bytes_ = block_bytes;
+        capacity_ = static_cast<std::uint32_t>(
+            (span_bytes_ - header_bytes()) / block_bytes);
+        HOARD_DCHECK(capacity_ >= 2);
+        used_ = 0;
+        bump_ = 0;
+        free_list_ = nullptr;
+        huge_user_bytes_ = 0;
+    }
+
+    /** Takes a free block. @pre !full(). */
+    void*
+    allocate()
+    {
+        HOARD_DCHECK(!full());
+        void* block;
+        if (free_list_ != nullptr) {
+            block = free_list_;
+            free_list_ = *static_cast<void**>(block);
+        } else {
+            block = payload_begin() +
+                    static_cast<std::size_t>(bump_) * block_bytes_;
+            ++bump_;
+        }
+        ++used_;
+        return block;
+    }
+
+    /**
+     * Returns a block.  @p p may point anywhere inside the block (the
+     * aligned-allocation path hands out interior pointers).
+     */
+    void
+    deallocate(void* p)
+    {
+        void* block = block_start(p);
+        HOARD_DCHECK(used_ > 0);
+        *static_cast<void**>(block) = free_list_;
+        free_list_ = block;
+        --used_;
+    }
+
+    /** Start of the block containing @p p. */
+    void*
+    block_start(const void* p) const
+    {
+        auto addr = reinterpret_cast<std::uintptr_t>(p);
+        auto base = reinterpret_cast<std::uintptr_t>(payload_begin());
+        HOARD_DCHECK(addr >= base &&
+                     addr < base + static_cast<std::size_t>(capacity_) *
+                                       block_bytes_);
+        std::size_t index = (addr - base) / block_bytes_;
+        return reinterpret_cast<void*>(base + index * block_bytes_);
+    }
+
+    bool full() const { return used_ == capacity_; }
+    bool empty() const { return used_ == 0; }
+    std::uint32_t used() const { return used_; }
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t block_bytes() const { return block_bytes_; }
+    int size_class() const { return size_class_; }
+    std::size_t span_bytes() const { return span_bytes_; }
+
+    bool huge() const { return size_class_ == kHugeClass; }
+    std::size_t huge_user_bytes() const { return huge_user_bytes_; }
+
+    /** Bytes of payload currently handed out. */
+    std::size_t
+    used_bytes() const
+    {
+        return huge() ? huge_user_bytes_
+                      : static_cast<std::size_t>(used_) * block_bytes_;
+    }
+
+    /**
+     * Fullness group for the heap's segregated lists: completely full
+     * superblocks go to kFullGroup; partial ones to band
+     * floor(used * kFullnessBands / capacity), so band 0 holds the
+     * emptiest.
+     */
+    int
+    fullness_group() const
+    {
+        if (full())
+            return kFullGroup;
+        return static_cast<int>(
+            (static_cast<std::uint64_t>(used_) * kFullnessBands) /
+            capacity_);
+    }
+
+    /** True iff at least fraction @p f of the blocks are free. */
+    bool
+    at_least_fraction_empty(double f) const
+    {
+        return static_cast<double>(capacity_ - used_) >=
+               f * static_cast<double>(capacity_);
+    }
+
+    /// @name Owner heap (atomic: read racily by the free path).
+    /// @{
+    void*
+    owner() const
+    {
+        return owner_.load(std::memory_order_acquire);
+    }
+
+    void
+    set_owner(void* heap)
+    {
+        owner_.store(heap, std::memory_order_release);
+    }
+    /// @}
+
+    /** First byte available for blocks. */
+    char*
+    payload_begin() const
+    {
+        return const_cast<char*>(reinterpret_cast<const char*>(this)) +
+               header_bytes();
+    }
+
+    /** Usable payload given the header. */
+    std::size_t payload_bytes() const { return span_bytes_ - header_bytes(); }
+
+    /** Header size: one cache line multiple, keeps blocks 16-aligned. */
+    static constexpr std::size_t
+    header_bytes()
+    {
+        return detail::align_up(sizeof(Superblock),
+                                detail::kCacheLineBytes);
+    }
+
+    /** Payload bytes for a given S (used to build the size-class table). */
+    static constexpr std::size_t
+    payload_bytes_for(std::size_t superblock_bytes)
+    {
+        return superblock_bytes - header_bytes();
+    }
+
+    /** Intrusive hook: which fullness-group list this superblock is on. */
+    detail::ListNode list_hook;
+
+  private:
+    Superblock() = default;
+
+    static constexpr std::uint32_t kMagic = 0x48524442;  // "HRDB"
+    static constexpr int kHugeClass = -2;
+
+    std::uint32_t magic_ = kMagic;
+    int size_class_ = 0;
+    std::uint32_t block_bytes_ = 0;
+    std::uint32_t capacity_ = 0;
+    std::uint32_t used_ = 0;
+    std::uint32_t bump_ = 0;          ///< next never-allocated block index
+    void* free_list_ = nullptr;       ///< LIFO of freed blocks
+    std::atomic<void*> owner_{nullptr};
+    std::size_t span_bytes_ = 0;
+    std::size_t huge_user_bytes_ = 0;
+};
+
+using SuperblockList =
+    detail::IntrusiveList<Superblock, &Superblock::list_hook>;
+
+}  // namespace hoard
+
+#endif  // HOARD_CORE_SUPERBLOCK_H_

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Latency histogram with log-spaced buckets and percentile queries.
+ *
+ * Used by the latency table (TBL-latency): per-operation virtual-cycle
+ * latencies are recorded per allocator, and the percentile spread —
+ * especially the tail — exposes what averages hide: a one-lock
+ * allocator's p99 explodes under contention long before its mean does.
+ */
+
+#ifndef HOARD_METRICS_LATENCY_H_
+#define HOARD_METRICS_LATENCY_H_
+
+#include <array>
+#include <cstdint>
+
+namespace hoard {
+namespace metrics {
+
+/**
+ * Log2-bucketed histogram of non-negative samples.  Bucket i counts
+ * samples whose value's floor(log2) is i (bucket 0 holds 0 and 1).
+ * Percentile queries return the geometric midpoint of the bucket, so
+ * results are exact to within a factor of sqrt(2) — plenty for
+ * order-of-magnitude tail comparisons.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr int kBuckets = 48;
+
+    void
+    record(std::uint64_t value)
+    {
+        ++buckets_[static_cast<std::size_t>(bucket_for(value))];
+        ++count_;
+        sum_ += value;
+        if (value > max_)
+            max_ = value;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return count_ == 0
+                   ? 0.0
+                   : static_cast<double>(sum_) /
+                         static_cast<double>(count_);
+    }
+
+    /** Value at percentile @p p in [0, 100]. */
+    double
+    percentile(double p) const
+    {
+        if (count_ == 0)
+            return 0.0;
+        auto target = static_cast<std::uint64_t>(
+            p / 100.0 * static_cast<double>(count_));
+        if (target >= count_)
+            target = count_ - 1;
+        std::uint64_t seen = 0;
+        for (int i = 0; i < kBuckets; ++i) {
+            seen += buckets_[static_cast<std::size_t>(i)];
+            if (seen > target)
+                return bucket_mid(i);
+        }
+        return bucket_mid(kBuckets - 1);
+    }
+
+    /** Merges another histogram into this one. */
+    void
+    merge(const LatencyHistogram& other)
+    {
+        for (int i = 0; i < kBuckets; ++i)
+            buckets_[static_cast<std::size_t>(i)] +=
+                other.buckets_[static_cast<std::size_t>(i)];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+
+  private:
+    static int
+    bucket_for(std::uint64_t value)
+    {
+        if (value <= 1)
+            return 0;
+        int b = 63 - __builtin_clzll(value);
+        return b < kBuckets ? b : kBuckets - 1;
+    }
+
+    static double
+    bucket_mid(int bucket)
+    {
+        if (bucket == 0)
+            return 1.0;
+        double lo = static_cast<double>(std::uint64_t{1} << bucket);
+        return lo * 1.41421356;  // geometric midpoint of [2^b, 2^b+1)
+    }
+
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+}  // namespace metrics
+}  // namespace hoard
+
+#endif  // HOARD_METRICS_LATENCY_H_

@@ -1,0 +1,110 @@
+#include "metrics/speedup.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/failure.h"
+#include "metrics/table.h"
+#include "policy/sim_policy.h"
+#include "sim/machine.h"
+
+namespace hoard {
+namespace metrics {
+
+SpeedupResult
+run_speedup_experiment(const std::string& title,
+                       const SpeedupOptions& options,
+                       const SimWorkloadBody& body)
+{
+    SpeedupResult result;
+    result.title = title;
+    result.options = options;
+    result.cells.resize(options.procs.size());
+
+    for (std::size_t pi = 0; pi < options.procs.size(); ++pi)
+        result.cells[pi].resize(options.kinds.size());
+
+    for (std::size_t ki = 0; ki < options.kinds.size(); ++ki) {
+        std::uint64_t base_makespan = 0;
+        for (std::size_t pi = 0; pi < options.procs.size(); ++pi) {
+            const int procs = options.procs[pi];
+            Config config = options.base_config;
+            config.heap_count = procs;
+
+            auto allocator = baselines::make_allocator<SimPolicy>(
+                options.kinds[ki], config);
+
+            const int nthreads = procs * options.threads_per_proc;
+            sim::Machine machine(procs, options.costs, options.quantum);
+            for (int tid = 0; tid < nthreads; ++tid) {
+                machine.spawn(tid % procs, tid,
+                              [&body, &allocator, tid, nthreads] {
+                                  body(*allocator, tid, nthreads);
+                              });
+            }
+            std::uint64_t makespan = machine.run();
+
+            SpeedupCell& cell = result.cells[pi][ki];
+            cell.makespan = makespan;
+            cell.lock_contentions = machine.lock_contentions();
+            cell.remote_transfers = machine.cache().remote_transfers();
+            if (procs == 1)
+                base_makespan = makespan;
+            HOARD_CHECK(base_makespan != 0);
+            cell.speedup = static_cast<double>(base_makespan) /
+                           static_cast<double>(makespan);
+        }
+    }
+    return result;
+}
+
+void
+SpeedupResult::print(std::ostream& os, bool diagnostics) const
+{
+    os << "# " << title << "\n";
+    os << "# speedup(P) = virtual makespan at P=1 / makespan at P,"
+          " per allocator\n";
+
+    std::vector<std::string> header = {"P"};
+    for (auto kind : options.kinds)
+        header.emplace_back(baselines::to_string(kind));
+    Table table(header);
+
+    for (std::size_t pi = 0; pi < options.procs.size(); ++pi) {
+        table.begin_row();
+        table.cell_u64(static_cast<unsigned long long>(options.procs[pi]));
+        for (std::size_t ki = 0; ki < options.kinds.size(); ++ki)
+            table.cell_double(cells[pi][ki].speedup);
+    }
+    table.print(os);
+
+    if (diagnostics) {
+        os << "\n# diagnostics: makespan / contended locks / remote line"
+              " transfers\n";
+        std::vector<std::string> dheader = {"P"};
+        for (auto kind : options.kinds)
+            dheader.emplace_back(baselines::to_string(kind));
+        Table dtable(dheader);
+        for (std::size_t pi = 0; pi < options.procs.size(); ++pi) {
+            dtable.begin_row();
+            dtable.cell_u64(
+                static_cast<unsigned long long>(options.procs[pi]));
+            for (std::size_t ki = 0; ki < options.kinds.size(); ++ki) {
+                const SpeedupCell& c = cells[pi][ki];
+                char buf[96];
+                std::snprintf(buf, sizeof(buf), "%llu/%llu/%llu",
+                              static_cast<unsigned long long>(c.makespan),
+                              static_cast<unsigned long long>(
+                                  c.lock_contentions),
+                              static_cast<unsigned long long>(
+                                  c.remote_transfers));
+                dtable.cell(buf);
+            }
+        }
+        dtable.print(os);
+    }
+    os.flush();
+}
+
+}  // namespace metrics
+}  // namespace hoard

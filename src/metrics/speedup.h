@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Speedup-figure harness.
+ *
+ * Regenerates one paper figure: for each allocator and each processor
+ * count P, builds a fresh virtual-time machine and a fresh allocator
+ * configured with P heaps, runs one workload thread per processor, and
+ * reports speedup = makespan(1) / makespan(P) per allocator — exactly
+ * the y-axis of the paper's figures (each allocator normalized to its
+ * own single-processor run).
+ */
+
+#ifndef HOARD_METRICS_SPEEDUP_H_
+#define HOARD_METRICS_SPEEDUP_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "core/config.h"
+#include "sim/cost_model.h"
+
+namespace hoard {
+namespace metrics {
+
+/**
+ * Workload body bound to SimPolicy: (allocator, tid, nthreads).
+ * The harness supplies a fresh allocator per cell.
+ */
+using SimWorkloadBody =
+    std::function<void(Allocator& allocator, int tid, int nthreads)>;
+
+/** Options for one speedup experiment. */
+struct SpeedupOptions
+{
+    std::vector<int> procs = {1, 2, 4, 6, 8, 10, 12, 14};
+    std::vector<baselines::AllocatorKind> kinds{
+        baselines::kAllKinds.begin(), baselines::kAllKinds.end()};
+    sim::CostModel costs;
+    std::uint64_t quantum = 200;
+    Config base_config;  ///< heap_count is overridden with P per cell
+
+    /**
+     * Simulated threads per processor (default 1, the paper's setup).
+     * With more, threads hash onto the P heaps — the oversubscription
+     * regime the paper's thread-to-heap mapping is designed for.
+     */
+    int threads_per_proc = 1;
+};
+
+/** One measured cell. */
+struct SpeedupCell
+{
+    std::uint64_t makespan = 0;
+    double speedup = 0.0;
+    std::uint64_t lock_contentions = 0;
+    std::uint64_t remote_transfers = 0;
+};
+
+/** Results of one experiment: cells[proc_index][kind_index]. */
+struct SpeedupResult
+{
+    std::string title;
+    SpeedupOptions options;
+    std::vector<std::vector<SpeedupCell>> cells;
+
+    /** Speedup for (procs index, kind index). */
+    const SpeedupCell&
+    at(std::size_t proc_idx, std::size_t kind_idx) const
+    {
+        return cells[proc_idx][kind_idx];
+    }
+
+    /** Prints the figure as a table (and per-cell diagnostics). */
+    void print(std::ostream& os, bool diagnostics = false) const;
+};
+
+/** Runs the experiment; see file comment. */
+SpeedupResult run_speedup_experiment(const std::string& title,
+                                     const SpeedupOptions& options,
+                                     const SimWorkloadBody& body);
+
+}  // namespace metrics
+}  // namespace hoard
+
+#endif  // HOARD_METRICS_SPEEDUP_H_

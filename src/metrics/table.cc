@@ -1,0 +1,96 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hoard {
+namespace metrics {
+
+void
+Table::cell_u64(unsigned long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", v);
+    cell(buf);
+}
+
+void
+Table::cell_double(double v, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    cell(buf);
+}
+
+void
+Table::cell_bytes(unsigned long long bytes)
+{
+    cell(format_bytes(bytes));
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& v = c < row.size() ? row[c] : std::string();
+            os << v;
+            if (c + 1 < widths.size())
+                os << std::string(widths[c] - v.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_)
+        emit_row(row);
+}
+
+void
+Table::print_csv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+std::string
+format_bytes(unsigned long long bytes)
+{
+    const char* units[] = {"B", "KiB", "MiB", "GiB"};
+    double v = static_cast<double>(bytes);
+    int unit = 0;
+    while (v >= 1024.0 && unit < 3) {
+        v /= 1024.0;
+        ++unit;
+    }
+    char buf[48];
+    if (unit == 0)
+        std::snprintf(buf, sizeof(buf), "%llu B", bytes);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[unit]);
+    return buf;
+}
+
+}  // namespace metrics
+}  // namespace hoard

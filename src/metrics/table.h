@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Aligned text-table writer.  Every bench binary prints its paper table
+ * or figure through this, so all outputs share one format that is easy
+ * to diff and to paste next to the paper.
+ */
+
+#ifndef HOARD_METRICS_TABLE_H_
+#define HOARD_METRICS_TABLE_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hoard {
+namespace metrics {
+
+/** Rectangular table of strings with a header row, printed aligned. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    /** Starts a new row. */
+    void begin_row() { rows_.emplace_back(); }
+
+    /** Appends a cell to the current row. */
+    void
+    cell(std::string value)
+    {
+        rows_.back().push_back(std::move(value));
+    }
+
+    /** Convenience: formatted numeric cells. */
+    void cell_u64(unsigned long long v);
+    void cell_double(double v, int precision = 2);
+    void cell_bytes(unsigned long long bytes);
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return header_.size(); }
+
+    /** Prints with per-column alignment and a separator rule. */
+    void print(std::ostream& os) const;
+
+    /** Prints as comma-separated values (machine-readable). */
+    void print_csv(std::ostream& os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Human-readable byte count ("12.3 MiB"). */
+std::string format_bytes(unsigned long long bytes);
+
+}  // namespace metrics
+}  // namespace hoard
+
+#endif  // HOARD_METRICS_TABLE_H_

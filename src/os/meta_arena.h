@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Bump arena for allocator metadata.
+ *
+ * Allocator-internal bookkeeping (heap tables, size-class tables) must not
+ * recurse into any malloc, so it is carved out of provider-mapped pages by
+ * this simple monotonic arena.  Freed only wholesale at arena destruction.
+ */
+
+#ifndef HOARD_OS_META_ARENA_H_
+#define HOARD_OS_META_ARENA_H_
+
+#include <cstddef>
+#include <mutex>
+#include <new>
+
+#include "common/failure.h"
+#include "common/mathutil.h"
+#include "os/page_provider.h"
+
+namespace hoard {
+namespace os {
+
+/** Monotonic allocator for internal metadata; thread-safe. */
+class MetaArena
+{
+  public:
+    explicit MetaArena(PageProvider& provider,
+                       std::size_t chunk_bytes = 64 * 1024)
+        : provider_(provider), chunk_bytes_(chunk_bytes)
+    {}
+
+    ~MetaArena() { release_all(); }
+
+    MetaArena(const MetaArena&) = delete;
+    MetaArena& operator=(const MetaArena&) = delete;
+
+    /** Allocates @p bytes with @p align alignment; never returns null. */
+    void*
+    allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t))
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        cursor_ = detail::align_up(cursor_, align);
+        if (current_ == nullptr || cursor_ + bytes > chunk_limit_)
+            grow(bytes, align);
+        void* p = reinterpret_cast<void*>(cursor_);
+        cursor_ += bytes;
+        allocated_ += bytes;
+        return p;
+    }
+
+    /** Constructs a T in arena storage. */
+    template <typename T, typename... Args>
+    T*
+    make(Args&&... args)
+    {
+        void* p = allocate(sizeof(T), alignof(T));
+        return new (p) T(static_cast<Args&&>(args)...);
+    }
+
+    /** Constructs an array of @p n default-initialized Ts. */
+    template <typename T>
+    T*
+    make_array(std::size_t n)
+    {
+        void* p = allocate(sizeof(T) * n, alignof(T));
+        T* arr = static_cast<T*>(p);
+        for (std::size_t i = 0; i < n; ++i)
+            new (arr + i) T();
+        return arr;
+    }
+
+    /** Total payload bytes handed out. */
+    std::size_t allocated_bytes() const { return allocated_; }
+
+  private:
+    struct ChunkHeader
+    {
+        ChunkHeader* next;
+        std::size_t bytes;
+    };
+
+    void
+    grow(std::size_t bytes, std::size_t align)
+    {
+        std::size_t need =
+            detail::align_up(sizeof(ChunkHeader) + bytes + align,
+                             chunk_bytes_);
+        void* chunk = provider_.map(need, alignof(std::max_align_t));
+        HOARD_CHECK(chunk != nullptr);
+        auto* hdr = static_cast<ChunkHeader*>(chunk);
+        hdr->next = chunks_;
+        hdr->bytes = need;
+        chunks_ = hdr;
+        current_ = chunk;
+        cursor_ = reinterpret_cast<std::uintptr_t>(chunk) +
+                  sizeof(ChunkHeader);
+        chunk_limit_ = reinterpret_cast<std::uintptr_t>(chunk) + need;
+    }
+
+    void
+    release_all()
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        while (chunks_ != nullptr) {
+            ChunkHeader* next = chunks_->next;
+            provider_.unmap(chunks_, chunks_->bytes);
+            chunks_ = next;
+        }
+        current_ = nullptr;
+    }
+
+    PageProvider& provider_;
+    const std::size_t chunk_bytes_;
+    std::mutex mutex_;
+    ChunkHeader* chunks_ = nullptr;
+    void* current_ = nullptr;
+    std::uintptr_t cursor_ = 0;
+    std::uintptr_t chunk_limit_ = 0;
+    std::size_t allocated_ = 0;
+};
+
+}  // namespace os
+}  // namespace hoard
+
+#endif  // HOARD_OS_META_ARENA_H_

@@ -1,0 +1,75 @@
+#include "os/page_provider.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+#include "common/failure.h"
+#include "common/mathutil.h"
+
+namespace hoard {
+namespace os {
+
+namespace {
+
+std::size_t
+page_size()
+{
+    static const std::size_t ps =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    return ps;
+}
+
+}  // namespace
+
+void*
+MmapPageProvider::map(std::size_t bytes, std::size_t align)
+{
+    HOARD_CHECK(bytes > 0);
+    HOARD_CHECK(detail::is_pow2(align));
+
+    const std::size_t ps = page_size();
+    bytes = detail::align_up(bytes, ps);
+    if (align < ps)
+        align = ps;
+
+    // Over-map so an aligned sub-range of the right size must exist,
+    // then trim the misaligned head and the surplus tail.
+    const std::size_t span = bytes + align - ps;
+    void* raw = ::mmap(nullptr, span, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (raw == MAP_FAILED)
+        return nullptr;
+
+    auto base = reinterpret_cast<std::uintptr_t>(raw);
+    std::uintptr_t aligned = detail::align_up(base, align);
+
+    if (std::size_t head = aligned - base; head != 0)
+        ::munmap(raw, head);
+    if (std::size_t tail = (base + span) - (aligned + bytes); tail != 0)
+        ::munmap(reinterpret_cast<void*>(aligned + bytes), tail);
+
+    gauge_.add(bytes);
+    return reinterpret_cast<void*>(aligned);
+}
+
+void
+MmapPageProvider::unmap(void* p, std::size_t bytes)
+{
+    HOARD_CHECK(p != nullptr);
+    bytes = detail::align_up(bytes, page_size());
+    int rc = ::munmap(p, bytes);
+    HOARD_CHECK(rc == 0);
+    gauge_.sub(bytes);
+}
+
+MmapPageProvider&
+default_page_provider()
+{
+    static MmapPageProvider provider;
+    return provider;
+}
+
+}  // namespace os
+}  // namespace hoard

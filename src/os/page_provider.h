@@ -1,0 +1,71 @@
+/**
+ * @file
+ * OS page substrate: aligned chunk mapping.
+ *
+ * Every superblock in this system lives at an S-aligned address so that
+ * `block -> superblock` is a single mask (paper §4.1 stores a pointer per
+ * block; alignment gives us the same lookup with zero per-block header).
+ * The provider maps chunks with that alignment guarantee and accounts for
+ * the bytes currently mapped.
+ *
+ * All allocators (Hoard and the baselines) draw memory exclusively from a
+ * PageProvider, so the os_bytes gauge is the ground truth for the memory
+ * consumption tables.
+ */
+
+#ifndef HOARD_OS_PAGE_PROVIDER_H_
+#define HOARD_OS_PAGE_PROVIDER_H_
+
+#include <cstddef>
+
+#include "common/stats.h"
+
+namespace hoard {
+namespace os {
+
+/** Abstract source of aligned memory chunks. */
+class PageProvider
+{
+  public:
+    virtual ~PageProvider() = default;
+
+    /**
+     * Maps @p bytes of zeroed memory aligned to @p align (a power of two).
+     * @return the chunk, or nullptr when the system is out of memory.
+     */
+    virtual void* map(std::size_t bytes, std::size_t align) = 0;
+
+    /** Returns a chunk previously obtained from map() with same size. */
+    virtual void unmap(void* p, std::size_t bytes) = 0;
+
+    /** Bytes currently mapped through this provider. */
+    virtual std::size_t mapped_bytes() const = 0;
+
+    /** High-water mark of mapped_bytes(). */
+    virtual std::size_t peak_mapped_bytes() const = 0;
+};
+
+/**
+ * mmap-backed provider.  Alignment is produced by over-mapping by
+ * align-1 bytes and trimming the misaligned head/tail, so no memory is
+ * wasted beyond the request.
+ */
+class MmapPageProvider final : public PageProvider
+{
+  public:
+    void* map(std::size_t bytes, std::size_t align) override;
+    void unmap(void* p, std::size_t bytes) override;
+    std::size_t mapped_bytes() const override { return gauge_.current(); }
+    std::size_t peak_mapped_bytes() const override { return gauge_.peak(); }
+
+  private:
+    detail::Gauge gauge_;
+};
+
+/** Process-wide default provider (one per process is plenty). */
+MmapPageProvider& default_page_provider();
+
+}  // namespace os
+}  // namespace hoard
+
+#endif  // HOARD_OS_PAGE_PROVIDER_H_

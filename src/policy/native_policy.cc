@@ -1,0 +1,40 @@
+#include "policy/native_policy.h"
+
+#include <atomic>
+
+namespace hoard {
+
+namespace {
+
+std::atomic<int> g_next_index{0};
+thread_local int t_index = -1;
+
+}  // namespace
+
+int
+ThreadRegistry::index()
+{
+    if (t_index < 0)
+        t_index = g_next_index.fetch_add(1, std::memory_order_relaxed);
+    return t_index;
+}
+
+void
+ThreadRegistry::rebind(int index)
+{
+    t_index = index;
+    // Keep count() an upper bound over every index ever bound.
+    int seen = g_next_index.load(std::memory_order_relaxed);
+    while (index >= seen &&
+           !g_next_index.compare_exchange_weak(seen, index + 1,
+                                               std::memory_order_relaxed)) {
+    }
+}
+
+int
+ThreadRegistry::count()
+{
+    return g_next_index.load(std::memory_order_relaxed);
+}
+
+}  // namespace hoard

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Native execution policy: real threads, real mutexes, no cost modeling.
+ *
+ * The allocator and workload templates are instantiated against a Policy
+ * that supplies the mutex type, the thread-to-index mapping, and the cost
+ * hooks.  Under NativePolicy the hooks vanish, so the native build is a
+ * genuine thread-safe allocator with zero simulation overhead.
+ */
+
+#ifndef HOARD_POLICY_NATIVE_POLICY_H_
+#define HOARD_POLICY_NATIVE_POLICY_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "policy/cost_kind.h"
+
+namespace hoard {
+
+/**
+ * Registry mapping OS threads to small dense indices.  Indices are
+ * assigned on first use and may be rebound (thread churn in workloads).
+ */
+class ThreadRegistry
+{
+  public:
+    /** Index of the calling thread, assigning one if needed. */
+    static int index();
+
+    /** Rebinds the calling thread's index (models a fresh thread). */
+    static void rebind(int index);
+
+    /** Highest index assigned so far plus one. */
+    static int count();
+};
+
+/** One-shot broadcast event for real threads. */
+class NativeEvent
+{
+  public:
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return set_; });
+    }
+
+    void
+    signal()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            set_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    bool
+    is_set() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return set_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool set_ = false;
+};
+
+/** Execution policy for real threads. */
+struct NativePolicy
+{
+    using Mutex = std::mutex;
+    using Event = NativeEvent;
+
+    /** Computation charge: free under native execution. */
+    static void work(std::uint64_t /* cycles */) {}
+
+    /** Symbolic allocator-event charge: free under native execution. */
+    static void work(CostKind /* kind */) {}
+
+    /** Memory-access charge: free under native execution. */
+    static void touch(const void* /* p */, std::size_t /* bytes */,
+                      bool /* write */)
+    {}
+
+    static int thread_index() { return ThreadRegistry::index(); }
+    static void rebind_thread_index(int idx) { ThreadRegistry::rebind(idx); }
+};
+
+}  // namespace hoard
+
+#endif  // HOARD_POLICY_NATIVE_POLICY_H_

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Simulated execution policy: the same allocator code, but mutexes are
+ * virtual-time mutexes and every cost hook charges cycles on the current
+ * Machine.  Instantiating HoardAllocator<SimPolicy> is what turns the
+ * native allocator into a measurable subject on the simulated
+ * multiprocessor.
+ */
+
+#ifndef HOARD_POLICY_SIM_POLICY_H_
+#define HOARD_POLICY_SIM_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "policy/cost_kind.h"
+#include "sim/machine.h"
+#include "sim/virtual_event.h"
+#include "sim/virtual_mutex.h"
+
+namespace hoard {
+
+/** Execution policy for simulated threads. @see sim::Machine */
+struct SimPolicy
+{
+    using Mutex = sim::VirtualMutex;
+    using Event = sim::VirtualEvent;
+
+    static void
+    work(std::uint64_t cycles)
+    {
+        sim::Machine::current()->charge(cycles);
+    }
+
+    static void
+    work(CostKind kind)
+    {
+        sim::Machine* m = sim::Machine::current();
+        const sim::CostModel& c = m->costs();
+        std::uint64_t cycles = 0;
+        switch (kind) {
+          case CostKind::malloc_base:
+            cycles = c.malloc_base;
+            break;
+          case CostKind::free_base:
+            cycles = c.free_base;
+            break;
+          case CostKind::list_op:
+            cycles = c.list_op;
+            break;
+          case CostKind::superblock_init:
+            cycles = c.superblock_init;
+            break;
+          case CostKind::os_map:
+            cycles = c.os_map;
+            break;
+          case CostKind::transfer:
+            cycles = c.transfer;
+            break;
+        }
+        m->charge(cycles);
+    }
+
+    static void
+    touch(const void* p, std::size_t bytes, bool write)
+    {
+        sim::Machine::current()->touch(p, bytes, write);
+    }
+
+    static int
+    thread_index()
+    {
+        return sim::Machine::current()->current_tid();
+    }
+
+    static void
+    rebind_thread_index(int idx)
+    {
+        sim::Machine::current()->rebind_tid(idx);
+    }
+};
+
+}  // namespace hoard
+
+#endif  // HOARD_POLICY_SIM_POLICY_H_

@@ -1,0 +1,70 @@
+#include "sim/fiber.h"
+
+#include <cstdint>
+
+#include "common/failure.h"
+
+namespace hoard {
+namespace sim {
+
+Fiber::Fiber() : host_wrapper_(true)
+{
+    // Context is filled in by the first swapcontext() away from the host.
+}
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : stack_(new char[stack_bytes]), body_(std::move(body))
+{
+    int rc = ::getcontext(&context_);
+    HOARD_CHECK(rc == 0);
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stack_bytes;
+    context_.uc_link = nullptr;
+
+    // makecontext passes ints only; split the this-pointer.
+    auto self = reinterpret_cast<std::uintptr_t>(this);
+    ::makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                  2, static_cast<unsigned>(self >> 32),
+                  static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() = default;
+
+void
+Fiber::trampoline(unsigned hi, unsigned lo)
+{
+    auto self = reinterpret_cast<Fiber*>(
+        (static_cast<std::uintptr_t>(hi) << 32) | lo);
+    self->run_body();
+    // Returning from a makecontext body with uc_link == nullptr exits the
+    // process, so the body must never return here.
+    HOARD_PANIC("fiber body returned without switching away");
+}
+
+void
+Fiber::run_body()
+{
+    body_();
+    finished_ = true;
+    // The scheduler (Machine::run) switches finished fibers away; the
+    // body_ callable is expected to end with a switch back to the
+    // scheduler.  Machine arranges that via its worker wrapper.
+    HOARD_PANIC("fiber finished without yielding to the scheduler");
+}
+
+void
+Fiber::resume_from(Fiber& from)
+{
+    HOARD_CHECK(!finished_);
+    int rc = ::swapcontext(&from.context_, &context_);
+    HOARD_CHECK(rc == 0);
+}
+
+std::unique_ptr<Fiber>
+Fiber::wrap_host()
+{
+    return std::unique_ptr<Fiber>(new Fiber());
+}
+
+}  // namespace sim
+}  // namespace hoard

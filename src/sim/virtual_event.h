@@ -1,0 +1,78 @@
+/**
+ * @file
+ * One-shot event for simulated threads (the virtual-time analogue of a
+ * condition-variable broadcast).  Workloads use it for setup handoffs,
+ * e.g. passive-false's "main thread distributes one object to each
+ * worker before the measured loop starts".
+ */
+
+#ifndef HOARD_SIM_VIRTUAL_EVENT_H_
+#define HOARD_SIM_VIRTUAL_EVENT_H_
+
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace hoard {
+namespace sim {
+
+/** Once signaled, stays signaled; waiters resume at the signal time. */
+class VirtualEvent
+{
+  public:
+    VirtualEvent() = default;
+    VirtualEvent(const VirtualEvent&) = delete;
+    VirtualEvent& operator=(const VirtualEvent&) = delete;
+
+    /** Blocks the calling simulated thread until signal(). */
+    void
+    wait()
+    {
+        Machine* m = Machine::current();
+        if (set_) {
+            // Already signaled: just synchronize the clock.
+            SimThread* self = m->running();
+            m->commit(self);
+            if (self->clock() < signal_time_)
+                jump_clock(m, self);
+            return;
+        }
+        waiters_.push_back(m->running());
+        m->block_running();
+    }
+
+    /** Signals; every current and future waiter resumes. */
+    void
+    signal()
+    {
+        Machine* m = Machine::current();
+        SimThread* self = m->running();
+        m->commit(self);
+        set_ = true;
+        signal_time_ = self->clock();
+        for (SimThread* t : waiters_)
+            m->wake(t, signal_time_);
+        waiters_.clear();
+    }
+
+    bool is_set() const { return set_; }
+
+  private:
+    void
+    jump_clock(Machine* m, SimThread* self)
+    {
+        // A thread that waits after the signal simply advances to the
+        // signal time (it could not have observed the event earlier).
+        m->charge(signal_time_ - self->clock());
+        m->commit(self);
+    }
+
+    bool set_ = false;
+    std::uint64_t signal_time_ = 0;
+    std::vector<SimThread*> waiters_;
+};
+
+}  // namespace sim
+}  // namespace hoard
+
+#endif  // HOARD_SIM_VIRTUAL_EVENT_H_

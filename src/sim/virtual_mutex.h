@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Mutex for simulated threads, with std::mutex-compatible API so the
+ * templated allocator code locks it through std::lock_guard unchanged.
+ *
+ * Contention is modeled in virtual time: a blocked thread's clock jumps
+ * to the releaser's clock plus a handoff penalty, and the lock word's
+ * cache line is charged through the cache model, so a single hot lock
+ * (the serial allocator) serializes the whole simulated machine exactly
+ * as the paper describes.
+ */
+
+#ifndef HOARD_SIM_VIRTUAL_MUTEX_H_
+#define HOARD_SIM_VIRTUAL_MUTEX_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "common/failure.h"
+#include "sim/machine.h"
+
+namespace hoard {
+namespace sim {
+
+/** FIFO mutex living in virtual time. */
+class VirtualMutex
+{
+  public:
+    VirtualMutex() = default;
+    VirtualMutex(const VirtualMutex&) = delete;
+    VirtualMutex& operator=(const VirtualMutex&) = delete;
+
+    /** Acquires, blocking the simulated thread in virtual time. */
+    void
+    lock()
+    {
+        Machine* m = Machine::current();
+        SimThread* self = m->running();
+        m->charge(m->costs().lock_base);
+        m->touch(this, sizeof(std::uint64_t), true);
+        if (holder_ == nullptr) {
+            holder_ = self;
+            return;
+        }
+        ++contentions_;
+        m->note_contention();
+        waiters_.push_back(self);
+        m->block_running();
+        // wake() handed us the lock before readying us.
+        HOARD_DCHECK(holder_ == self);
+    }
+
+    /** Non-blocking acquire. */
+    bool
+    try_lock()
+    {
+        Machine* m = Machine::current();
+        m->charge(m->costs().lock_base);
+        m->touch(this, sizeof(std::uint64_t), true);
+        if (holder_ != nullptr)
+            return false;
+        holder_ = m->running();
+        return true;
+    }
+
+    /** Releases; hands off to the oldest waiter if any. */
+    void
+    unlock()
+    {
+        Machine* m = Machine::current();
+        SimThread* self = m->running();
+        HOARD_DCHECK(holder_ == self);
+        m->charge(m->costs().lock_base);
+        if (waiters_.empty()) {
+            holder_ = nullptr;
+            return;
+        }
+        SimThread* next = waiters_.front();
+        waiters_.pop_front();
+        holder_ = next;
+        // The waiter resumes no earlier than our release, paying the
+        // handoff (lock line transfer + wakeup) plus an invalidation
+        // term for every other thread still spinning on the line — this
+        // is what bends a one-lock allocator's curve *down* as P grows.
+        m->commit(self);
+        std::uint64_t handoff =
+            m->costs().lock_handoff +
+            m->costs().lock_waiter_overhead * waiters_.size();
+        m->wake(next, self->clock() + handoff);
+    }
+
+    /** Times this mutex was found held at lock(). */
+    std::uint64_t contentions() const { return contentions_; }
+
+  private:
+    SimThread* holder_ = nullptr;
+    std::deque<SimThread*> waiters_;
+    std::uint64_t contentions_ = 0;
+};
+
+}  // namespace sim
+}  // namespace hoard
+
+#endif  // HOARD_SIM_VIRTUAL_MUTEX_H_

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * BEMengine proxy (paper Table 2).
+ *
+ * BEMengine is a proprietary boundary-element-method solver; this proxy
+ * reproduces its allocator-visible behavior per the paper's description:
+ * solver phases that (1) bulk-allocate a mix of many small element
+ * records and a few large panel matrices, (2) sweep over them writing
+ * (matrix assembly), (3) free the elements in a scattered order and the
+ * panels at phase end.  Allocation is a smaller fraction of the work
+ * than in the micro-benchmarks, so all allocators scale somewhat — the
+ * paper's point is that Hoard does not get in the way.
+ */
+
+#ifndef HOARD_WORKLOADS_BEMSIM_H_
+#define HOARD_WORKLOADS_BEMSIM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/allocator.h"
+#include "workloads/workload_util.h"
+
+namespace hoard {
+namespace workloads {
+
+/** Parameters for the BEM solver proxy. */
+struct BemSimParams
+{
+    int nthreads = 4;
+    int phases = 3;                   ///< solver iterations
+    /**
+     * Total matrix panels in the problem; threads take panels
+     * round-robin so total work is independent of nthreads.
+     */
+    int total_panels = 16;
+    std::size_t panel_bytes = 32768;  ///< > S/2: exercises the huge path
+    int elements_per_panel = 400;     ///< small records per panel
+    std::size_t min_element_bytes = 24;
+    std::size_t max_element_bytes = 256;
+    std::uint64_t assembly_work = 40; ///< compute per element visit
+    std::uint64_t seed = 0xbe;
+};
+
+/** Body run by thread @p tid: panels tid, tid+n, tid+2n, ... */
+template <typename Policy>
+void
+bemsim_thread(Allocator& allocator, const BemSimParams& params, int tid)
+{
+    Policy::rebind_thread_index(tid);
+    detail::Rng rng = thread_rng(params.seed, tid);
+
+    int my_panels = 0;
+    for (int p = tid; p < params.total_panels; p += params.nthreads)
+        ++my_panels;
+
+    for (int phase = 0; phase < params.phases; ++phase) {
+        std::vector<void*> panels;
+        std::vector<void*> elements;
+        panels.reserve(static_cast<std::size_t>(my_panels));
+        elements.reserve(static_cast<std::size_t>(
+            my_panels * params.elements_per_panel));
+
+        // (1) Discretization: allocate panels and their elements.
+        for (int p = 0; p < my_panels; ++p) {
+            void* panel = allocator.allocate(params.panel_bytes);
+            write_memory<Policy>(panel, params.panel_bytes);
+            panels.push_back(panel);
+            for (int e = 0; e < params.elements_per_panel; ++e) {
+                std::size_t bytes = rng.range(params.min_element_bytes,
+                                              params.max_element_bytes);
+                void* elem = allocator.allocate(bytes);
+                write_memory<Policy>(elem, bytes);
+                elements.push_back(elem);
+            }
+        }
+
+        // (2) Assembly: sweep elements, writing back into them.
+        for (void* elem : elements) {
+            Policy::work(params.assembly_work);
+            write_memory<Policy>(elem, params.min_element_bytes, 0x5a);
+        }
+
+        // (3) Teardown: elements in scattered order, then panels.
+        for (std::size_t i = elements.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(rng.below(i));
+            std::swap(elements[i - 1], elements[j]);
+        }
+        for (void* elem : elements)
+            allocator.deallocate(elem);
+        for (void* panel : panels)
+            allocator.deallocate(panel);
+    }
+}
+
+}  // namespace workloads
+}  // namespace hoard
+
+#endif  // HOARD_WORKLOADS_BEMSIM_H_

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * active-false and passive-false (paper Table 2; the cache-thrash /
+ * cache-scratch pair in the Hoard distribution).
+ *
+ * active-false: each thread loops { allocate a small object, write it
+ * many times, free it }.  An allocator that carves one cache line across
+ * threads *actively induces* false sharing and the per-write line
+ * ping-pong destroys scaling.
+ *
+ * passive-false: the main thread allocates one small object per worker
+ * and hands it over; each worker frees the gift and then runs the
+ * active-false loop.  Allocators that let the freed line-mates be reused
+ * by other threads *passively* inherit false sharing from the program's
+ * handoff.
+ */
+
+#ifndef HOARD_WORKLOADS_FALSE_SHARING_H_
+#define HOARD_WORKLOADS_FALSE_SHARING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/allocator.h"
+#include "workloads/workload_util.h"
+
+namespace hoard {
+namespace workloads {
+
+/** Parameters shared by both false-sharing benchmarks. */
+struct FalseSharingParams
+{
+    int nthreads = 4;
+    int total_objects = 1200;     ///< alloc/free rounds, split over threads
+    int writes_per_object = 600;  ///< hammering between alloc and free
+    std::size_t object_bytes = 8;
+
+    int
+    objects_per_thread() const
+    {
+        return total_objects / nthreads;
+    }
+};
+
+/** active-false body run by thread @p tid. */
+template <typename Policy>
+void
+active_false_thread(Allocator& allocator, const FalseSharingParams& params,
+                    int tid)
+{
+    Policy::rebind_thread_index(tid);
+    const int rounds = params.objects_per_thread();
+    for (int i = 0; i < rounds; ++i) {
+        void* p = allocator.allocate(params.object_bytes);
+        hammer_byte<Policy>(p, params.writes_per_object);
+        allocator.deallocate(p);
+    }
+}
+
+/** Shared setup state for passive-false. */
+template <typename Policy>
+struct PassiveFalseState
+{
+    explicit PassiveFalseState(int nthreads)
+        : gifts(static_cast<std::size_t>(nthreads), nullptr)
+    {}
+
+    std::vector<void*> gifts;       ///< one object per worker, from tid 0
+    typename Policy::Event ready;   ///< signaled after gifts are placed
+};
+
+/**
+ * passive-false body run by thread @p tid.  Thread 0 allocates the
+ * gifts (adjacent small objects — line-mates), signals, and then works
+ * like everyone else; workers free their gift first, seeding their
+ * heaps with fragments of thread 0's cache lines.
+ */
+template <typename Policy>
+void
+passive_false_thread(Allocator& allocator,
+                     const FalseSharingParams& params,
+                     PassiveFalseState<Policy>& state, int tid)
+{
+    Policy::rebind_thread_index(tid);
+    if (tid == 0) {
+        for (std::size_t i = 0; i < state.gifts.size(); ++i) {
+            state.gifts[i] = allocator.allocate(params.object_bytes);
+            write_memory<Policy>(state.gifts[i], params.object_bytes);
+        }
+        state.ready.signal();
+    } else {
+        state.ready.wait();
+    }
+
+    // Every worker (including 0) frees "its" gift, then churns.
+    allocator.deallocate(state.gifts[static_cast<std::size_t>(tid)]);
+    const int rounds = params.objects_per_thread();
+    for (int i = 0; i < rounds; ++i) {
+        void* p = allocator.allocate(params.object_bytes);
+        hammer_byte<Policy>(p, params.writes_per_object);
+        allocator.deallocate(p);
+    }
+}
+
+}  // namespace workloads
+}  // namespace hoard
+
+#endif  // HOARD_WORKLOADS_FALSE_SHARING_H_

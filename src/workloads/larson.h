@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Larson server benchmark (paper Table 2; Larson & Krishnan's "Memory
+ * allocation for long-running server applications").
+ *
+ * Each thread owns an array of slots holding live objects and repeatedly
+ * replaces a random slot (free + allocate a random 10..100-byte block).
+ * After each epoch the slot array is handed to a "fresh" thread — we
+ * model the churn by rebinding the thread's logical id, which moves it
+ * to a different heap, so the frees of the previous epoch's objects are
+ * cross-thread exactly as in the original.  This is the benchmark where
+ * pure thread-id affinity schemes bleed (paper §5).
+ */
+
+#ifndef HOARD_WORKLOADS_LARSON_H_
+#define HOARD_WORKLOADS_LARSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/allocator.h"
+#include "workloads/workload_util.h"
+
+namespace hoard {
+namespace workloads {
+
+/** Parameters for Larson. */
+struct LarsonParams
+{
+    int nthreads = 4;
+    /**
+     * Live objects per thread.  The paper-era runs keep heaps dense
+     * (~1000 slots over the 10..100-byte classes); with far fewer, the
+     * per-class superblocks sit mostly empty and any invariant-keeping
+     * allocator legitimately shuttles them through its global heap.
+     */
+    int slots_per_thread = 800;
+    std::size_t min_bytes = 10;
+    std::size_t max_bytes = 100;
+    int rounds_per_epoch = 3000;  ///< random replacements per epoch
+    int epochs = 4;               ///< thread generations
+    std::uint64_t seed = 0x1a;
+};
+
+/** Body run by thread @p tid. */
+template <typename Policy>
+void
+larson_thread(Allocator& allocator, const LarsonParams& params, int tid)
+{
+    Policy::rebind_thread_index(tid);
+    detail::Rng rng = thread_rng(params.seed, tid);
+    std::vector<void*> slots(
+        static_cast<std::size_t>(params.slots_per_thread));
+
+    for (void*& slot : slots) {
+        std::size_t bytes = rng.range(params.min_bytes, params.max_bytes);
+        slot = allocator.allocate(bytes);
+        write_memory<Policy>(slot, bytes);
+    }
+
+    for (int epoch = 0; epoch < params.epochs; ++epoch) {
+        for (int round = 0; round < params.rounds_per_epoch; ++round) {
+            auto idx = static_cast<std::size_t>(rng.below(slots.size()));
+            allocator.deallocate(slots[idx]);
+            std::size_t bytes =
+                rng.range(params.min_bytes, params.max_bytes);
+            slots[idx] = allocator.allocate(bytes);
+            write_memory<Policy>(slots[idx], bytes);
+        }
+        // Hand the slot array to a fresh thread: new logical id, so the
+        // next epoch frees this epoch's objects from a different heap.
+        // Stride nthreads+1, not nthreads: with P == nthreads heaps a
+        // multiple-of-nthreads stride would hash every generation back
+        // to its birth heap and erase the cross-thread frees.
+        Policy::rebind_thread_index(tid +
+                                    (epoch + 1) * (params.nthreads + 1));
+    }
+
+    for (void* slot : slots)
+        allocator.deallocate(slot);
+}
+
+}  // namespace workloads
+}  // namespace hoard
+
+#endif  // HOARD_WORKLOADS_LARSON_H_

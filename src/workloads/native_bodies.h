@@ -1,0 +1,115 @@
+/**
+ * @file
+ * NativePolicy-bound workload bodies, mirror of sim_bodies.h: used by
+ * the fragmentation/blowup tables (which measure memory, not time, and
+ * therefore run under real threads) and by the workload smoke tests.
+ */
+
+#ifndef HOARD_WORKLOADS_NATIVE_BODIES_H_
+#define HOARD_WORKLOADS_NATIVE_BODIES_H_
+
+#include <functional>
+#include <memory>
+
+#include "policy/native_policy.h"
+#include "workloads/barneshut.h"
+#include "workloads/bemsim.h"
+#include "workloads/false_sharing.h"
+#include "workloads/larson.h"
+#include "workloads/shbench.h"
+#include "workloads/threadtest.h"
+
+namespace hoard {
+namespace workloads {
+
+/** Body signature: (allocator, tid, nthreads). */
+using NativeWorkloadBody =
+    std::function<void(Allocator& allocator, int tid, int nthreads)>;
+
+inline NativeWorkloadBody
+native_threadtest_body(ThreadtestParams params)
+{
+    return [params](Allocator& allocator, int tid, int nthreads) {
+        ThreadtestParams p = params;
+        p.nthreads = nthreads;
+        threadtest_thread<NativePolicy>(allocator, p, tid);
+    };
+}
+
+inline NativeWorkloadBody
+native_shbench_body(ShbenchParams params)
+{
+    return [params](Allocator& allocator, int tid, int nthreads) {
+        ShbenchParams p = params;
+        p.nthreads = nthreads;
+        p.operations = params.operations / nthreads;
+        shbench_thread<NativePolicy>(allocator, p, tid);
+    };
+}
+
+inline NativeWorkloadBody
+native_larson_body(LarsonParams params)
+{
+    return [params](Allocator& allocator, int tid, int nthreads) {
+        LarsonParams p = params;
+        p.nthreads = nthreads;
+        p.rounds_per_epoch = params.rounds_per_epoch / nthreads;
+        larson_thread<NativePolicy>(allocator, p, tid);
+    };
+}
+
+inline NativeWorkloadBody
+native_active_false_body(FalseSharingParams params)
+{
+    return [params](Allocator& allocator, int tid, int nthreads) {
+        FalseSharingParams p = params;
+        p.nthreads = nthreads;
+        active_false_thread<NativePolicy>(allocator, p, tid);
+    };
+}
+
+inline NativeWorkloadBody
+native_passive_false_body(FalseSharingParams params)
+{
+    auto state = std::make_shared<
+        std::unique_ptr<PassiveFalseState<NativePolicy>>>();
+    auto gate = std::make_shared<NativeEvent>();
+    return [params, state, gate](Allocator& allocator, int tid,
+                                 int nthreads) {
+        FalseSharingParams p = params;
+        p.nthreads = nthreads;
+        if (tid == 0) {
+            *state = std::make_unique<PassiveFalseState<NativePolicy>>(
+                nthreads);
+            gate->signal();
+        } else {
+            gate->wait();  // ensure the state exists before touching it
+        }
+        passive_false_thread<NativePolicy>(allocator, p, **state, tid);
+    };
+}
+
+inline NativeWorkloadBody
+native_bemsim_body(BemSimParams params)
+{
+    return [params](Allocator& allocator, int tid, int nthreads) {
+        BemSimParams p = params;
+        p.nthreads = nthreads;  // panels are taken round-robin
+        bemsim_thread<NativePolicy>(allocator, p, tid);
+    };
+}
+
+inline NativeWorkloadBody
+native_barneshut_body(BarnesHutParams params)
+{
+    return [params](Allocator& allocator, int tid, int nthreads) {
+        BarnesHutParams p = params;
+        p.nthreads = nthreads;  // subsystems are taken round-robin
+        barneshut_thread<NativePolicy>(allocator, p, tid);
+    };
+}
+
+}  // namespace workloads
+}  // namespace hoard
+
+#endif  // HOARD_WORKLOADS_NATIVE_BODIES_H_

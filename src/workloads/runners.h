@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Drivers that spawn workload thread bodies under each execution world:
+ * real std::threads (tests, examples, native tables) or simulated
+ * threads on a virtual-time Machine (speedup figures).
+ */
+
+#ifndef HOARD_WORKLOADS_RUNNERS_H_
+#define HOARD_WORKLOADS_RUNNERS_H_
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace hoard {
+namespace workloads {
+
+/** Thread body: (thread id) -> work.  Captures allocator and params. */
+using ThreadBody = std::function<void(int tid)>;
+
+/** Runs @p nthreads real threads to completion. */
+inline void
+native_run(int nthreads, const ThreadBody& body)
+{
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nthreads));
+    for (int tid = 0; tid < nthreads; ++tid)
+        threads.emplace_back([&body, tid] { body(tid); });
+    for (std::thread& t : threads)
+        t.join();
+}
+
+/**
+ * Runs @p nthreads simulated threads on @p nprocs simulated processors
+ * (thread i pinned to processor i mod nprocs) and returns the makespan
+ * in virtual cycles.
+ */
+inline std::uint64_t
+sim_run(int nprocs, int nthreads, const ThreadBody& body,
+        const sim::CostModel& costs = sim::CostModel(),
+        std::uint64_t quantum = 200)
+{
+    sim::Machine machine(nprocs, costs, quantum);
+    for (int tid = 0; tid < nthreads; ++tid)
+        machine.spawn(tid % nprocs, tid, [&body, tid] { body(tid); });
+    return machine.run();
+}
+
+}  // namespace workloads
+}  // namespace hoard
+
+#endif  // HOARD_WORKLOADS_RUNNERS_H_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * shbench proxy (paper Table 2: the MicroQuill SmartHeap benchmark).
+ *
+ * The original trace is proprietary; this synthetic equivalent preserves
+ * the features the paper's analysis leans on — mixed sizes spanning many
+ * size classes (1..1000 bytes, skewed small), interleaved lifetimes via
+ * a random-replacement working set, and bursts of batched frees.  See
+ * DESIGN.md §3 for the substitution rationale.
+ */
+
+#ifndef HOARD_WORKLOADS_SHBENCH_H_
+#define HOARD_WORKLOADS_SHBENCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/allocator.h"
+#include "workloads/workload_util.h"
+
+namespace hoard {
+namespace workloads {
+
+/** Parameters for the shbench proxy. */
+struct ShbenchParams
+{
+    int nthreads = 4;
+    int operations = 12000;     ///< ops per thread
+    int working_set = 400;      ///< live objects per thread
+    std::size_t min_bytes = 1;
+    std::size_t max_bytes = 1000;
+    int batch_interval = 64;    ///< every N ops, free a burst
+    int batch_size = 32;
+    std::uint64_t seed = 0x5b;
+};
+
+/** Draws a size skewed toward small allocations (80/20). */
+inline std::size_t
+shbench_size(detail::Rng& rng, const ShbenchParams& params)
+{
+    std::size_t small_cap = params.max_bytes / 8 < params.min_bytes
+                                ? params.max_bytes
+                                : params.max_bytes / 8;
+    if (rng.chance(0.8))
+        return rng.range(params.min_bytes, small_cap);
+    return rng.range(params.min_bytes, params.max_bytes);
+}
+
+/** Body run by thread @p tid. */
+template <typename Policy>
+void
+shbench_thread(Allocator& allocator, const ShbenchParams& params, int tid)
+{
+    Policy::rebind_thread_index(tid);
+    detail::Rng rng = thread_rng(params.seed, tid);
+    std::vector<void*> slots(static_cast<std::size_t>(params.working_set),
+                             nullptr);
+
+    for (int op = 0; op < params.operations; ++op) {
+        auto slot = static_cast<std::size_t>(
+            rng.below(static_cast<std::uint64_t>(params.working_set)));
+        if (slots[slot] != nullptr)
+            allocator.deallocate(slots[slot]);
+        std::size_t bytes = shbench_size(rng, params);
+        slots[slot] = allocator.allocate(bytes);
+        write_memory<Policy>(slots[slot], bytes);
+
+        if (params.batch_interval > 0 &&
+            op % params.batch_interval == params.batch_interval - 1) {
+            // Burst free: drop a run of consecutive slots.
+            for (int k = 0; k < params.batch_size; ++k) {
+                auto idx = (slot + static_cast<std::size_t>(k)) %
+                           slots.size();
+                if (slots[idx] != nullptr) {
+                    allocator.deallocate(slots[idx]);
+                    slots[idx] = nullptr;
+                }
+            }
+        }
+    }
+    for (void* p : slots) {
+        if (p != nullptr)
+            allocator.deallocate(p);
+    }
+}
+
+}  // namespace workloads
+}  // namespace hoard
+
+#endif  // HOARD_WORKLOADS_SHBENCH_H_

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ready-made SimPolicy-bound workload bodies for the speedup harness.
+ * Each builder captures the workload parameters and adapts nthreads to
+ * the machine size the harness chooses, so one builder serves every
+ * (allocator, P) cell of a figure.  Shared by the fig_* benches and the
+ * integration tests that guard the headline results.
+ */
+
+#ifndef HOARD_WORKLOADS_SIM_BODIES_H_
+#define HOARD_WORKLOADS_SIM_BODIES_H_
+
+#include <memory>
+
+#include "metrics/speedup.h"
+#include "policy/sim_policy.h"
+#include "workloads/barneshut.h"
+#include "workloads/bemsim.h"
+#include "workloads/false_sharing.h"
+#include "workloads/larson.h"
+#include "workloads/shbench.h"
+#include "workloads/threadtest.h"
+
+namespace hoard {
+namespace workloads {
+
+inline metrics::SimWorkloadBody
+threadtest_body(ThreadtestParams params)
+{
+    return [params](Allocator& allocator, int tid, int nthreads) {
+        ThreadtestParams p = params;
+        p.nthreads = nthreads;
+        threadtest_thread<SimPolicy>(allocator, p, tid);
+    };
+}
+
+inline metrics::SimWorkloadBody
+shbench_body(ShbenchParams params)
+{
+    return [params](Allocator& allocator, int tid, int nthreads) {
+        ShbenchParams p = params;
+        p.nthreads = nthreads;
+        // Fixed total work: scale per-thread operations down with P.
+        p.operations = params.operations / nthreads;
+        shbench_thread<SimPolicy>(allocator, p, tid);
+    };
+}
+
+inline metrics::SimWorkloadBody
+larson_body(LarsonParams params)
+{
+    return [params](Allocator& allocator, int tid, int nthreads) {
+        LarsonParams p = params;
+        p.nthreads = nthreads;
+        // Fixed total replacements across the machine.
+        p.rounds_per_epoch = params.rounds_per_epoch / nthreads;
+        larson_thread<SimPolicy>(allocator, p, tid);
+    };
+}
+
+inline metrics::SimWorkloadBody
+active_false_body(FalseSharingParams params)
+{
+    return [params](Allocator& allocator, int tid, int nthreads) {
+        FalseSharingParams p = params;
+        p.nthreads = nthreads;
+        active_false_thread<SimPolicy>(allocator, p, tid);
+    };
+}
+
+inline metrics::SimWorkloadBody
+passive_false_body(FalseSharingParams params)
+{
+    // One shared state per run cell: the harness runs cells strictly
+    // one machine at a time, so recreate state when a new run starts
+    // (detected by tid 0 arriving with a consumed state).
+    auto state = std::make_shared<
+        std::unique_ptr<PassiveFalseState<SimPolicy>>>();
+    return [params, state](Allocator& allocator, int tid, int nthreads) {
+        FalseSharingParams p = params;
+        p.nthreads = nthreads;
+        if (tid == 0) {
+            *state = std::make_unique<PassiveFalseState<SimPolicy>>(
+                nthreads);
+        }
+        passive_false_thread<SimPolicy>(allocator, p, **state, tid);
+    };
+}
+
+inline metrics::SimWorkloadBody
+bemsim_body(BemSimParams params)
+{
+    return [params](Allocator& allocator, int tid, int nthreads) {
+        BemSimParams p = params;
+        p.nthreads = nthreads;  // panels are taken round-robin
+        bemsim_thread<SimPolicy>(allocator, p, tid);
+    };
+}
+
+inline metrics::SimWorkloadBody
+barneshut_body(BarnesHutParams params)
+{
+    return [params](Allocator& allocator, int tid, int nthreads) {
+        BarnesHutParams p = params;
+        p.nthreads = nthreads;  // subsystems are taken round-robin
+        barneshut_thread<SimPolicy>(allocator, p, tid);
+    };
+}
+
+}  // namespace workloads
+}  // namespace hoard
+
+#endif  // HOARD_WORKLOADS_SIM_BODIES_H_

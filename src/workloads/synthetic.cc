@@ -1,0 +1,112 @@
+#include "workloads/synthetic.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/failure.h"
+
+namespace hoard {
+namespace workloads {
+
+std::size_t
+synthetic_size(detail::Rng& rng, const SyntheticParams& params)
+{
+    switch (params.size_dist) {
+      case SizeDist::uniform:
+        return rng.range(params.min_size, params.max_size);
+      case SizeDist::geometric: {
+        std::size_t size = params.min_size;
+        while (size * 2 <= params.max_size && rng.chance(0.5))
+            size *= 2;
+        // Jitter within the octave so size classes are all exercised.
+        return rng.range(size, std::min(size * 2 - 1, params.max_size));
+      }
+      case SizeDist::bimodal:
+        if (rng.chance(0.9)) {
+            return rng.range(params.min_size,
+                             std::min(params.min_size * 2,
+                                      params.max_size));
+        }
+        return rng.range(std::max(params.max_size / 2, params.min_size),
+                         params.max_size);
+    }
+    HOARD_PANIC("unknown size distribution");
+}
+
+int
+synthetic_lifetime(detail::Rng& rng, const SyntheticParams& params,
+                   int op_index)
+{
+    switch (params.lifetime_dist) {
+      case LifetimeDist::exponential: {
+        // Geometric approximation of an exponential with the given
+        // mean: keep flipping a (1 - 1/mean) coin.
+        double survive =
+            1.0 - 1.0 / static_cast<double>(params.mean_lifetime);
+        int life = 1;
+        while (rng.chance(survive) &&
+               life < 50 * params.mean_lifetime)
+            ++life;
+        return life;
+      }
+      case LifetimeDist::uniform:
+        return static_cast<int>(rng.range(
+            1, static_cast<std::uint64_t>(2 * params.mean_lifetime)));
+      case LifetimeDist::phased: {
+        // Dies at the end of its birth phase.
+        int phase_end = ((op_index / params.phase_length) + 1) *
+                        params.phase_length;
+        return phase_end - op_index;
+      }
+    }
+    HOARD_PANIC("unknown lifetime distribution");
+}
+
+Trace
+generate_synthetic_trace(const SyntheticParams& params)
+{
+    detail::Rng rng(params.seed);
+    Trace trace;
+
+    // Death schedule: op index -> objects to free at that index.
+    std::map<int, std::vector<TraceOp>> deaths;
+
+    for (int op = 0; op < params.operations; ++op) {
+        // Emit any frees scheduled for this point first.
+        auto due = deaths.find(op);
+        if (due != deaths.end()) {
+            for (TraceOp& free_op : due->second)
+                trace.append(free_op);
+            deaths.erase(due);
+        }
+
+        auto tid =
+            static_cast<std::int32_t>(rng.below(
+                static_cast<std::uint64_t>(params.nthreads)));
+        auto object = static_cast<std::uint64_t>(op);
+        auto size = static_cast<std::uint64_t>(
+            synthetic_size(rng, params));
+        trace.append({TraceOp::Kind::alloc, tid, object, size});
+
+        int death = op + synthetic_lifetime(rng, params, op);
+        std::int32_t freeing_tid = tid;
+        if (params.cross_thread_free_fraction > 0.0 &&
+            rng.chance(params.cross_thread_free_fraction)) {
+            freeing_tid = static_cast<std::int32_t>(rng.below(
+                static_cast<std::uint64_t>(params.nthreads)));
+        }
+        deaths[death].push_back(
+            {TraceOp::Kind::free_op, freeing_tid, object, 0});
+    }
+
+    // Flush everything still alive, in death order.
+    for (auto& [when, ops] : deaths) {
+        for (TraceOp& free_op : ops)
+            trace.append(free_op);
+    }
+    return trace;
+}
+
+}  // namespace workloads
+}  // namespace hoard

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Synthetic allocation-trace generator (Wilson/Johnstone methodology).
+ *
+ * The fragmentation literature the paper builds on evaluates
+ * allocators on parameterized synthetic workloads: object sizes drawn
+ * from a distribution, lifetimes from another, interleaved across
+ * logical threads.  This module generates such workloads as Traces, so
+ * they run through the same replay machinery as recorded ones — against
+ * any allocator, natively or simulated.
+ *
+ * Distributions provided match the classic study shapes:
+ *   - uniform sizes
+ *   - geometric sizes (many small, few large — the common app profile)
+ *   - bimodal sizes (small records + large buffers)
+ * and lifetimes:
+ *   - exponential-ish (most objects die young)
+ *   - uniform window
+ *   - phased (batch alloc, batch free — compiler/solver shape)
+ */
+
+#ifndef HOARD_WORKLOADS_SYNTHETIC_H_
+#define HOARD_WORKLOADS_SYNTHETIC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "workloads/trace.h"
+
+namespace hoard {
+namespace workloads {
+
+/** Object-size distribution families. */
+enum class SizeDist
+{
+    uniform,    ///< uniform in [min_size, max_size]
+    geometric,  ///< P(size doubles) = 0.5 starting at min_size
+    bimodal,    ///< 90% in [min, 2*min], 10% in [max/2, max]
+};
+
+/** Object-lifetime distribution families. */
+enum class LifetimeDist
+{
+    exponential,  ///< most objects die within mean_lifetime ops
+    uniform,      ///< uniform in [1, 2*mean_lifetime] ops
+    phased,       ///< born in a phase, all die at the phase boundary
+};
+
+/** Parameters for the synthetic generator. */
+struct SyntheticParams
+{
+    int nthreads = 4;
+    int operations = 20000;       ///< allocation events in total
+    std::size_t min_size = 16;
+    std::size_t max_size = 4096;
+    SizeDist size_dist = SizeDist::geometric;
+    LifetimeDist lifetime_dist = LifetimeDist::exponential;
+    int mean_lifetime = 200;      ///< in allocation events
+    int phase_length = 1000;      ///< for LifetimeDist::phased
+    /**
+     * Fraction of frees performed by a different thread than the
+     * allocator of the object (producer/consumer bleed).
+     */
+    double cross_thread_free_fraction = 0.0;
+    std::uint64_t seed = 0x515;
+};
+
+/** Draws one object size. */
+std::size_t synthetic_size(detail::Rng& rng,
+                           const SyntheticParams& params);
+
+/** Draws one lifetime in allocation events. */
+int synthetic_lifetime(detail::Rng& rng, const SyntheticParams& params,
+                       int op_index);
+
+/**
+ * Generates a complete, balanced trace (every object freed) according
+ * to @p params.  Deterministic in the seed.
+ */
+Trace generate_synthetic_trace(const SyntheticParams& params);
+
+}  // namespace workloads
+}  // namespace hoard
+
+#endif  // HOARD_WORKLOADS_SYNTHETIC_H_

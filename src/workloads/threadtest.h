@@ -1,0 +1,58 @@
+/**
+ * @file
+ * threadtest (paper Table 2): t threads repeatedly allocate and then
+ * free N/t objects of one small size.  The classic scalability
+ * stress — nearly all time is malloc/free, so a serialized allocator
+ * shows immediately.
+ */
+
+#ifndef HOARD_WORKLOADS_THREADTEST_H_
+#define HOARD_WORKLOADS_THREADTEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/allocator.h"
+#include "workloads/workload_util.h"
+
+namespace hoard {
+namespace workloads {
+
+/** Parameters for threadtest. */
+struct ThreadtestParams
+{
+    int nthreads = 4;
+    int iterations = 20;           ///< alloc/free rounds
+    int total_objects = 20000;     ///< split across threads
+    std::size_t object_bytes = 8;  ///< the paper uses 8-byte objects
+    std::uint64_t work_per_object = 0;  ///< extra compute between ops
+};
+
+/** Body run by thread @p tid (0-based). */
+template <typename Policy>
+void
+threadtest_thread(Allocator& allocator, const ThreadtestParams& params,
+                  int tid)
+{
+    Policy::rebind_thread_index(tid);
+    const int per_thread = params.total_objects / params.nthreads;
+    std::vector<void*> objects(static_cast<std::size_t>(per_thread));
+
+    for (int iter = 0; iter < params.iterations; ++iter) {
+        for (int i = 0; i < per_thread; ++i) {
+            void* p = allocator.allocate(params.object_bytes);
+            write_memory<Policy>(p, params.object_bytes);
+            if (params.work_per_object != 0)
+                Policy::work(params.work_per_object);
+            objects[static_cast<std::size_t>(i)] = p;
+        }
+        for (int i = 0; i < per_thread; ++i)
+            allocator.deallocate(objects[static_cast<std::size_t>(i)]);
+    }
+}
+
+}  // namespace workloads
+}  // namespace hoard
+
+#endif  // HOARD_WORKLOADS_THREADTEST_H_

@@ -1,0 +1,107 @@
+#include "workloads/trace.h"
+
+#include <string>
+
+#include "common/failure.h"
+#include "policy/native_policy.h"
+
+namespace hoard {
+namespace workloads {
+
+void
+Trace::save(std::ostream& os) const
+{
+    os << "# hoard trace v1: 'a tid id size' | 'f tid id'\n";
+    for (const TraceOp& op : ops_) {
+        if (op.kind == TraceOp::Kind::alloc) {
+            os << "a " << op.tid << ' ' << op.object << ' ' << op.size
+               << '\n';
+        } else {
+            os << "f " << op.tid << ' ' << op.object << '\n';
+        }
+    }
+}
+
+Trace
+Trace::load(std::istream& is)
+{
+    Trace trace;
+    std::string token;
+    while (is >> token) {
+        if (token == "#") {
+            std::string line;
+            std::getline(is, line);
+            continue;
+        }
+        TraceOp op{};
+        if (token == "a") {
+            op.kind = TraceOp::Kind::alloc;
+            if (!(is >> op.tid >> op.object >> op.size))
+                HOARD_FATAL("malformed alloc record in trace");
+        } else if (token == "f") {
+            op.kind = TraceOp::Kind::free_op;
+            if (!(is >> op.tid >> op.object))
+                HOARD_FATAL("malformed free record in trace");
+        } else {
+            HOARD_FATAL("unknown trace record '%s'", token.c_str());
+        }
+        trace.append(op);
+    }
+    return trace;
+}
+
+std::uint64_t
+Trace::max_live_bytes() const
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> live_sizes;
+    std::uint64_t live = 0;
+    std::uint64_t peak = 0;
+    for (const TraceOp& op : ops_) {
+        if (op.kind == TraceOp::Kind::alloc) {
+            live_sizes[op.object] = op.size;
+            live += op.size;
+            if (live > peak)
+                peak = live;
+        } else {
+            auto it = live_sizes.find(op.object);
+            if (it != live_sizes.end()) {
+                live -= it->second;
+                live_sizes.erase(it);
+            }
+        }
+    }
+    return peak;
+}
+
+void*
+TraceRecorder::allocate(std::size_t size)
+{
+    void* p = inner_.allocate(size);
+    if (p == nullptr)
+        return nullptr;
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::uint64_t id = next_id_++;
+    object_ids_[p] = id;
+    trace_.append({TraceOp::Kind::alloc, static_cast<std::int32_t>(NativePolicy::thread_index()), id,
+                   static_cast<std::uint64_t>(size)});
+    return p;
+}
+
+void
+TraceRecorder::deallocate(void* p)
+{
+    if (p == nullptr)
+        return;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        auto it = object_ids_.find(p);
+        HOARD_CHECK(it != object_ids_.end());
+        trace_.append(
+            {TraceOp::Kind::free_op, static_cast<std::int32_t>(NativePolicy::thread_index()), it->second, 0});
+        object_ids_.erase(it);
+    }
+    inner_.deallocate(p);
+}
+
+}  // namespace workloads
+}  // namespace hoard

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the benchmark workloads: memory-use shims that both
+ * genuinely touch the bytes (so native runs catch corruption) and charge
+ * the simulator's cache model (so simulated runs price false sharing).
+ */
+
+#ifndef HOARD_WORKLOADS_WORKLOAD_UTIL_H_
+#define HOARD_WORKLOADS_WORKLOAD_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace hoard {
+namespace workloads {
+
+/** Writes @p n bytes at @p p and charges the write to the cache model. */
+template <typename Policy>
+inline void
+write_memory(void* p, std::size_t n, std::uint8_t value = 0xab)
+{
+    Policy::touch(p, n, true);
+    std::memset(p, value, n);
+}
+
+/**
+ * Repeatedly mutates the first byte of @p p — the inner loop of the
+ * false-sharing benchmarks.  Each write is charged separately so a
+ * ping-ponging line is priced per bounce.
+ */
+template <typename Policy>
+inline void
+hammer_byte(void* p, int times)
+{
+    auto* b = static_cast<volatile std::uint8_t*>(p);
+    for (int i = 0; i < times; ++i) {
+        Policy::touch(p, 1, true);
+        *b = static_cast<std::uint8_t>(*b + 1);
+    }
+}
+
+/** Reads @p n bytes (checksum) and charges the read. */
+template <typename Policy>
+inline std::uint64_t
+read_memory(const void* p, std::size_t n)
+{
+    Policy::touch(p, n, false);
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        sum += b[i];
+    return sum;
+}
+
+/** Per-thread RNG seeded from a workload seed and the thread id. */
+inline detail::Rng
+thread_rng(std::uint64_t seed, int tid)
+{
+    return detail::Rng(seed * 0x9e3779b97f4a7c15ULL +
+                       static_cast<std::uint64_t>(tid) + 1);
+}
+
+}  // namespace workloads
+}  // namespace hoard
+
+#endif  // HOARD_WORKLOADS_WORKLOAD_UTIL_H_

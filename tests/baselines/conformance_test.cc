@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Cross-allocator conformance suite: every allocator in the taxonomy
+ * must be a *correct* allocator — distinct writable memory, survival
+ * of cross-thread frees, usable_size honesty, stats consistency —
+ * whatever its performance class.  TEST_P over all four kinds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "common/memutil.h"
+#include "common/rng.h"
+#include "policy/native_policy.h"
+#include "workloads/runners.h"
+
+namespace hoard {
+namespace {
+
+class ConformanceTest
+    : public ::testing::TestWithParam<baselines::AllocatorKind>
+{
+  protected:
+    std::unique_ptr<Allocator>
+    make(int heaps = 4)
+    {
+        Config config;
+        config.heap_count = heaps;
+        return baselines::make_allocator<NativePolicy>(GetParam(),
+                                                       config);
+    }
+};
+
+TEST_P(ConformanceTest, DistinctWritableBlocks)
+{
+    auto allocator = make();
+    std::set<void*> seen;
+    std::vector<void*> blocks;
+    for (int i = 0; i < 2000; ++i) {
+        void* p = allocator->allocate(40);
+        ASSERT_NE(p, nullptr);
+        EXPECT_TRUE(seen.insert(p).second);
+        detail::pattern_fill(p, 40, static_cast<std::uint64_t>(i));
+        blocks.push_back(p);
+    }
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+        EXPECT_TRUE(detail::pattern_check(blocks[i], 40, i));
+    for (void* p : blocks)
+        allocator->deallocate(p);
+}
+
+TEST_P(ConformanceTest, UsableSizeCoversRequest)
+{
+    auto allocator = make();
+    for (std::size_t size :
+         {1u, 7u, 8u, 63u, 100u, 1023u, 3000u, 100000u}) {
+        void* p = allocator->allocate(size);
+        ASSERT_NE(p, nullptr) << size;
+        EXPECT_GE(allocator->usable_size(p), size);
+        allocator->deallocate(p);
+    }
+}
+
+TEST_P(ConformanceTest, NullFreeIsNoop)
+{
+    auto allocator = make();
+    allocator->deallocate(nullptr);
+}
+
+TEST_P(ConformanceTest, ReallocatePreservesPrefix)
+{
+    auto allocator = make();
+    auto* p = static_cast<char*>(allocator->allocate(64));
+    detail::pattern_fill(p, 64, 9);
+    auto* q = static_cast<char*>(allocator->reallocate(p, 6000));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(q[i], static_cast<char>(detail::pattern_byte(p, i, 9)));
+    allocator->deallocate(q);
+}
+
+TEST_P(ConformanceTest, HugeObjects)
+{
+    auto allocator = make();
+    void* p = allocator->allocate(1 << 20);
+    ASSERT_NE(p, nullptr);
+    detail::pattern_fill(p, 1 << 20, 4);
+    EXPECT_TRUE(detail::pattern_check(p, 1 << 20, 4));
+    allocator->deallocate(p);
+}
+
+TEST_P(ConformanceTest, StatsBalance)
+{
+    auto allocator = make();
+    std::vector<void*> blocks;
+    for (int i = 0; i < 500; ++i)
+        blocks.push_back(allocator->allocate(96));
+    EXPECT_EQ(allocator->stats().allocs.get(), 500u);
+    for (void* p : blocks)
+        allocator->deallocate(p);
+    EXPECT_EQ(allocator->stats().frees.get(), 500u);
+    EXPECT_EQ(allocator->stats().in_use_bytes.current(), 0u);
+    EXPECT_GE(allocator->stats().held_bytes.peak(),
+              allocator->stats().in_use_bytes.peak());
+}
+
+TEST_P(ConformanceTest, CrossThreadFreeIsSafe)
+{
+    auto allocator = make();
+    std::vector<void*> blocks(4000);
+    workloads::native_run(2, [&](int tid) {
+        NativePolicy::rebind_thread_index(tid);
+        if (tid == 0) {
+            for (auto& p : blocks) {
+                p = allocator->allocate(56);
+                detail::pattern_fill(p, 56, 1);
+            }
+        }
+    });
+    // All blocks written by thread 0; a different thread frees them.
+    workloads::native_run(1, [&](int) {
+        NativePolicy::rebind_thread_index(1);
+        for (void* p : blocks) {
+            EXPECT_TRUE(detail::pattern_check(p, 56, 1));
+            allocator->deallocate(p);
+        }
+    });
+    EXPECT_EQ(allocator->stats().in_use_bytes.current(), 0u);
+}
+
+TEST_P(ConformanceTest, ConcurrentChurnNoCorruption)
+{
+    auto allocator = make();
+    const int kThreads = 4;
+    workloads::native_run(kThreads, [&](int tid) {
+        NativePolicy::rebind_thread_index(tid);
+        detail::Rng rng(static_cast<std::uint64_t>(tid) + 100);
+        std::vector<std::pair<void*, std::size_t>> live;
+        for (int op = 0; op < 8000; ++op) {
+            if (live.size() < 64 || rng.chance(0.5)) {
+                std::size_t size = rng.range(1, 400);
+                void* p = allocator->allocate(size);
+                ASSERT_NE(p, nullptr);
+                detail::pattern_fill(p, size, size ^ 0x5aULL);
+                live.emplace_back(p, size);
+            } else {
+                auto idx =
+                    static_cast<std::size_t>(rng.below(live.size()));
+                ASSERT_TRUE(detail::pattern_check(
+                    live[idx].first, live[idx].second,
+                    live[idx].second ^ 0x5aULL));
+                allocator->deallocate(live[idx].first);
+                live[idx] = live.back();
+                live.pop_back();
+            }
+        }
+        for (auto& [p, size] : live)
+            allocator->deallocate(p);
+    });
+    EXPECT_EQ(allocator->stats().in_use_bytes.current(), 0u);
+}
+
+TEST_P(ConformanceTest, MemoryComesFromOwnProvider)
+{
+    os::MmapPageProvider provider;
+    Config config;
+    config.heap_count = 2;
+    auto allocator = baselines::make_allocator<NativePolicy>(
+        GetParam(), config, provider);
+    void* p = allocator->allocate(64);
+    EXPECT_GT(provider.mapped_bytes(), 0u);
+    allocator->deallocate(p);
+    allocator.reset();
+    EXPECT_EQ(provider.mapped_bytes(), 0u)
+        << "allocator destructor must return every byte to the OS";
+}
+
+TEST_P(ConformanceTest, NameMatchesFactoryString)
+{
+    auto allocator = make();
+    EXPECT_STREQ(allocator->name(), baselines::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ConformanceTest,
+    ::testing::ValuesIn(baselines::kAllKinds),
+    [](const ::testing::TestParamInfo<baselines::AllocatorKind>& info) {
+        return baselines::to_string(info.param);
+    });
+
+}  // namespace
+}  // namespace hoard

@@ -1,0 +1,176 @@
+/** @file Unit tests for detail::IntrusiveList. */
+
+#include "common/intrusive_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hoard {
+namespace detail {
+namespace {
+
+struct Item
+{
+    explicit Item(int v = 0) : value(v) {}
+    ListNode hook;
+    int value;
+};
+
+using List = IntrusiveList<Item, &Item::hook>;
+
+TEST(IntrusiveList, StartsEmpty)
+{
+    List list;
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.size(), 0u);
+    EXPECT_EQ(list.front(), nullptr);
+    EXPECT_EQ(list.back(), nullptr);
+    EXPECT_EQ(list.pop_front(), nullptr);
+    EXPECT_EQ(list.pop_back(), nullptr);
+}
+
+TEST(IntrusiveList, PushFrontOrders)
+{
+    List list;
+    Item a(1), b(2), c(3);
+    list.push_front(&a);
+    list.push_front(&b);
+    list.push_front(&c);
+    EXPECT_EQ(list.size(), 3u);
+    EXPECT_EQ(list.front(), &c);
+    EXPECT_EQ(list.back(), &a);
+}
+
+TEST(IntrusiveList, PushBackOrders)
+{
+    List list;
+    Item a(1), b(2);
+    list.push_back(&a);
+    list.push_back(&b);
+    EXPECT_EQ(list.front(), &a);
+    EXPECT_EQ(list.back(), &b);
+}
+
+TEST(IntrusiveList, PopFrontIsFifoForPushBack)
+{
+    List list;
+    std::vector<Item> items(5);
+    for (auto& item : items)
+        list.push_back(&item);
+    for (auto& item : items)
+        EXPECT_EQ(list.pop_front(), &item);
+    EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, PopBackIsLifoForPushBack)
+{
+    List list;
+    std::vector<Item> items(5);
+    for (auto& item : items)
+        list.push_back(&item);
+    for (int i = 4; i >= 0; --i)
+        EXPECT_EQ(list.pop_back(), &items[static_cast<std::size_t>(i)]);
+}
+
+TEST(IntrusiveList, RemoveMiddle)
+{
+    List list;
+    Item a, b, c;
+    list.push_back(&a);
+    list.push_back(&b);
+    list.push_back(&c);
+    list.remove(&b);
+    EXPECT_EQ(list.size(), 2u);
+    EXPECT_EQ(list.front(), &a);
+    EXPECT_EQ(list.next(&a), &c);
+    EXPECT_EQ(list.next(&c), nullptr);
+    EXPECT_FALSE(List::is_linked(&b));
+}
+
+TEST(IntrusiveList, RemoveEnds)
+{
+    List list;
+    Item a, b, c;
+    list.push_back(&a);
+    list.push_back(&b);
+    list.push_back(&c);
+    list.remove(&a);
+    list.remove(&c);
+    EXPECT_EQ(list.front(), &b);
+    EXPECT_EQ(list.back(), &b);
+    EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(IntrusiveList, ReinsertAfterRemove)
+{
+    List list;
+    Item a;
+    list.push_back(&a);
+    list.remove(&a);
+    EXPECT_FALSE(List::is_linked(&a));
+    list.push_front(&a);
+    EXPECT_TRUE(List::is_linked(&a));
+    EXPECT_EQ(list.front(), &a);
+}
+
+TEST(IntrusiveList, ElementCanMoveBetweenLists)
+{
+    List one, two;
+    Item a;
+    one.push_back(&a);
+    one.remove(&a);
+    two.push_back(&a);
+    EXPECT_TRUE(one.empty());
+    EXPECT_EQ(two.front(), &a);
+}
+
+TEST(IntrusiveList, NextWalksWholeList)
+{
+    List list;
+    std::vector<Item> items(10);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        items[i].value = static_cast<int>(i);
+        list.push_back(&items[i]);
+    }
+    int expected = 0;
+    for (Item* it = list.front(); it != nullptr; it = list.next(it))
+        EXPECT_EQ(it->value, expected++);
+    EXPECT_EQ(expected, 10);
+}
+
+TEST(IntrusiveList, HookNotFirstMember)
+{
+    // The container_of recovery must work no matter where the hook sits.
+    struct Late
+    {
+        long padding[3] = {};
+        ListNode hook;
+        int value = 7;
+    };
+    IntrusiveList<Late, &Late::hook> list;
+    Late item;
+    list.push_back(&item);
+    EXPECT_EQ(list.front(), &item);
+    EXPECT_EQ(list.front()->value, 7);
+}
+
+TEST(IntrusiveList, LargePopulationStaysConsistent)
+{
+    List list;
+    std::vector<Item> items(1000);
+    for (auto& item : items)
+        list.push_back(&item);
+    // Remove every other element.
+    for (std::size_t i = 0; i < items.size(); i += 2)
+        list.remove(&items[i]);
+    EXPECT_EQ(list.size(), 500u);
+    std::size_t count = 0;
+    for (Item* it = list.front(); it != nullptr; it = list.next(it))
+        ++count;
+    EXPECT_EQ(count, 500u);
+}
+
+}  // namespace
+}  // namespace detail
+}  // namespace hoard

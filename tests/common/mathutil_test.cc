@@ -1,0 +1,98 @@
+/** @file Unit tests for the alignment/integer helpers. */
+
+#include "common/mathutil.h"
+
+#include <gtest/gtest.h>
+
+namespace hoard {
+namespace detail {
+namespace {
+
+TEST(MathUtil, IsPow2)
+{
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(2));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_TRUE(is_pow2(4096));
+    EXPECT_FALSE(is_pow2(4097));
+    EXPECT_TRUE(is_pow2(std::size_t{1} << 62));
+}
+
+TEST(MathUtil, AlignUp)
+{
+    EXPECT_EQ(align_up(0, 8), 0u);
+    EXPECT_EQ(align_up(1, 8), 8u);
+    EXPECT_EQ(align_up(8, 8), 8u);
+    EXPECT_EQ(align_up(9, 8), 16u);
+    EXPECT_EQ(align_up(4095, 4096), 4096u);
+    EXPECT_EQ(align_up(4097, 4096), 8192u);
+}
+
+TEST(MathUtil, AlignDown)
+{
+    EXPECT_EQ(align_down(0, 8), 0u);
+    EXPECT_EQ(align_down(7, 8), 0u);
+    EXPECT_EQ(align_down(8, 8), 8u);
+    EXPECT_EQ(align_down(8191, 4096), 4096u);
+}
+
+TEST(MathUtil, IsAlignedInteger)
+{
+    EXPECT_TRUE(is_aligned(std::size_t{0}, 16));
+    EXPECT_TRUE(is_aligned(std::size_t{32}, 16));
+    EXPECT_FALSE(is_aligned(std::size_t{24}, 16));
+}
+
+TEST(MathUtil, IsAlignedPointer)
+{
+    alignas(64) char buffer[128];
+    EXPECT_TRUE(is_aligned(static_cast<void*>(buffer), 64));
+    EXPECT_FALSE(is_aligned(static_cast<void*>(buffer + 1), 2));
+}
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(ceil_div(0, 8), 0u);
+    EXPECT_EQ(ceil_div(1, 8), 1u);
+    EXPECT_EQ(ceil_div(8, 8), 1u);
+    EXPECT_EQ(ceil_div(9, 8), 2u);
+}
+
+TEST(MathUtil, FloorLog2)
+{
+    EXPECT_EQ(floor_log2(1), 0u);
+    EXPECT_EQ(floor_log2(2), 1u);
+    EXPECT_EQ(floor_log2(3), 1u);
+    EXPECT_EQ(floor_log2(4), 2u);
+    EXPECT_EQ(floor_log2(4096), 12u);
+}
+
+TEST(MathUtil, NextPow2)
+{
+    EXPECT_EQ(next_pow2(1), 1u);
+    EXPECT_EQ(next_pow2(3), 4u);
+    EXPECT_EQ(next_pow2(4), 4u);
+    EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(MathUtil, AlignRoundTripProperty)
+{
+    for (std::size_t align : {std::size_t{8}, std::size_t{64},
+                              std::size_t{4096}}) {
+        for (std::size_t x = 0; x < 3 * align; x += 7) {
+            std::size_t up = align_up(x, align);
+            EXPECT_GE(up, x);
+            EXPECT_LT(up - x, align);
+            EXPECT_TRUE(is_aligned(up, align));
+            std::size_t down = align_down(x, align);
+            EXPECT_LE(down, x);
+            EXPECT_LT(x - down, align);
+            EXPECT_TRUE(is_aligned(down, align));
+        }
+    }
+}
+
+}  // namespace
+}  // namespace detail
+}  // namespace hoard

@@ -1,0 +1,53 @@
+/** @file Unit tests for the memory-pattern helpers. */
+
+#include "common/memutil.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hoard {
+namespace detail {
+namespace {
+
+TEST(MemUtil, FillThenCheckPasses)
+{
+    std::vector<char> buffer(257);
+    pattern_fill(buffer.data(), buffer.size(), 99);
+    EXPECT_TRUE(pattern_check(buffer.data(), buffer.size(), 99));
+}
+
+TEST(MemUtil, CorruptionDetected)
+{
+    std::vector<char> buffer(64);
+    pattern_fill(buffer.data(), buffer.size(), 5);
+    buffer[17] = static_cast<char>(buffer[17] + 1);
+    EXPECT_FALSE(pattern_check(buffer.data(), buffer.size(), 5));
+}
+
+TEST(MemUtil, SaltMatters)
+{
+    std::vector<char> buffer(64);
+    pattern_fill(buffer.data(), buffer.size(), 1);
+    EXPECT_FALSE(pattern_check(buffer.data(), buffer.size(), 2));
+}
+
+TEST(MemUtil, AddressMatters)
+{
+    // The same bytes at a different base address fail the check, so
+    // overlapping allocations show up even with equal fill order.
+    std::vector<char> buffer(128);
+    pattern_fill(buffer.data(), 64, 3);
+    EXPECT_FALSE(pattern_check(buffer.data() + 1, 63, 3));
+}
+
+TEST(MemUtil, ZeroLengthIsTriviallyValid)
+{
+    char c = 0;
+    pattern_fill(&c, 0, 1);
+    EXPECT_TRUE(pattern_check(&c, 0, 1));
+}
+
+}  // namespace
+}  // namespace detail
+}  // namespace hoard

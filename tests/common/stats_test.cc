@@ -1,0 +1,75 @@
+/** @file Unit tests for counters, gauges, and the stats block. */
+
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hoard {
+namespace detail {
+namespace {
+
+TEST(Counter, AddsAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.get(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.get(), 42u);
+    c.reset();
+    EXPECT_EQ(c.get(), 0u);
+}
+
+TEST(Gauge, TracksLevelAndPeak)
+{
+    Gauge g;
+    g.add(100);
+    EXPECT_EQ(g.current(), 100u);
+    EXPECT_EQ(g.peak(), 100u);
+    g.sub(60);
+    EXPECT_EQ(g.current(), 40u);
+    EXPECT_EQ(g.peak(), 100u);
+    g.add(30);
+    EXPECT_EQ(g.current(), 70u);
+    EXPECT_EQ(g.peak(), 100u);
+    g.add(100);
+    EXPECT_EQ(g.peak(), 170u);
+}
+
+TEST(Gauge, PeakUnderConcurrency)
+{
+    Gauge g;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&g] {
+            for (int i = 0; i < 10000; ++i) {
+                g.add(3);
+                g.sub(3);
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(g.current(), 0u);
+    EXPECT_GE(g.peak(), 3u);
+    EXPECT_LE(g.peak(), 12u);
+}
+
+TEST(AllocatorStats, FragmentationDefinition)
+{
+    AllocatorStats stats;
+    EXPECT_DOUBLE_EQ(stats.fragmentation(), 1.0);  // no data yet
+    stats.in_use_bytes.add(100);
+    stats.held_bytes.add(150);
+    EXPECT_DOUBLE_EQ(stats.fragmentation(), 1.5);
+    // Fragmentation uses peaks, not current levels.
+    stats.in_use_bytes.sub(100);
+    stats.held_bytes.sub(150);
+    EXPECT_DOUBLE_EQ(stats.fragmentation(), 1.5);
+}
+
+}  // namespace
+}  // namespace detail
+}  // namespace hoard

@@ -1,0 +1,144 @@
+/** @file Tests for the shadow-checking DebugAllocator wrapper. */
+
+#include "core/debug_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "core/hoard_allocator.h"
+#include "policy/native_policy.h"
+
+namespace hoard {
+namespace {
+
+class DebugAllocatorTest : public ::testing::Test
+{
+  protected:
+    Config
+    config()
+    {
+        Config c;
+        c.heap_count = 2;
+        return c;
+    }
+};
+
+TEST_F(DebugAllocatorTest, PassesThroughNormalUse)
+{
+    HoardAllocator<NativePolicy> inner{Config{}};
+    DebugAllocator debug(inner);
+    std::vector<void*> blocks;
+    for (int i = 0; i < 500; ++i) {
+        void* p = debug.allocate(static_cast<std::size_t>(i % 200) + 1);
+        ASSERT_NE(p, nullptr);
+        blocks.push_back(p);
+    }
+    EXPECT_EQ(debug.live_allocations(), 500u);
+    for (void* p : blocks)
+        debug.deallocate(p);
+    EXPECT_EQ(debug.live_allocations(), 0u);
+    EXPECT_EQ(debug.bad_free_count(), 0u);
+    EXPECT_EQ(debug.overrun_count(), 0u);
+}
+
+TEST_F(DebugAllocatorTest, DetectsDoubleFree)
+{
+    HoardAllocator<NativePolicy> inner{Config{}};
+    DebugAllocator debug(inner, DebugAllocator::OnError::count);
+    void* p = debug.allocate(64);
+    debug.deallocate(p);
+    debug.deallocate(p);  // double free: counted, not forwarded
+    EXPECT_EQ(debug.bad_free_count(), 1u);
+    EXPECT_EQ(debug.stats().frees.get(), 1u);
+}
+
+TEST_F(DebugAllocatorTest, DetectsForeignPointer)
+{
+    HoardAllocator<NativePolicy> inner{Config{}};
+    DebugAllocator debug(inner, DebugAllocator::OnError::count);
+    int stack_var = 0;
+    debug.deallocate(&stack_var);
+    EXPECT_EQ(debug.bad_free_count(), 1u);
+}
+
+TEST_F(DebugAllocatorTest, DetectsOverrun)
+{
+    HoardAllocator<NativePolicy> inner{Config{}};
+    DebugAllocator debug(inner, DebugAllocator::OnError::count);
+    auto* p = static_cast<char*>(debug.allocate(100));
+    std::memset(p, 0x42, 104);  // four bytes past the end
+    debug.deallocate(p);
+    EXPECT_EQ(debug.overrun_count(), 1u);
+}
+
+TEST_F(DebugAllocatorTest, FatalModeAborts)
+{
+    HoardAllocator<NativePolicy> inner{Config{}};
+    DebugAllocator debug(inner);  // OnError::fatal
+    void* p = debug.allocate(32);
+    debug.deallocate(p);
+    EXPECT_DEATH(debug.deallocate(p), "untracked pointer");
+}
+
+TEST_F(DebugAllocatorTest, LeakReport)
+{
+    HoardAllocator<NativePolicy> inner{Config{}};
+    DebugAllocator debug(inner);
+    void* a = debug.allocate(10);
+    void* b = debug.allocate(20);
+    void* c = debug.allocate(30);
+    debug.deallocate(b);
+    auto leaks = debug.leak_report();
+    EXPECT_EQ(leaks.size(), 2u);
+    EXPECT_EQ(debug.live_bytes(), 40u);
+    debug.deallocate(a);
+    debug.deallocate(c);
+    EXPECT_TRUE(debug.leak_report().empty());
+}
+
+TEST_F(DebugAllocatorTest, UsableSizeReflectsRequest)
+{
+    HoardAllocator<NativePolicy> inner{Config{}};
+    DebugAllocator debug(inner);
+    void* p = debug.allocate(77);
+    EXPECT_EQ(debug.usable_size(p), 77u);
+    debug.deallocate(p);
+    EXPECT_EQ(debug.usable_size(p), 0u);  // no longer tracked
+}
+
+TEST_F(DebugAllocatorTest, ComposesWithEveryBaseline)
+{
+    for (auto kind : baselines::kAllKinds) {
+        auto inner = baselines::make_allocator<NativePolicy>(kind);
+        DebugAllocator debug(*inner);
+        std::vector<void*> blocks;
+        for (int i = 0; i < 200; ++i)
+            blocks.push_back(
+                debug.allocate(static_cast<std::size_t>(i) % 300 + 1));
+        for (void* p : blocks)
+            debug.deallocate(p);
+        EXPECT_EQ(debug.live_allocations(), 0u)
+            << baselines::to_string(kind);
+        EXPECT_EQ(debug.overrun_count(), 0u)
+            << baselines::to_string(kind);
+    }
+}
+
+TEST_F(DebugAllocatorTest, ReallocatePreservesTracking)
+{
+    HoardAllocator<NativePolicy> inner{Config{}};
+    DebugAllocator debug(inner);
+    auto* p = static_cast<char*>(debug.allocate(40));
+    std::memcpy(p, "hello", 6);
+    auto* q = static_cast<char*>(debug.reallocate(p, 4000));
+    EXPECT_STREQ(q, "hello");
+    EXPECT_EQ(debug.live_allocations(), 1u);
+    debug.deallocate(q);
+    EXPECT_EQ(debug.live_allocations(), 0u);
+}
+
+}  // namespace
+}  // namespace hoard

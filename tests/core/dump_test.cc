@@ -1,0 +1,61 @@
+/** @file Tests for the heap introspection report. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/hoard_allocator.h"
+#include "policy/native_policy.h"
+
+namespace hoard {
+namespace {
+
+TEST(Dump, ReportsConfigAndHeaps)
+{
+    Config config;
+    config.heap_count = 3;
+    HoardAllocator<NativePolicy> allocator(config);
+    NativePolicy::rebind_thread_index(0);
+    std::vector<void*> blocks;
+    for (int i = 0; i < 300; ++i)
+        blocks.push_back(allocator.allocate(64));
+
+    std::ostringstream os;
+    allocator.dump(os);
+    std::string out = os.str();
+
+    EXPECT_NE(out.find("S=8192"), std::string::npos);
+    EXPECT_NE(out.find("P=3"), std::string::npos);
+    EXPECT_NE(out.find("heap 0 (global)"), std::string::npos);
+    EXPECT_NE(out.find("superblock(s)"), std::string::npos);
+    EXPECT_NE(out.find("64 B"), std::string::npos);
+
+    for (void* p : blocks)
+        allocator.deallocate(p);
+}
+
+TEST(Dump, EmptyAllocatorStillPrints)
+{
+    HoardAllocator<NativePolicy> allocator{Config{}};
+    std::ostringstream os;
+    allocator.dump(os);
+    EXPECT_NE(os.str().find("heap 0 (global)"), std::string::npos);
+}
+
+TEST(Dump, ShowsThreadCacheWhenEnabled)
+{
+    Config config;
+    config.thread_cache_blocks = 16;
+    HoardAllocator<NativePolicy> allocator(config);
+    void* p = allocator.allocate(32);
+    allocator.deallocate(p);  // parks in the cache
+    std::ostringstream os;
+    allocator.dump(os);
+    EXPECT_NE(os.str().find("thread caches: 1 block(s)"),
+              std::string::npos);
+    allocator.flush_thread_caches();
+}
+
+}  // namespace
+}  // namespace hoard

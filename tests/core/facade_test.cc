@@ -1,0 +1,120 @@
+/** @file Unit tests for the malloc-style facade. */
+
+#include "core/facade.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace hoard {
+namespace {
+
+TEST(Facade, MallocFreeBasics)
+{
+    void* p = hoard_malloc(100);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0xaa, 100);
+    EXPECT_GE(hoard_usable_size(p), 100u);
+    hoard_free(p);
+    hoard_free(nullptr);  // no-op
+}
+
+TEST(Facade, MallocZeroGivesUniquePointers)
+{
+    void* a = hoard_malloc(0);
+    void* b = hoard_malloc(0);
+    EXPECT_NE(a, nullptr);
+    EXPECT_NE(b, nullptr);
+    EXPECT_NE(a, b);
+    hoard_free(a);
+    hoard_free(b);
+}
+
+TEST(Facade, CallocZeroes)
+{
+    auto* p = static_cast<unsigned char*>(hoard_calloc(100, 7));
+    ASSERT_NE(p, nullptr);
+    for (int i = 0; i < 700; ++i)
+        EXPECT_EQ(p[i], 0u);
+    // Dirty it, free, re-calloc: must be zero again despite reuse.
+    std::memset(p, 0xff, 700);
+    hoard_free(p);
+    auto* q = static_cast<unsigned char*>(hoard_calloc(100, 7));
+    for (int i = 0; i < 700; ++i)
+        EXPECT_EQ(q[i], 0u);
+    hoard_free(q);
+}
+
+TEST(Facade, CallocOverflowReturnsNull)
+{
+    std::size_t half = std::numeric_limits<std::size_t>::max() / 2 + 2;
+    EXPECT_EQ(hoard_calloc(half, 2), nullptr);
+}
+
+TEST(Facade, ReallocBehavesLikeLibc)
+{
+    auto* p = static_cast<char*>(hoard_realloc(nullptr, 10));
+    ASSERT_NE(p, nullptr);
+    std::memcpy(p, "123456789", 10);
+    p = static_cast<char*>(hoard_realloc(p, 10000));
+    EXPECT_STREQ(p, "123456789");
+    EXPECT_EQ(hoard_realloc(p, 0), nullptr);
+}
+
+TEST(Facade, AlignedAlloc)
+{
+    void* p = hoard_aligned_alloc(512, 100);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 512, 0u);
+    hoard_free(p);
+}
+
+TEST(Facade, PosixMemalign)
+{
+    void* p = nullptr;
+    EXPECT_EQ(hoard_posix_memalign(&p, 256, 100), 0);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 256, 0u);
+    hoard_free(p);
+
+    EXPECT_EQ(hoard_posix_memalign(&p, 3, 100), EINVAL);
+    EXPECT_EQ(hoard_posix_memalign(&p, 4, 100), EINVAL)
+        << "alignment must be a multiple of sizeof(void*)";
+    EXPECT_EQ(hoard_posix_memalign(&p, 1 << 20, 100), EINVAL)
+        << "alignment beyond S/2 is rejected, not fatal";
+    EXPECT_EQ(hoard_posix_memalign(nullptr, 256, 100), EINVAL);
+
+    EXPECT_EQ(hoard_posix_memalign(&p, 256, 0), 0);
+    hoard_free(p);
+}
+
+TEST(Facade, StatsAreLive)
+{
+    std::uint64_t before = hoard_stats().allocs.get();
+    void* p = hoard_malloc(32);
+    EXPECT_EQ(hoard_stats().allocs.get(), before + 1);
+    hoard_free(p);
+}
+
+TEST(Facade, GlobalAllocatorIsStable)
+{
+    EXPECT_EQ(&global_allocator(), &global_allocator());
+}
+
+TEST(Facade, MixedSizesStressRoundTrip)
+{
+    std::vector<void*> blocks;
+    for (int i = 1; i <= 300; ++i) {
+        void* p = hoard_malloc(static_cast<std::size_t>(i * 13 % 5000) + 1);
+        ASSERT_NE(p, nullptr);
+        blocks.push_back(p);
+    }
+    for (void* p : blocks)
+        hoard_free(p);
+    global_allocator().check_invariants();
+}
+
+}  // namespace
+}  // namespace hoard

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Property tests for Hoard's emptiness invariant and blowup bound —
+ * the paper's central formal claims (§3.2):
+ *
+ *   P1. After any operation sequence, each per-processor heap obeys
+ *       u_i >= a_i - K*S  or  u_i >= (1-f) a_i   (within one-transfer
+ *       and header slack).
+ *   P2. Blowup is O(1): total held memory is bounded by a constant
+ *       multiple of the program's maximum live memory plus constants,
+ *       independent of how ownership migrates between threads.
+ *   P3. Frees always make blocks reusable: no operation sequence can
+ *       strand memory outside the heaps' books (accounting closure).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hoard_allocator.h"
+#include "policy/native_policy.h"
+#include "workloads/prodcons.h"
+
+namespace hoard {
+namespace {
+
+using NativeHoard = HoardAllocator<NativePolicy>;
+
+struct InvariantCase
+{
+    std::uint64_t seed;
+    double empty_fraction;
+    double release_threshold;
+    std::size_t slack;
+    int max_live;
+    std::size_t max_size;
+};
+
+class HoardInvariantTest
+    : public ::testing::TestWithParam<InvariantCase>
+{};
+
+/** P1 + P3: random single-threaded churn with periodic full checks. */
+TEST_P(HoardInvariantTest, RandomChurnKeepsInvariant)
+{
+    const InvariantCase& param = GetParam();
+    Config config;
+    config.heap_count = 4;
+    config.empty_fraction = param.empty_fraction;
+    config.release_threshold = param.release_threshold;
+    config.slack_superblocks = param.slack;
+    NativeHoard allocator(config);
+
+    detail::Rng rng(param.seed);
+    std::vector<void*> live;
+    for (int op = 0; op < 8000; ++op) {
+        // Hop between logical threads so superblocks change owners.
+        if (op % 97 == 0) {
+            NativePolicy::rebind_thread_index(
+                static_cast<int>(rng.below(6)));
+        }
+        bool grow = live.empty() ||
+                    (static_cast<int>(live.size()) < param.max_live &&
+                     rng.chance(0.55));
+        if (grow) {
+            live.push_back(allocator.allocate(
+                rng.range(1, param.max_size)));
+        } else {
+            auto idx = static_cast<std::size_t>(rng.below(live.size()));
+            allocator.deallocate(live[idx]);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+        if (op % 512 == 0)
+            ASSERT_TRUE(allocator.check_invariants()) << "op " << op;
+    }
+    ASSERT_TRUE(allocator.check_invariants());
+    for (void* p : live)
+        allocator.deallocate(p);
+    ASSERT_TRUE(allocator.check_invariants());
+    EXPECT_EQ(allocator.stats().in_use_bytes.current(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, HoardInvariantTest,
+    ::testing::Values(
+        // Paper-literal mode: victims need only be f empty.
+        InvariantCase{1, 0.25, 0.25, 0, 300, 500},
+        InvariantCase{2, 0.25, 0.25, 2, 300, 500},
+        InvariantCase{3, 0.125, 0.125, 0, 100, 2000},
+        // Default mode: victims must be nearly empty.
+        InvariantCase{4, 0.25, 0.875, 8, 300, 500},
+        InvariantCase{5, 0.5, 0.875, 4, 500, 100},
+        InvariantCase{6, 0.75, 0.75, 2, 50, 3000},
+        InvariantCase{7, 0.25, 1.0, 2, 1000, 64},
+        InvariantCase{8, 0.5, 0.5, 0, 200, 1200},
+        InvariantCase{9, 0.125, 0.875, 0, 100, 2000}));
+
+/** P2: Hoard's footprint does not grow with producer-consumer rounds. */
+TEST(HoardBlowup, ProdConsFootprintIsFlat)
+{
+    Config config;
+    config.heap_count = 4;
+    NativeHoard allocator(config);
+    workloads::ProdConsParams params;
+    params.rounds = 80;
+    params.batch_objects = 300;
+    params.object_bytes = 64;
+    std::vector<std::size_t> held;
+    workloads::prodcons_pair<NativePolicy>(allocator, params, 0, &held);
+
+    // After warmup, held memory must plateau: compare round 10 vs 80.
+    EXPECT_LE(held[79], held[9] + 4 * config.superblock_bytes)
+        << "footprint grew across rounds: blowup is not O(1)";
+}
+
+/** P2 quantified: held <= (1/(1-f)) * live + heaps * (K+1) * S + slack. */
+TEST(HoardBlowup, FootprintBoundedByInvariantFormula)
+{
+    Config config;
+    config.heap_count = 4;
+    config.empty_fraction = 0.25;
+    config.release_threshold = 0.25;  // paper-literal victim rule
+    config.slack_superblocks = 2;
+    NativeHoard allocator(config);
+
+    detail::Rng rng(99);
+    std::vector<std::pair<void*, std::size_t>> live;
+    std::size_t live_bytes = 0;
+    std::size_t max_live_bytes = 0;
+
+    for (int op = 0; op < 30000; ++op) {
+        if (op % 61 == 0) {
+            NativePolicy::rebind_thread_index(
+                static_cast<int>(rng.below(8)));
+        }
+        if (live.size() < 400 && rng.chance(0.52)) {
+            std::size_t size = rng.range(8, 900);
+            live.emplace_back(allocator.allocate(size), size);
+            live_bytes += size;
+            max_live_bytes = std::max(max_live_bytes, live_bytes);
+        } else if (!live.empty()) {
+            auto idx = static_cast<std::size_t>(rng.below(live.size()));
+            allocator.deallocate(live[idx].first);
+            live_bytes -= live[idx].second;
+            live[idx] = live.back();
+            live.pop_back();
+        }
+    }
+
+    const double f = config.empty_fraction;
+    const std::size_t S = config.superblock_bytes;
+    // Size classes introduce up to the class ratio (~1.2x, plus
+    // rounding) of internal fragmentation on top of the invariant's
+    // 1/(1-f); heaps can additionally hold (K+1) superblocks each and
+    // the global heap caches empties (bounded by what was ever held).
+    double bound =
+        static_cast<double>(max_live_bytes) * 1.35 / (1.0 - f) +
+        static_cast<double>(
+            (static_cast<std::size_t>(config.heap_count) + 1) *
+            (config.slack_superblocks + 2) * S);
+    EXPECT_LE(static_cast<double>(allocator.stats().held_bytes.peak()),
+              bound);
+    for (auto& [p, size] : live)
+        allocator.deallocate(p);
+}
+
+/** The serial-equivalent footprint: single heap never blows up. */
+TEST(HoardBlowup, SingleHeapMatchesLiveMemory)
+{
+    Config config;
+    config.heap_count = 1;
+    NativeHoard allocator(config);
+    std::vector<void*> blocks;
+    for (int i = 0; i < 4000; ++i)
+        blocks.push_back(allocator.allocate(64));
+    std::size_t held = allocator.stats().held_bytes.current();
+    std::size_t used = allocator.stats().in_use_bytes.current();
+    EXPECT_LT(static_cast<double>(held),
+              static_cast<double>(used) * 1.15 +
+                  2 * config.superblock_bytes);
+    for (void* p : blocks)
+        allocator.deallocate(p);
+}
+
+}  // namespace
+}  // namespace hoard

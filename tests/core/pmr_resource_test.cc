@@ -1,0 +1,103 @@
+/** @file Tests for the std::pmr adapter. */
+
+#include "core/pmr_resource.h"
+
+#include <gtest/gtest.h>
+
+#include <memory_resource>
+#include <string>
+#include <vector>
+
+#include "baselines/serial_allocator.h"
+#include "core/hoard_allocator.h"
+#include "policy/native_policy.h"
+
+namespace hoard {
+namespace {
+
+TEST(PmrResource, VectorAndString)
+{
+    HoardAllocator<NativePolicy> backend{Config{}};
+    HoardPmrResource resource(backend);
+
+    std::pmr::vector<int> v(&resource);
+    for (int i = 0; i < 50000; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v[49999], 49999);
+
+    std::pmr::string s(&resource);
+    for (int i = 0; i < 2000; ++i)
+        s += static_cast<char>('a' + i % 26);
+    EXPECT_EQ(s.size(), 2000u);
+
+    EXPECT_GT(backend.stats().allocs.get(), 0u);
+    v = std::pmr::vector<int>(&resource);
+    s.clear();
+    s.shrink_to_fit();
+}
+
+TEST(PmrResource, ReleasesEverything)
+{
+    HoardAllocator<NativePolicy> backend{Config{}};
+    {
+        HoardPmrResource resource(backend);
+        std::pmr::vector<std::pmr::string> rows(&resource);
+        for (int i = 0; i < 500; ++i)
+            rows.emplace_back("some string content that is not SSO-"
+                              "sized at all, number " +
+                              std::to_string(i));
+    }
+    EXPECT_EQ(backend.stats().in_use_bytes.current(), 0u);
+    EXPECT_TRUE(backend.check_invariants());
+}
+
+TEST(PmrResource, OverAlignedThroughHoard)
+{
+    HoardAllocator<NativePolicy> backend{Config{}};
+    HoardPmrResource resource(backend);
+    void* p = resource.allocate(100, 1024);
+    EXPECT_TRUE(detail::is_aligned(p, 1024));
+    resource.deallocate(p, 100, 1024);
+    EXPECT_EQ(backend.stats().in_use_bytes.current(), 0u);
+}
+
+TEST(PmrResource, GenericBackendHandlesNaturalAlignment)
+{
+    baselines::SerialAllocator<NativePolicy> backend{Config{}};
+    PmrResource resource(backend);
+    void* p = resource.allocate(64, 16);
+    EXPECT_NE(p, nullptr);
+    resource.deallocate(p, 64, 16);
+}
+
+TEST(PmrResource, GenericBackendRejectsOverAlignment)
+{
+    baselines::SerialAllocator<NativePolicy> backend{Config{}};
+    PmrResource resource(backend);
+    EXPECT_DEATH(resource.allocate(64, 256), "alignment");
+}
+
+TEST(PmrResource, EqualityFollowsBackend)
+{
+    HoardAllocator<NativePolicy> a{Config{}};
+    HoardAllocator<NativePolicy> b{Config{}};
+    HoardPmrResource ra1(a), ra2(a), rb(b);
+    EXPECT_TRUE(ra1.is_equal(ra2));
+    EXPECT_FALSE(ra1.is_equal(rb));
+    EXPECT_FALSE(ra1.is_equal(*std::pmr::new_delete_resource()));
+}
+
+TEST(PmrResource, MonotonicChainUpstream)
+{
+    HoardAllocator<NativePolicy> backend{Config{}};
+    HoardPmrResource upstream(backend);
+    std::pmr::monotonic_buffer_resource arena(&upstream);
+    std::pmr::vector<double> v(&arena);
+    for (int i = 0; i < 10000; ++i)
+        v.push_back(i * 0.5);
+    EXPECT_DOUBLE_EQ(v[9999], 4999.5);
+    EXPECT_GT(backend.stats().allocs.get(), 0u);
+}
+
+}  // namespace
+}  // namespace hoard

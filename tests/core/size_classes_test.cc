@@ -1,0 +1,132 @@
+/** @file Unit and property tests for the geometric size classes. */
+
+#include "core/size_classes.h"
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/superblock.h"
+
+namespace hoard {
+namespace {
+
+SizeClasses
+make_classes(Config config = Config())
+{
+    return SizeClasses(
+        config, Superblock::payload_bytes_for(config.superblock_bytes));
+}
+
+TEST(SizeClasses, SmallestClassCoversMinBlock)
+{
+    auto classes = make_classes();
+    EXPECT_EQ(classes.block_size(0), 8u);
+    EXPECT_EQ(classes.class_for(1), 0);
+    EXPECT_EQ(classes.class_for(8), 0);
+    EXPECT_NE(classes.class_for(9), 0);
+}
+
+TEST(SizeClasses, ZeroBytesServedAsOne)
+{
+    auto classes = make_classes();
+    EXPECT_EQ(classes.class_for(0), 0);
+}
+
+TEST(SizeClasses, HugeBeyondLargest)
+{
+    auto classes = make_classes();
+    EXPECT_NE(classes.class_for(classes.largest()), SizeClasses::kHuge);
+    EXPECT_EQ(classes.class_for(classes.largest() + 1),
+              SizeClasses::kHuge);
+    EXPECT_EQ(classes.class_for(1 << 20), SizeClasses::kHuge);
+}
+
+TEST(SizeClasses, LargestFitsTwoBlocksPerSuperblock)
+{
+    Config config;
+    auto classes = make_classes(config);
+    std::size_t payload =
+        Superblock::payload_bytes_for(config.superblock_bytes);
+    EXPECT_LE(2 * classes.largest(), payload);
+}
+
+TEST(SizeClasses, BlockSizesStrictlyIncrease)
+{
+    auto classes = make_classes();
+    for (int c = 1; c < classes.count(); ++c)
+        EXPECT_GT(classes.block_size(c), classes.block_size(c - 1));
+}
+
+TEST(SizeClasses, GrowthBoundedByBase)
+{
+    Config config;
+    auto classes = make_classes(config);
+    for (int c = 1; c < classes.count(); ++c) {
+        double ratio =
+            static_cast<double>(classes.block_size(c)) /
+            static_cast<double>(classes.block_size(c - 1));
+        // Rounding to alignment can push slightly past b for tiny
+        // classes; internal fragmentation stays bounded regardless.
+        EXPECT_LE(ratio, 2.01) << "class " << c;
+    }
+}
+
+TEST(SizeClasses, AlignmentGuarantees)
+{
+    auto classes = make_classes();
+    for (int c = 0; c < classes.count(); ++c) {
+        std::size_t bs = classes.block_size(c);
+        if (bs <= 8)
+            EXPECT_EQ(bs % 8, 0u);
+        else
+            EXPECT_EQ(bs % 16, 0u) << "class " << c;
+    }
+}
+
+/** Property: every size maps to the smallest class that covers it. */
+TEST(SizeClasses, MappingIsTightEverywhere)
+{
+    auto classes = make_classes();
+    for (std::size_t size = 1; size <= classes.largest(); ++size) {
+        int cls = classes.class_for(size);
+        ASSERT_NE(cls, SizeClasses::kHuge) << size;
+        EXPECT_GE(classes.block_size(cls), size) << size;
+        if (cls > 0) {
+            EXPECT_LT(classes.block_size(cls - 1), size)
+                << "class not minimal for size " << size;
+        }
+    }
+}
+
+/** The same tightness property across different configurations. */
+class SizeClassesConfigTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, double>>
+{};
+
+TEST_P(SizeClassesConfigTest, MappingTightForConfig)
+{
+    Config config;
+    config.superblock_bytes = GetParam().first;
+    config.size_class_base = GetParam().second;
+    auto classes = make_classes(config);
+    EXPECT_GT(classes.count(), 3);
+    for (std::size_t size = 1; size <= classes.largest();
+         size += size < 64 ? 1 : 37) {
+        int cls = classes.class_for(size);
+        ASSERT_NE(cls, SizeClasses::kHuge);
+        EXPECT_GE(classes.block_size(cls), size);
+        if (cls > 0)
+            EXPECT_LT(classes.block_size(cls - 1), size);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SizeClassesConfigTest,
+    ::testing::Values(std::make_pair(std::size_t{4096}, 1.2),
+                      std::make_pair(std::size_t{8192}, 1.2),
+                      std::make_pair(std::size_t{8192}, 1.5),
+                      std::make_pair(std::size_t{16384}, 1.1),
+                      std::make_pair(std::size_t{65536}, 2.0)));
+
+}  // namespace
+}  // namespace hoard

@@ -1,0 +1,87 @@
+/** @file Unit tests for the STL allocator adapter. */
+
+#include "core/stl_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/serial_allocator.h"
+#include "core/hoard_allocator.h"
+#include "policy/native_policy.h"
+
+namespace hoard {
+namespace {
+
+TEST(StlAllocator, VectorGrowsAndShrinks)
+{
+    HoardAllocator<NativePolicy> backend{Config{}};
+    std::vector<int, StlAllocator<int>> v{StlAllocator<int>(backend)};
+    for (int i = 0; i < 100000; ++i)
+        v.push_back(i);
+    for (int i = 0; i < 100000; ++i)
+        ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+    EXPECT_GT(backend.stats().allocs.get(), 0u);
+    v.clear();
+    v.shrink_to_fit();
+    EXPECT_EQ(backend.stats().in_use_bytes.current(), 0u);
+}
+
+TEST(StlAllocator, MapAndListWork)
+{
+    HoardAllocator<NativePolicy> backend{Config{}};
+    using Pair = std::pair<const int, int>;
+    std::map<int, int, std::less<int>, StlAllocator<Pair>> m{
+        std::less<int>(), StlAllocator<Pair>(backend)};
+    std::list<int, StlAllocator<int>> l{StlAllocator<int>(backend)};
+    for (int i = 0; i < 1000; ++i) {
+        m[i] = i * i;
+        l.push_back(i);
+    }
+    EXPECT_EQ(m.at(31), 961);
+    EXPECT_EQ(l.size(), 1000u);
+    m.clear();
+    l.clear();
+    EXPECT_EQ(backend.stats().in_use_bytes.current(), 0u);
+    backend.check_invariants();
+}
+
+TEST(StlAllocator, DefaultUsesGlobalInstance)
+{
+    std::vector<int, StlAllocator<int>> v;
+    v.resize(100, 7);
+    EXPECT_EQ(v[99], 7);
+}
+
+TEST(StlAllocator, EqualityFollowsBackend)
+{
+    HoardAllocator<NativePolicy> a{Config{}};
+    baselines::SerialAllocator<NativePolicy> b{Config{}};
+    StlAllocator<int> sa(a), sa2(a), sb(b);
+    EXPECT_EQ(sa, sa2);
+    EXPECT_NE(sa, sb);
+}
+
+TEST(StlAllocator, RebindKeepsBackend)
+{
+    HoardAllocator<NativePolicy> backend{Config{}};
+    StlAllocator<int> ints(backend);
+    StlAllocator<double> doubles(ints);  // converting constructor
+    EXPECT_EQ(doubles.backend(), ints.backend());
+}
+
+TEST(StlAllocator, WorksWithBaselineBackends)
+{
+    baselines::SerialAllocator<NativePolicy> backend{Config{}};
+    std::basic_string<char, std::char_traits<char>, StlAllocator<char>>
+        s{StlAllocator<char>(backend)};
+    for (int i = 0; i < 1000; ++i)
+        s += static_cast<char>('a' + i % 26);
+    EXPECT_EQ(s.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace hoard

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Parameterized superblock sweeps: the carve/free/fullness machinery
+ * must hold for every (superblock size, block size) combination the
+ * configuration space allows, not just the defaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/memutil.h"
+#include "core/superblock.h"
+#include "os/page_provider.h"
+
+namespace hoard {
+namespace {
+
+using Params = std::tuple<std::size_t, std::uint32_t>;  // S, block
+
+class SuperblockParamTest : public ::testing::TestWithParam<Params>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        std::tie(sb_bytes_, block_bytes_) = GetParam();
+        memory_ = provider_.map(sb_bytes_, sb_bytes_);
+        ASSERT_NE(memory_, nullptr);
+        sb_ = Superblock::create(memory_, sb_bytes_, 0, block_bytes_);
+    }
+
+    void TearDown() override { provider_.unmap(memory_, sb_bytes_); }
+
+    os::MmapPageProvider provider_;
+    std::size_t sb_bytes_ = 0;
+    std::uint32_t block_bytes_ = 0;
+    void* memory_ = nullptr;
+    Superblock* sb_ = nullptr;
+};
+
+TEST_P(SuperblockParamTest, CapacityMatchesGeometry)
+{
+    EXPECT_EQ(sb_->capacity(),
+              (sb_bytes_ - Superblock::header_bytes()) / block_bytes_);
+    EXPECT_GE(sb_->capacity(), 2u);
+}
+
+TEST_P(SuperblockParamTest, FillDrainFillAgain)
+{
+    std::vector<void*> blocks;
+    std::set<void*> seen;
+    while (!sb_->full()) {
+        void* p = sb_->allocate();
+        EXPECT_TRUE(seen.insert(p).second);
+        blocks.push_back(p);
+    }
+    EXPECT_EQ(blocks.size(), sb_->capacity());
+    for (void* p : blocks)
+        sb_->deallocate(p);
+    EXPECT_TRUE(sb_->empty());
+    // Refill entirely from the free list.
+    std::size_t count = 0;
+    while (!sb_->full()) {
+        sb_->allocate();
+        ++count;
+    }
+    EXPECT_EQ(count, sb_->capacity());
+}
+
+TEST_P(SuperblockParamTest, BlocksStayInsideTheSpan)
+{
+    auto base = reinterpret_cast<std::uintptr_t>(sb_);
+    while (!sb_->full()) {
+        auto addr = reinterpret_cast<std::uintptr_t>(sb_->allocate());
+        EXPECT_GE(addr, base + Superblock::header_bytes());
+        EXPECT_LE(addr + block_bytes_, base + sb_bytes_);
+    }
+}
+
+TEST_P(SuperblockParamTest, MaskRecoversFromEveryBlockByte)
+{
+    void* p = sb_->allocate();
+    auto* bytes = static_cast<char*>(p);
+    for (std::uint32_t off = 0; off < block_bytes_;
+         off += block_bytes_ / 4 + 1) {
+        EXPECT_EQ(Superblock::from_pointer(bytes + off, sb_bytes_), sb_);
+        EXPECT_EQ(sb_->block_start(bytes + off), p);
+    }
+}
+
+TEST_P(SuperblockParamTest, FullnessGroupEndpoints)
+{
+    EXPECT_EQ(sb_->fullness_group(), 0);
+    while (!sb_->full())
+        sb_->allocate();
+    EXPECT_EQ(sb_->fullness_group(), Superblock::kFullGroup);
+}
+
+TEST_P(SuperblockParamTest, PatternsSurviveFullPopulation)
+{
+    std::vector<void*> blocks;
+    while (!sb_->full()) {
+        void* p = sb_->allocate();
+        detail::pattern_fill(p, block_bytes_,
+                             reinterpret_cast<std::uintptr_t>(p));
+        blocks.push_back(p);
+    }
+    for (void* p : blocks) {
+        EXPECT_TRUE(detail::pattern_check(
+            p, block_bytes_, reinterpret_cast<std::uintptr_t>(p)));
+    }
+    for (void* p : blocks)
+        sb_->deallocate(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, SuperblockParamTest,
+    ::testing::Values(Params{4096, 8}, Params{4096, 1024},
+                      Params{8192, 8}, Params{8192, 16},
+                      Params{8192, 24}, Params{8192, 512},
+                      Params{8192, 4000}, Params{16384, 8},
+                      Params{16384, 7168}, Params{65536, 8},
+                      Params{65536, 32768 - 64}),
+    [](const ::testing::TestParamInfo<Params>& info) {
+        return "S" + std::to_string(std::get<0>(info.param)) + "_b" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace hoard

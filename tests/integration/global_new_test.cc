@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Whole-process integration: this binary replaces the global operator
+ * new/delete with Hoard (core/global_new.h), so gtest, the standard
+ * library, and everything below run on the reproduction allocator.
+ * The tests then exercise heavy C++ allocation and verify the global
+ * instance's books.
+ */
+
+#define HOARD_REPLACE_GLOBAL_NEW
+#include "core/global_new.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hoard {
+namespace {
+
+TEST(GlobalNew, OperatorNewGoesThroughHoard)
+{
+    std::uint64_t before = hoard_stats().allocs.get();
+    auto* x = new int(42);
+    EXPECT_EQ(*x, 42);
+    delete x;
+    EXPECT_GT(hoard_stats().allocs.get(), before);
+}
+
+TEST(GlobalNew, ArrayForms)
+{
+    auto* xs = new double[1000];
+    for (int i = 0; i < 1000; ++i)
+        xs[i] = i * 0.25;
+    EXPECT_DOUBLE_EQ(xs[999], 249.75);
+    delete[] xs;
+}
+
+TEST(GlobalNew, NothrowForm)
+{
+    int* p = new (std::nothrow) int[64];
+    ASSERT_NE(p, nullptr);
+    delete[] p;
+}
+
+TEST(GlobalNew, OverAlignedTypes)
+{
+    struct alignas(128) Wide
+    {
+        char data[256];
+    };
+    auto* w = new Wide();
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w) % 128, 0u);
+    delete w;
+
+    auto* ws = new Wide[4];
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ws) % 128, 0u);
+    delete[] ws;
+}
+
+TEST(GlobalNew, ContainersWorkAtScale)
+{
+    std::map<std::string, std::vector<int>> table;
+    for (int i = 0; i < 2000; ++i) {
+        std::string key = "key-" + std::to_string(i % 97);
+        table[key].push_back(i);
+    }
+    EXPECT_EQ(table.size(), 97u);
+    std::deque<std::string> q;
+    for (int i = 0; i < 5000; ++i)
+        q.push_back(std::string(static_cast<std::size_t>(i % 200), 'x'));
+    EXPECT_EQ(q.size(), 5000u);
+}
+
+TEST(GlobalNew, SmartPointersAndThreads)
+{
+    std::vector<std::thread> threads;
+    std::vector<std::shared_ptr<std::string>> results(8);
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&results, t] {
+            auto local = std::make_unique<std::vector<int>>();
+            for (int i = 0; i < 20000; ++i)
+                local->push_back(i);
+            results[static_cast<std::size_t>(t)] =
+                std::make_shared<std::string>(
+                    "thread " + std::to_string(t) + " ok, sum tail " +
+                    std::to_string(local->back()));
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    for (auto& r : results) {
+        ASSERT_NE(r, nullptr);
+        EXPECT_NE(r->find("ok"), std::string::npos);
+    }
+}
+
+TEST(GlobalNew, AllocatorBooksStayConsistent)
+{
+    // Everything this whole binary did so far ran on Hoard; the global
+    // instance must still satisfy its invariants.
+    EXPECT_TRUE(global_allocator().check_invariants());
+    EXPECT_GE(hoard_stats().allocs.get(), hoard_stats().frees.get());
+    EXPECT_GT(hoard_stats().held_bytes.peak(), 0u);
+}
+
+}  // namespace
+}  // namespace hoard

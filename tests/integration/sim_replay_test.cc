@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Trace replay under the simulator, and N-thread virtual-mutex and
+ * facade concurrency stress — the remaining cross-module seams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "core/facade.h"
+#include "core/hoard_allocator.h"
+#include "policy/sim_policy.h"
+#include "sim/machine.h"
+#include "sim/virtual_mutex.h"
+#include "workloads/runners.h"
+#include "workloads/synthetic.h"
+#include "workloads/trace.h"
+
+namespace hoard {
+namespace {
+
+TEST(SimReplay, SyntheticTraceReplaysUnderSim)
+{
+    workloads::SyntheticParams params;
+    params.operations = 3000;
+    params.cross_thread_free_fraction = 0.25;
+    workloads::Trace trace =
+        workloads::generate_synthetic_trace(params);
+
+    HoardAllocator<SimPolicy> allocator{Config{}};
+    workloads::ReplayResult result;
+    sim::Machine machine(1);
+    machine.spawn(0, 0, [&] {
+        result = workloads::replay<SimPolicy>(allocator, trace);
+    });
+    std::uint64_t makespan = machine.run();
+
+    EXPECT_EQ(result.allocs, 3000u);
+    EXPECT_GT(makespan, 0u);
+    EXPECT_EQ(allocator.stats().in_use_bytes.current(), 0u);
+}
+
+TEST(SimReplay, SimAndNativeReplayAgreeOnMemory)
+{
+    // Footprint is a pure function of the operation sequence, so the
+    // two execution worlds must land on identical byte counts.
+    workloads::SyntheticParams params;
+    params.operations = 2500;
+    workloads::Trace trace =
+        workloads::generate_synthetic_trace(params);
+
+    HoardAllocator<NativePolicy> native{Config{}};
+    auto native_result = workloads::replay<NativePolicy>(native, trace);
+
+    HoardAllocator<SimPolicy> simulated{Config{}};
+    workloads::ReplayResult sim_result;
+    sim::Machine machine(1);
+    machine.spawn(0, 0, [&] {
+        sim_result = workloads::replay<SimPolicy>(simulated, trace);
+    });
+    machine.run();
+
+    EXPECT_EQ(native_result.peak_held_bytes,
+              sim_result.peak_held_bytes);
+    EXPECT_EQ(native_result.peak_in_use_bytes,
+              sim_result.peak_in_use_bytes);
+}
+
+class VirtualMutexStress : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(VirtualMutexStress, ManyThreadsSerializeCorrectly)
+{
+    const int nthreads = GetParam();
+    sim::Machine machine(nthreads, sim::CostModel(), /*quantum=*/1);
+    sim::VirtualMutex mutex;
+    long counter = 0;
+    for (int t = 0; t < nthreads; ++t) {
+        machine.spawn(t, t, [&] {
+            for (int i = 0; i < 50; ++i) {
+                std::lock_guard<sim::VirtualMutex> guard(mutex);
+                long snapshot = counter;
+                sim::Machine::current()->charge(30);
+                sim::Machine::current()->yield();
+                counter = snapshot + 1;  // lost update unless exclusive
+            }
+        });
+    }
+    machine.run();
+    EXPECT_EQ(counter, 50L * nthreads);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, VirtualMutexStress,
+                         ::testing::Values(2, 3, 8, 16, 32));
+
+TEST(FacadeConcurrency, GlobalInstanceUnderRealThreads)
+{
+    const int kThreads = 8;
+    workloads::native_run(kThreads, [](int tid) {
+        NativePolicy::rebind_thread_index(tid);
+        std::vector<void*> live;
+        for (int i = 0; i < 4000; ++i) {
+            live.push_back(
+                hoard_malloc(static_cast<std::size_t>(i % 700) + 1));
+            if (live.size() > 64) {
+                hoard_free(live.front());
+                live.erase(live.begin());
+            }
+        }
+        for (void* p : live)
+            hoard_free(p);
+    });
+    EXPECT_TRUE(global_allocator().check_invariants());
+}
+
+class ReallocSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{};
+
+TEST_P(ReallocSweep, ContentPreservedAcrossClasses)
+{
+    auto [from, to] = GetParam();
+    HoardAllocator<NativePolicy> allocator{Config{}};
+    auto* p = static_cast<unsigned char*>(allocator.allocate(from));
+    for (std::size_t i = 0; i < from; ++i)
+        p[i] = static_cast<unsigned char>(i * 7 + 1);
+    auto* q = static_cast<unsigned char*>(allocator.reallocate(p, to));
+    ASSERT_NE(q, nullptr);
+    std::size_t preserved = std::min(from, to);
+    for (std::size_t i = 0; i < preserved; ++i)
+        ASSERT_EQ(q[i], static_cast<unsigned char>(i * 7 + 1)) << i;
+    EXPECT_GE(allocator.usable_size(q), to);
+    allocator.deallocate(q);
+    EXPECT_EQ(allocator.stats().in_use_bytes.current(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ReallocSweep,
+    ::testing::Values(std::make_pair(std::size_t{8}, std::size_t{16}),
+                      std::make_pair(std::size_t{8}, std::size_t{4096}),
+                      std::make_pair(std::size_t{100}, std::size_t{100}),
+                      std::make_pair(std::size_t{500}, std::size_t{20}),
+                      std::make_pair(std::size_t{3000},
+                                     std::size_t{200000}),
+                      std::make_pair(std::size_t{200000},
+                                     std::size_t{64}),
+                      std::make_pair(std::size_t{100000},
+                                     std::size_t{400000})));
+
+}  // namespace
+}  // namespace hoard

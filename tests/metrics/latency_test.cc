@@ -1,0 +1,101 @@
+/** @file Unit tests for the latency histogram. */
+
+#include "metrics/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hoard {
+namespace metrics {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZero)
+{
+    LatencyHistogram hist;
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(50), 0.0);
+    EXPECT_EQ(hist.max(), 0u);
+}
+
+TEST(LatencyHistogram, MeanAndMaxAreExact)
+{
+    LatencyHistogram hist;
+    hist.record(10);
+    hist.record(20);
+    hist.record(90);
+    EXPECT_EQ(hist.count(), 3u);
+    EXPECT_DOUBLE_EQ(hist.mean(), 40.0);
+    EXPECT_EQ(hist.max(), 90u);
+}
+
+TEST(LatencyHistogram, PercentileWithinBucketFactor)
+{
+    LatencyHistogram hist;
+    for (int i = 0; i < 1000; ++i)
+        hist.record(100);
+    double p50 = hist.percentile(50);
+    EXPECT_GE(p50, 100.0 / 1.5);
+    EXPECT_LE(p50, 100.0 * 1.5);
+}
+
+TEST(LatencyHistogram, TailSeparatesFromBody)
+{
+    LatencyHistogram hist;
+    for (int i = 0; i < 990; ++i)
+        hist.record(100);
+    for (int i = 0; i < 10; ++i)
+        hist.record(100000);
+    EXPECT_LT(hist.percentile(50), 200.0);
+    EXPECT_GT(hist.percentile(99.5), 50000.0);
+    EXPECT_GT(hist.percentile(99.5), 100 * hist.percentile(50));
+}
+
+TEST(LatencyHistogram, PercentilesMonotonic)
+{
+    LatencyHistogram hist;
+    detail::Rng rng(3);
+    for (int i = 0; i < 20000; ++i)
+        hist.record(rng.range(1, 1 << 20));
+    double prev = 0.0;
+    for (double p : {1.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+        double v = hist.percentile(p);
+        EXPECT_GE(v, prev) << "p" << p;
+        prev = v;
+    }
+}
+
+TEST(LatencyHistogram, ZeroAndOneShareLowestBucket)
+{
+    LatencyHistogram hist;
+    hist.record(0);
+    hist.record(1);
+    EXPECT_DOUBLE_EQ(hist.percentile(50), 1.0);
+}
+
+TEST(LatencyHistogram, HugeValuesClampToLastBucket)
+{
+    LatencyHistogram hist;
+    hist.record(~std::uint64_t{0});
+    EXPECT_EQ(hist.count(), 1u);
+    EXPECT_GT(hist.percentile(50), 1e12);
+}
+
+TEST(LatencyHistogram, MergeCombines)
+{
+    LatencyHistogram a, b;
+    for (int i = 0; i < 100; ++i)
+        a.record(10);
+    for (int i = 0; i < 100; ++i)
+        b.record(100000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_EQ(a.max(), 100000u);
+    EXPECT_LT(a.percentile(25), 100.0);
+    EXPECT_GT(a.percentile(75), 10000.0);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace hoard

@@ -1,0 +1,91 @@
+/** @file Unit tests for the speedup harness. */
+
+#include "metrics/speedup.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "policy/sim_policy.h"
+
+namespace hoard {
+namespace metrics {
+namespace {
+
+/** Trivial embarrassingly-parallel body: pure compute, no allocation. */
+void
+compute_body(Allocator& /*allocator*/, int /*tid*/, int nthreads)
+{
+    // Fixed total work split across threads.
+    SimPolicy::work(static_cast<std::uint64_t>(120000 / nthreads));
+}
+
+TEST(SpeedupHarness, PerfectlyParallelWorkScalesLinearly)
+{
+    SpeedupOptions options;
+    options.procs = {1, 2, 4};
+    options.kinds = {baselines::AllocatorKind::hoard};
+    SpeedupResult result =
+        run_speedup_experiment("unit", options, compute_body);
+
+    EXPECT_DOUBLE_EQ(result.at(0, 0).speedup, 1.0);
+    EXPECT_NEAR(result.at(1, 0).speedup, 2.0, 0.01);
+    EXPECT_NEAR(result.at(2, 0).speedup, 4.0, 0.01);
+}
+
+TEST(SpeedupHarness, AllocatingBodyRunsAllKinds)
+{
+    SpeedupOptions options;
+    options.procs = {1, 2};
+    SpeedupResult result = run_speedup_experiment(
+        "unit", options, [](Allocator& a, int, int) {
+            for (int i = 0; i < 50; ++i) {
+                void* p = a.allocate(64);
+                a.deallocate(p);
+            }
+        });
+    ASSERT_EQ(result.cells.size(), 2u);
+    ASSERT_EQ(result.cells[0].size(), baselines::kAllKinds.size());
+    for (std::size_t k = 0; k < baselines::kAllKinds.size(); ++k) {
+        EXPECT_GT(result.at(0, k).makespan, 0u);
+        EXPECT_DOUBLE_EQ(result.at(0, k).speedup, 1.0);
+    }
+}
+
+TEST(SpeedupHarness, PrintProducesTable)
+{
+    SpeedupOptions options;
+    options.procs = {1, 2};
+    options.kinds = {baselines::AllocatorKind::hoard,
+                     baselines::AllocatorKind::serial};
+    SpeedupResult result =
+        run_speedup_experiment("my title", options, compute_body);
+    std::ostringstream os;
+    result.print(os, /*diagnostics=*/true);
+    std::string out = os.str();
+    EXPECT_NE(out.find("my title"), std::string::npos);
+    EXPECT_NE(out.find("hoard"), std::string::npos);
+    EXPECT_NE(out.find("serial"), std::string::npos);
+    EXPECT_NE(out.find("diagnostics"), std::string::npos);
+}
+
+TEST(SpeedupHarness, DeterministicAcrossRepeats)
+{
+    SpeedupOptions options;
+    options.procs = {1, 4};
+    options.kinds = {baselines::AllocatorKind::hoard};
+    auto body = [](Allocator& a, int, int nthreads) {
+        for (int i = 0; i < 400 / nthreads; ++i) {
+            void* p = a.allocate(32);
+            a.deallocate(p);
+        }
+    };
+    auto r1 = run_speedup_experiment("u", options, body);
+    auto r2 = run_speedup_experiment("u", options, body);
+    for (std::size_t pi = 0; pi < options.procs.size(); ++pi)
+        EXPECT_EQ(r1.at(pi, 0).makespan, r2.at(pi, 0).makespan);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace hoard

@@ -1,0 +1,78 @@
+/** @file Unit tests for the table writer. */
+
+#include "metrics/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hoard {
+namespace metrics {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table table({"name", "value"});
+    table.begin_row();
+    table.cell("x");
+    table.cell_u64(1);
+    table.begin_row();
+    table.cell("longer-name");
+    table.cell_u64(123456);
+
+    std::ostringstream os;
+    table.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("123456"), std::string::npos);
+    // Separator rule present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+    // All data lines start aligned: "x" padded to the widest cell.
+    EXPECT_NE(out.find("x            1"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table table({"a", "b"});
+    table.begin_row();
+    table.cell("1");
+    table.cell("2");
+    std::ostringstream os;
+    table.print_csv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, DoubleFormatting)
+{
+    Table table({"v"});
+    table.begin_row();
+    table.cell_double(3.14159, 3);
+    std::ostringstream os;
+    table.print_csv(os);
+    EXPECT_EQ(os.str(), "v\n3.142\n");
+}
+
+TEST(Table, CountsRowsAndColumns)
+{
+    Table table({"a", "b", "c"});
+    EXPECT_EQ(table.columns(), 3u);
+    EXPECT_EQ(table.rows(), 0u);
+    table.begin_row();
+    table.cell("1");
+    EXPECT_EQ(table.rows(), 1u);
+}
+
+TEST(FormatBytes, HumanReadable)
+{
+    EXPECT_EQ(format_bytes(0), "0 B");
+    EXPECT_EQ(format_bytes(512), "512 B");
+    EXPECT_EQ(format_bytes(1024), "1.0 KiB");
+    EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+    EXPECT_EQ(format_bytes(8ull << 20), "8.0 MiB");
+    EXPECT_EQ(format_bytes(3ull << 30), "3.0 GiB");
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace hoard

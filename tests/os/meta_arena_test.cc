@@ -1,0 +1,114 @@
+/** @file Unit tests for the metadata bump arena. */
+
+#include "os/meta_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/mathutil.h"
+
+namespace hoard {
+namespace os {
+namespace {
+
+TEST(MetaArena, AllocatesAligned)
+{
+    MmapPageProvider provider;
+    MetaArena arena(provider);
+    void* a = arena.allocate(3, 1);
+    void* b = arena.allocate(64, 64);
+    void* c = arena.allocate(1, 16);
+    EXPECT_NE(a, nullptr);
+    EXPECT_TRUE(detail::is_aligned(b, 64));
+    EXPECT_TRUE(detail::is_aligned(c, 16));
+}
+
+TEST(MetaArena, AllocationsDoNotOverlap)
+{
+    MmapPageProvider provider;
+    MetaArena arena(provider);
+    auto* a = static_cast<char*>(arena.allocate(100));
+    auto* b = static_cast<char*>(arena.allocate(100));
+    std::memset(a, 1, 100);
+    std::memset(b, 2, 100);
+    EXPECT_EQ(a[50], 1);
+    EXPECT_EQ(b[50], 2);
+}
+
+TEST(MetaArena, GrowsBeyondOneChunk)
+{
+    MmapPageProvider provider;
+    MetaArena arena(provider, 4096);
+    std::vector<void*> blocks;
+    for (int i = 0; i < 100; ++i)
+        blocks.push_back(arena.allocate(1024));
+    for (void* p : blocks)
+        EXPECT_NE(p, nullptr);
+    EXPECT_GE(arena.allocated_bytes(), 100u * 1024u);
+    EXPECT_GT(provider.mapped_bytes(), 4096u);
+}
+
+TEST(MetaArena, MakeConstructsObjects)
+{
+    struct Widget
+    {
+        Widget(int a_, int b_) : a(a_), b(b_) {}
+        int a, b;
+    };
+    MmapPageProvider provider;
+    MetaArena arena(provider);
+    Widget* w = arena.make<Widget>(3, 4);
+    EXPECT_EQ(w->a, 3);
+    EXPECT_EQ(w->b, 4);
+}
+
+TEST(MetaArena, MakeArrayDefaultInitializes)
+{
+    MmapPageProvider provider;
+    MetaArena arena(provider);
+    int* xs = arena.make_array<int>(50);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(xs[i], 0);
+}
+
+TEST(MetaArena, ReleasesOnDestruction)
+{
+    MmapPageProvider provider;
+    {
+        MetaArena arena(provider, 4096);
+        arena.allocate(100000);
+        EXPECT_GT(provider.mapped_bytes(), 0u);
+    }
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+}
+
+TEST(MetaArena, ThreadSafeAllocation)
+{
+    MmapPageProvider provider;
+    MetaArena arena(provider, 8192);
+    std::vector<std::thread> threads;
+    std::vector<std::vector<void*>> results(4);
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&arena, &results, t] {
+            for (int i = 0; i < 500; ++i)
+                results[static_cast<std::size_t>(t)].push_back(
+                    arena.allocate(64));
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    // All 2000 allocations must be distinct.
+    std::vector<void*> all;
+    for (auto& r : results)
+        all.insert(all.end(), r.begin(), r.end());
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+}  // namespace
+}  // namespace os
+}  // namespace hoard

@@ -1,0 +1,99 @@
+/** @file Unit tests for the mmap page provider. */
+
+#include "os/page_provider.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/mathutil.h"
+
+namespace hoard {
+namespace os {
+namespace {
+
+TEST(PageProvider, MapsAlignedChunks)
+{
+    MmapPageProvider provider;
+    for (std::size_t align : {std::size_t{4096}, std::size_t{8192},
+                              std::size_t{65536}}) {
+        void* p = provider.map(align, align);
+        ASSERT_NE(p, nullptr);
+        EXPECT_TRUE(detail::is_aligned(p, align));
+        provider.unmap(p, align);
+    }
+}
+
+TEST(PageProvider, MemoryIsZeroedAndWritable)
+{
+    MmapPageProvider provider;
+    const std::size_t bytes = 16384;
+    auto* p = static_cast<unsigned char*>(provider.map(bytes, 8192));
+    ASSERT_NE(p, nullptr);
+    for (std::size_t i = 0; i < bytes; i += 997)
+        EXPECT_EQ(p[i], 0u);
+    std::memset(p, 0xcd, bytes);
+    EXPECT_EQ(p[bytes - 1], 0xcd);
+    provider.unmap(p, bytes);
+}
+
+TEST(PageProvider, AccountsMappedBytes)
+{
+    MmapPageProvider provider;
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+    void* a = provider.map(8192, 8192);
+    EXPECT_EQ(provider.mapped_bytes(), 8192u);
+    void* b = provider.map(4096, 4096);
+    EXPECT_EQ(provider.mapped_bytes(), 12288u);
+    EXPECT_EQ(provider.peak_mapped_bytes(), 12288u);
+    provider.unmap(a, 8192);
+    EXPECT_EQ(provider.mapped_bytes(), 4096u);
+    EXPECT_EQ(provider.peak_mapped_bytes(), 12288u);
+    provider.unmap(b, 4096);
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+}
+
+TEST(PageProvider, RoundsSubPageRequestsUp)
+{
+    MmapPageProvider provider;
+    void* p = provider.map(100, 64);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GE(provider.mapped_bytes(), 4096u);
+    provider.unmap(p, 100);
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+}
+
+TEST(PageProvider, ManySmallChunksDistinct)
+{
+    MmapPageProvider provider;
+    std::vector<void*> chunks;
+    for (int i = 0; i < 64; ++i) {
+        void* p = provider.map(8192, 8192);
+        ASSERT_NE(p, nullptr);
+        // Chunks must not overlap: each 8K-aligned start is unique.
+        for (void* q : chunks)
+            EXPECT_NE(p, q);
+        chunks.push_back(p);
+    }
+    for (void* p : chunks)
+        provider.unmap(p, 8192);
+}
+
+TEST(PageProvider, LargeAlignmentLargerThanSize)
+{
+    MmapPageProvider provider;
+    void* p = provider.map(4096, 1 << 20);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(detail::is_aligned(p, 1 << 20));
+    provider.unmap(p, 4096);
+}
+
+TEST(PageProvider, DefaultProviderIsSingleton)
+{
+    EXPECT_EQ(&default_page_provider(), &default_page_provider());
+}
+
+}  // namespace
+}  // namespace os
+}  // namespace hoard

@@ -1,0 +1,139 @@
+/** @file Tests for the execution-policy layer (native and simulated). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "policy/native_policy.h"
+#include "policy/sim_policy.h"
+#include "sim/machine.h"
+
+namespace hoard {
+namespace {
+
+TEST(ThreadRegistry, AssignsDistinctIndices)
+{
+    std::vector<int> indices(8, -1);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 8; ++i) {
+        threads.emplace_back([&indices, i] {
+            indices[static_cast<std::size_t>(i)] =
+                NativePolicy::thread_index();
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    std::set<int> unique(indices.begin(), indices.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (int idx : indices)
+        EXPECT_GE(idx, 0);
+}
+
+TEST(ThreadRegistry, IndexIsStablePerThread)
+{
+    int first = NativePolicy::thread_index();
+    int second = NativePolicy::thread_index();
+    EXPECT_EQ(first, second);
+}
+
+TEST(ThreadRegistry, RebindTakesEffect)
+{
+    NativePolicy::rebind_thread_index(12345);
+    EXPECT_EQ(NativePolicy::thread_index(), 12345);
+    EXPECT_GE(ThreadRegistry::count(), 12346);
+    NativePolicy::rebind_thread_index(0);
+}
+
+TEST(NativePolicyHooks, CostHooksAreFree)
+{
+    // Compiles to nothing; the calls must simply be valid.
+    NativePolicy::work(1000);
+    NativePolicy::work(CostKind::malloc_base);
+    int x = 0;
+    NativePolicy::touch(&x, sizeof(x), true);
+}
+
+TEST(NativeEvent, SignalReleasesWaiters)
+{
+    NativeEvent event;
+    EXPECT_FALSE(event.is_set());
+    std::vector<std::thread> waiters;
+    std::atomic<int> released{0};
+    for (int i = 0; i < 3; ++i) {
+        waiters.emplace_back([&] {
+            event.wait();
+            released.fetch_add(1);
+        });
+    }
+    event.signal();
+    for (auto& t : waiters)
+        t.join();
+    EXPECT_EQ(released.load(), 3);
+    EXPECT_TRUE(event.is_set());
+    event.wait();  // waiting after signal returns immediately
+}
+
+TEST(SimPolicyHooks, WorkChargesCurrentMachine)
+{
+    sim::Machine machine(1);
+    machine.spawn(0, 0, [] {
+        SimPolicy::work(123);
+        SimPolicy::work(CostKind::os_map);
+    });
+    std::uint64_t makespan = machine.run();
+    EXPECT_EQ(makespan, 123 + sim::CostModel().os_map);
+}
+
+TEST(SimPolicyHooks, EveryCostKindMapsToModel)
+{
+    const sim::CostModel costs;
+    struct KindCost
+    {
+        CostKind kind;
+        std::uint64_t expected;
+    };
+    const std::vector<KindCost> kinds = {
+        {CostKind::malloc_base, costs.malloc_base},
+        {CostKind::free_base, costs.free_base},
+        {CostKind::list_op, costs.list_op},
+        {CostKind::superblock_init, costs.superblock_init},
+        {CostKind::os_map, costs.os_map},
+        {CostKind::transfer, costs.transfer},
+    };
+    for (const KindCost& kc : kinds) {
+        sim::Machine machine(1);
+        machine.spawn(0, 0, [&kc] { SimPolicy::work(kc.kind); });
+        EXPECT_EQ(machine.run(), kc.expected);
+    }
+}
+
+TEST(SimPolicyHooks, ThreadIndexTracksFiber)
+{
+    sim::Machine machine(2);
+    std::vector<int> seen(2, -1);
+    for (int i = 0; i < 2; ++i) {
+        machine.spawn(i, 10 + i, [&seen, i] {
+            seen[static_cast<std::size_t>(i)] =
+                SimPolicy::thread_index();
+            SimPolicy::rebind_thread_index(20 + i);
+            EXPECT_EQ(SimPolicy::thread_index(), 20 + i);
+        });
+    }
+    machine.run();
+    EXPECT_EQ(seen[0], 10);
+    EXPECT_EQ(seen[1], 11);
+}
+
+TEST(SimPolicyHooks, TouchGoesThroughCacheModel)
+{
+    sim::Machine machine(1);
+    static int target;
+    machine.spawn(0, 0, [] { SimPolicy::touch(&target, 4, true); });
+    machine.run();
+    EXPECT_EQ(machine.cache().cold_misses(), 1u);
+}
+
+}  // namespace
+}  // namespace hoard

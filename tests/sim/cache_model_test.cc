@@ -1,0 +1,154 @@
+/** @file Unit tests for the MESI-flavored cache cost model. */
+
+#include "sim/cache_model.h"
+
+#include <gtest/gtest.h>
+
+namespace hoard {
+namespace sim {
+namespace {
+
+class CacheModelTest : public ::testing::Test
+{
+  protected:
+    CostModel costs;
+    CacheModel cache{costs};
+    // A fake address comfortably line-aligned.
+    const char* line0 = reinterpret_cast<const char*>(0x10000);
+    const char* line1 = reinterpret_cast<const char*>(0x10040);
+};
+
+TEST_F(CacheModelTest, FirstTouchIsCold)
+{
+    EXPECT_EQ(cache.access(0, line0, 8, true), costs.cache_cold);
+    EXPECT_EQ(cache.cold_misses(), 1u);
+}
+
+TEST_F(CacheModelTest, RepeatWriteByOwnerIsHit)
+{
+    cache.access(0, line0, 8, true);
+    EXPECT_EQ(cache.access(0, line0, 8, true), costs.cache_hit);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(CacheModelTest, WriteAfterRemoteWriteIsTransfer)
+{
+    cache.access(0, line0, 8, true);
+    EXPECT_EQ(cache.access(1, line0, 8, true), costs.cache_remote);
+    EXPECT_GE(cache.remote_transfers(), 1u);
+    // The steal opens a contended window: the thief's immediate
+    // follow-up writes still price as transfers (two processors
+    // hammering one line alternate per write on real hardware, even
+    // when the simulator's scheduler batches them).
+    EXPECT_EQ(cache.access(1, line0, 8, true), costs.cache_remote);
+    EXPECT_EQ(cache.access(0, line0, 8, true), costs.cache_remote);
+}
+
+TEST_F(CacheModelTest, ContentionWindowMatchesPriorOwnerWrites)
+{
+    // Proc 0 hammers 100 writes, then proc 1 steals: proc 1 inherits a
+    // 100-write contended window (the symmetric half of the duel),
+    // after which its writes are local again.
+    for (int i = 0; i < 100; ++i)
+        cache.access(0, line0, 8, true);
+    EXPECT_EQ(cache.access(1, line0, 8, true), costs.cache_remote);
+    int remote = 0;
+    for (int i = 0; i < 150; ++i) {
+        if (cache.access(1, line0, 8, true) == costs.cache_remote)
+            ++remote;
+    }
+    EXPECT_EQ(remote, 100);
+    EXPECT_EQ(cache.access(1, line0, 8, true), costs.cache_hit);
+}
+
+TEST_F(CacheModelTest, SingleWriteMigrationIsCheap)
+{
+    // A cross-thread free writes a line once; when the owner takes it
+    // back, it pays one transfer plus a one-write window — not a
+    // hammer-length penalty.
+    for (int i = 0; i < 100; ++i)
+        cache.access(0, line0, 8, true);
+    cache.access(1, line0, 8, true);  // the migrating single write
+    std::uint64_t back = cache.access(0, line0, 8, true);
+    EXPECT_EQ(back, costs.cache_remote);
+    EXPECT_EQ(cache.access(0, line0, 8, true), costs.cache_remote);
+    EXPECT_EQ(cache.access(0, line0, 8, true), costs.cache_hit);
+}
+
+TEST_F(CacheModelTest, ReadOfDirtyRemoteLineTransfers)
+{
+    cache.access(0, line0, 8, true);
+    EXPECT_EQ(cache.access(1, line0, 8, false), costs.cache_remote);
+    // Now clean-shared: both read cheaply.
+    EXPECT_EQ(cache.access(1, line0, 8, false), costs.cache_hit);
+    EXPECT_EQ(cache.access(0, line0, 8, false), costs.cache_hit);
+}
+
+TEST_F(CacheModelTest, SharedReadThenUpgradeInvalidates)
+{
+    cache.access(0, line0, 8, true);
+    cache.access(1, line0, 8, false);  // share it
+    // Proc 1 upgrades to write: others must be invalidated.
+    EXPECT_EQ(cache.access(1, line0, 8, true), costs.cache_remote);
+    // Proc 0's next read misses (its copy was invalidated).
+    EXPECT_EQ(cache.access(0, line0, 8, false), costs.cache_remote);
+}
+
+TEST_F(CacheModelTest, DistinctLinesIndependent)
+{
+    cache.access(0, line0, 8, true);
+    cache.access(1, line1, 8, true);
+    EXPECT_EQ(cache.access(0, line0, 8, true), costs.cache_hit);
+    EXPECT_EQ(cache.access(1, line1, 8, true), costs.cache_hit);
+    EXPECT_EQ(cache.remote_transfers(), 0u);
+}
+
+TEST_F(CacheModelTest, SpanningAccessChargesEachLine)
+{
+    // 8 bytes straddling a line boundary -> two cold lines.
+    const char* straddle = line0 + 60;
+    EXPECT_EQ(cache.access(0, straddle, 8, true), 2 * costs.cache_cold);
+}
+
+TEST_F(CacheModelTest, FalseSharingScenario)
+{
+    // Two procs write different halves of one line: every alternation
+    // is a transfer — the phenomenon behind active-false.
+    const char* mine = line0;
+    const char* yours = line0 + 8;
+    cache.access(0, mine, 8, true);
+    std::uint64_t pingpong = 0;
+    for (int i = 0; i < 10; ++i) {
+        pingpong += cache.access(1, yours, 8, true);
+        pingpong += cache.access(0, mine, 8, true);
+    }
+    EXPECT_EQ(pingpong, 20 * costs.cache_remote);
+}
+
+TEST_F(CacheModelTest, PaddedObjectsDoNotFalseShare)
+{
+    cache.access(0, line0, 8, true);
+    cache.access(1, line1, 8, true);
+    std::uint64_t total = 0;
+    for (int i = 0; i < 10; ++i) {
+        total += cache.access(0, line0, 8, true);
+        total += cache.access(1, line1, 8, true);
+    }
+    EXPECT_EQ(total, 20 * costs.cache_hit);
+}
+
+TEST_F(CacheModelTest, ResetForgetsOwnership)
+{
+    cache.access(0, line0, 8, true);
+    cache.reset();
+    EXPECT_EQ(cache.access(0, line0, 8, true), costs.cache_cold);
+}
+
+TEST_F(CacheModelTest, ZeroByteAccessTouchesOneLine)
+{
+    EXPECT_EQ(cache.access(0, line0, 0, false), costs.cache_cold);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace hoard

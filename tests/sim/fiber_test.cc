@@ -1,0 +1,101 @@
+/** @file Unit tests for ucontext fibers. */
+
+#include "sim/fiber.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hoard {
+namespace sim {
+namespace {
+
+TEST(Fiber, RunsBodyAndSwitchesBack)
+{
+    auto host = Fiber::wrap_host();
+    int step = 0;
+    Fiber* worker_ptr = nullptr;
+    Fiber worker([&] {
+        step = 1;
+        host->resume_from(*worker_ptr);
+        step = 2;
+        host->resume_from(*worker_ptr);
+    });
+    worker_ptr = &worker;
+
+    EXPECT_EQ(step, 0);
+    worker.resume_from(*host);
+    EXPECT_EQ(step, 1);
+    worker.resume_from(*host);
+    EXPECT_EQ(step, 2);
+}
+
+TEST(Fiber, PingPongManyTimes)
+{
+    auto host = Fiber::wrap_host();
+    int count = 0;
+    Fiber* self = nullptr;
+    Fiber worker([&] {
+        for (;;) {
+            ++count;
+            host->resume_from(*self);
+        }
+    });
+    self = &worker;
+    for (int i = 0; i < 1000; ++i)
+        worker.resume_from(*host);
+    EXPECT_EQ(count, 1000);
+}
+
+TEST(Fiber, MultipleFibersInterleave)
+{
+    auto host = Fiber::wrap_host();
+    std::vector<int> order;
+    std::vector<Fiber*> ptrs(3, nullptr);
+    std::vector<std::unique_ptr<Fiber>> fibers;
+    for (int i = 0; i < 3; ++i) {
+        fibers.push_back(std::make_unique<Fiber>([&, i] {
+            for (;;) {
+                order.push_back(i);
+                host->resume_from(*ptrs[static_cast<std::size_t>(i)]);
+            }
+        }));
+        ptrs[static_cast<std::size_t>(i)] = fibers.back().get();
+    }
+    for (int round = 0; round < 2; ++round) {
+        for (auto& f : fibers)
+            f->resume_from(*host);
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(Fiber, DeepStackUsage)
+{
+    auto host = Fiber::wrap_host();
+    long result = 0;
+    Fiber* self = nullptr;
+    // ~100 KB of stack through recursion: must fit the 256 KB default.
+    struct Recurse
+    {
+        static long
+        go(int depth)
+        {
+            char pad[1024];
+            pad[0] = static_cast<char>(depth);
+            if (depth == 0)
+                return pad[0];
+            return pad[0] + go(depth - 1);
+        }
+    };
+    Fiber worker([&] {
+        result = Recurse::go(96);
+        host->resume_from(*self);
+    });
+    self = &worker;
+    worker.resume_from(*host);
+    EXPECT_NE(result, 0);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace hoard

@@ -1,0 +1,183 @@
+/** @file Unit tests for the virtual-time machine and scheduler. */
+
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/virtual_mutex.h"
+
+namespace hoard {
+namespace sim {
+namespace {
+
+TEST(Machine, EmptyRunHasZeroMakespan)
+{
+    Machine machine(4);
+    EXPECT_EQ(machine.run(), 0u);
+}
+
+TEST(Machine, SingleThreadAccumulatesCharges)
+{
+    Machine machine(1);
+    machine.spawn(0, 0, [] {
+        Machine::current()->charge(100);
+        Machine::current()->charge(250);
+    });
+    EXPECT_EQ(machine.run(), 350u);
+}
+
+TEST(Machine, MakespanIsMaxOverThreads)
+{
+    Machine machine(4);
+    for (int i = 0; i < 4; ++i) {
+        machine.spawn(i, i, [i] {
+            Machine::current()->charge(
+                static_cast<std::uint64_t>(100 * (i + 1)));
+        });
+    }
+    EXPECT_EQ(machine.run(), 400u);
+}
+
+TEST(Machine, ThreadsRunInVirtualTimeOrder)
+{
+    Machine machine(2, CostModel(), /*quantum=*/1);
+    std::vector<int> order;
+    machine.spawn(0, 0, [&order] {
+        Machine* m = Machine::current();
+        m->charge(10);   // t=10
+        order.push_back(0);
+        m->charge(100);  // t=110
+        order.push_back(2);
+    });
+    machine.spawn(1, 1, [&order] {
+        Machine* m = Machine::current();
+        m->charge(50);   // t=50
+        order.push_back(1);
+        m->charge(100);  // t=150
+        order.push_back(3);
+    });
+    machine.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Machine, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        Machine machine(3);
+        std::vector<int> order;
+        for (int i = 0; i < 3; ++i) {
+            machine.spawn(i, i, [&order, i] {
+                for (int k = 0; k < 5; ++k) {
+                    Machine::current()->charge(
+                        static_cast<std::uint64_t>(30 + i * 7));
+                    Machine::current()->yield();
+                    order.push_back(i);
+                }
+            });
+        }
+        std::uint64_t makespan = machine.run();
+        return std::make_pair(makespan, order);
+    };
+    auto a = run_once();
+    auto b = run_once();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Machine, CurrentIsNullOutsideRun)
+{
+    EXPECT_EQ(Machine::current(), nullptr);
+    Machine machine(1);
+    machine.spawn(0, 0, [] { EXPECT_NE(Machine::current(), nullptr); });
+    machine.run();
+    EXPECT_EQ(Machine::current(), nullptr);
+}
+
+TEST(Machine, LogicalTidAndRebind)
+{
+    Machine machine(2);
+    machine.spawn(0, 7, [] {
+        Machine* m = Machine::current();
+        EXPECT_EQ(m->current_tid(), 7);
+        EXPECT_EQ(m->current_proc(), 0);
+        m->rebind_tid(19);
+        EXPECT_EQ(m->current_tid(), 19);
+        EXPECT_EQ(m->current_proc(), 0);  // proc pinning unaffected
+    });
+    machine.run();
+}
+
+TEST(Machine, TouchChargesThroughCacheModel)
+{
+    Machine machine(2);
+    static int shared_target;
+    machine.spawn(0, 0, [] {
+        Machine::current()->touch(&shared_target, 4, true);
+    });
+    std::uint64_t makespan = machine.run();
+    // One cold write: cache_cold cycles.
+    EXPECT_EQ(makespan, CostModel().cache_cold);
+    EXPECT_EQ(machine.cache().cold_misses(), 1u);
+}
+
+TEST(Machine, RemoteWriteCostsMoreThanLocal)
+{
+    CostModel costs;
+    static long long target;
+
+    Machine local(2);
+    local.spawn(0, 0, [] {
+        Machine::current()->touch(&target, 8, true);
+        Machine::current()->touch(&target, 8, true);
+    });
+    std::uint64_t local_cost = local.run();
+
+    Machine remote(2);
+    remote.spawn(0, 0, [] { Machine::current()->touch(&target, 8, true); });
+    remote.spawn(1, 1, [] {
+        Machine::current()->charge(1);  // ensure it runs second
+        Machine::current()->touch(&target, 8, true);
+    });
+    std::uint64_t remote_cost = remote.run();
+
+    EXPECT_EQ(local_cost, costs.cache_cold + costs.cache_hit);
+    EXPECT_GT(remote_cost, local_cost);
+}
+
+TEST(Machine, QuantumBoundsRunahead)
+{
+    // With a large quantum a thread only commits at yields; with a
+    // small one, charges force preemption.  Either way the makespan is
+    // identical — the quantum affects interleaving, not total work.
+    for (std::uint64_t quantum : {std::uint64_t{1}, std::uint64_t{1000}}) {
+        Machine machine(2, CostModel(), quantum);
+        for (int i = 0; i < 2; ++i) {
+            machine.spawn(i, i, [] {
+                for (int k = 0; k < 100; ++k)
+                    Machine::current()->charge(10);
+            });
+        }
+        EXPECT_EQ(machine.run(), 1000u) << "quantum=" << quantum;
+    }
+}
+
+TEST(MachineDeath, DeadlockIsReported)
+{
+    EXPECT_DEATH(
+        {
+            Machine machine(1);
+            VirtualMutex* leaked = new VirtualMutex();
+            machine.spawn(0, 0, [leaked] {
+                leaked->lock();
+                leaked->lock();  // self-deadlock
+            });
+            machine.run();
+        },
+        "deadlock");
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace hoard

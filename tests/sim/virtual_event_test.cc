@@ -1,0 +1,90 @@
+/** @file Unit tests for the virtual-time one-shot event. */
+
+#include "sim/virtual_event.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace hoard {
+namespace sim {
+namespace {
+
+TEST(VirtualEvent, WaitersResumeAtSignalTime)
+{
+    Machine machine(3, CostModel(), /*quantum=*/1);
+    VirtualEvent event;
+    std::vector<std::uint64_t> resume_clocks(2, 0);
+
+    machine.spawn(0, 0, [&] {
+        Machine::current()->charge(500);
+        Machine::current()->yield();
+        event.signal();
+    });
+    for (int i = 0; i < 2; ++i) {
+        machine.spawn(i + 1, i + 1, [&, i] {
+            event.wait();
+            Machine::current()->yield();  // commit before reading makespan
+            resume_clocks[static_cast<std::size_t>(i)] = 1;
+        });
+    }
+    std::uint64_t makespan = machine.run();
+    EXPECT_EQ(resume_clocks[0], 1u);
+    EXPECT_EQ(resume_clocks[1], 1u);
+    EXPECT_GE(makespan, 500u);
+}
+
+TEST(VirtualEvent, WaitAfterSignalJumpsForward)
+{
+    Machine machine(2, CostModel(), /*quantum=*/1);
+    VirtualEvent event;
+    machine.spawn(0, 0, [&] {
+        Machine::current()->charge(300);
+        Machine::current()->yield();
+        event.signal();
+    });
+    machine.spawn(1, 1, [&] {
+        Machine::current()->charge(1000);  // arrives after the signal
+        Machine::current()->yield();
+        event.wait();  // already set: no block, clock unchanged upward
+    });
+    std::uint64_t makespan = machine.run();
+    EXPECT_EQ(makespan, 1000u + CostModel().lock_base * 0);
+    EXPECT_TRUE(event.is_set());
+}
+
+TEST(VirtualEvent, LaggardWaiterAdvancesToSignal)
+{
+    Machine machine(2, CostModel(), /*quantum=*/1);
+    VirtualEvent event;
+    machine.spawn(0, 0, [&] {
+        Machine::current()->charge(700);
+        Machine::current()->yield();
+        event.signal();
+    });
+    std::uint64_t after_wait = 0;
+    machine.spawn(1, 1, [&] {
+        Machine::current()->charge(10);
+        Machine::current()->yield();
+        event.wait();
+        after_wait = 1;
+    });
+    std::uint64_t makespan = machine.run();
+    EXPECT_EQ(after_wait, 1u);
+    EXPECT_GE(makespan, 700u);  // waiter cannot observe signal earlier
+}
+
+TEST(VirtualEvent, SignalWithNoWaitersIsFine)
+{
+    Machine machine(1);
+    VirtualEvent event;
+    machine.spawn(0, 0, [&] { event.signal(); });
+    machine.run();
+    EXPECT_TRUE(event.is_set());
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace hoard

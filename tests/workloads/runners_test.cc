@@ -1,0 +1,77 @@
+/** @file Tests for the native/simulated workload runners. */
+
+#include "workloads/runners.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+namespace hoard {
+namespace workloads {
+namespace {
+
+TEST(NativeRun, RunsEveryTidExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(6);
+    native_run(6, [&hits](int tid) {
+        hits[static_cast<std::size_t>(tid)].fetch_add(1);
+    });
+    for (auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(NativeRun, ZeroThreadsIsNoop)
+{
+    bool ran = false;
+    native_run(0, [&ran](int) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(SimRun, ReturnsMakespanOfSlowestThread)
+{
+    std::uint64_t makespan = sim_run(4, 4, [](int tid) {
+        sim::Machine::current()->charge(
+            static_cast<std::uint64_t>(100 * (tid + 1)));
+    });
+    EXPECT_EQ(makespan, 400u);
+}
+
+TEST(SimRun, MoreThreadsThanProcsWrapAround)
+{
+    // 6 threads on 2 procs: threads 0,2,4 on proc 0; 1,3,5 on proc 1.
+    std::vector<int> procs(6, -1);
+    sim_run(2, 6, [&procs](int tid) {
+        procs[static_cast<std::size_t>(tid)] =
+            sim::Machine::current()->current_proc();
+    });
+    for (int tid = 0; tid < 6; ++tid)
+        EXPECT_EQ(procs[static_cast<std::size_t>(tid)], tid % 2);
+}
+
+TEST(SimRun, LogicalTidsMatchSpawnOrder)
+{
+    std::set<int> tids;
+    sim_run(3, 3, [&tids](int tid) {
+        EXPECT_EQ(sim::Machine::current()->current_tid(), tid);
+        tids.insert(tid);
+    });
+    EXPECT_EQ(tids.size(), 3u);
+}
+
+TEST(SimRun, CustomCostsAndQuantumApply)
+{
+    sim::CostModel costs;
+    costs.cache_cold = 1000;
+    static char target[64];
+    std::uint64_t makespan = sim_run(
+        1, 1,
+        [](int) { sim::Machine::current()->touch(target, 1, true); },
+        costs, /*quantum=*/50);
+    EXPECT_EQ(makespan, 1000u);
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace hoard

@@ -1,0 +1,147 @@
+/** @file Tests for the synthetic workload generator. */
+
+#include "workloads/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/hoard_allocator.h"
+#include "policy/native_policy.h"
+
+namespace hoard {
+namespace workloads {
+namespace {
+
+TEST(Synthetic, TraceIsBalanced)
+{
+    SyntheticParams params;
+    params.operations = 5000;
+    Trace trace = generate_synthetic_trace(params);
+    std::map<std::uint64_t, int> state;  // +1 alloc, -1 free
+    std::size_t allocs = 0, frees = 0;
+    for (const TraceOp& op : trace.ops()) {
+        if (op.kind == TraceOp::Kind::alloc) {
+            EXPECT_EQ(state[op.object], 0) << "double alloc";
+            state[op.object] = 1;
+            ++allocs;
+        } else {
+            EXPECT_EQ(state[op.object], 1) << "free before alloc";
+            state[op.object] = 0;
+            ++frees;
+        }
+    }
+    EXPECT_EQ(allocs, 5000u);
+    EXPECT_EQ(frees, 5000u);
+}
+
+TEST(Synthetic, DeterministicInSeed)
+{
+    SyntheticParams params;
+    params.operations = 2000;
+    EXPECT_TRUE(generate_synthetic_trace(params) ==
+                generate_synthetic_trace(params));
+    SyntheticParams other = params;
+    other.seed = 999;
+    EXPECT_FALSE(generate_synthetic_trace(params) ==
+                 generate_synthetic_trace(other));
+}
+
+TEST(Synthetic, SizesRespectBounds)
+{
+    for (auto dist : {SizeDist::uniform, SizeDist::geometric,
+                      SizeDist::bimodal}) {
+        SyntheticParams params;
+        params.size_dist = dist;
+        params.min_size = 32;
+        params.max_size = 2048;
+        detail::Rng rng(7);
+        for (int i = 0; i < 5000; ++i) {
+            std::size_t size = synthetic_size(rng, params);
+            EXPECT_GE(size, params.min_size);
+            EXPECT_LE(size, params.max_size);
+        }
+    }
+}
+
+TEST(Synthetic, GeometricSkewsSmall)
+{
+    SyntheticParams params;
+    params.size_dist = SizeDist::geometric;
+    params.min_size = 16;
+    params.max_size = 16384;
+    detail::Rng rng(11);
+    int small = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        small += synthetic_size(rng, params) < 64;
+    // P(size < 64) = P(stop in first two octaves) = 0.75.
+    EXPECT_GT(small, n / 2);
+}
+
+TEST(Synthetic, PhasedLifetimesDieAtBoundaries)
+{
+    SyntheticParams params;
+    params.lifetime_dist = LifetimeDist::phased;
+    params.phase_length = 100;
+    detail::Rng rng(13);
+    for (int op : {0, 37, 99, 100, 150, 199}) {
+        int life = synthetic_lifetime(rng, params, op);
+        EXPECT_EQ((op + life) % params.phase_length, 0) << op;
+        EXPECT_GT(life, 0);
+    }
+}
+
+TEST(Synthetic, ExponentialMeanInRightBallpark)
+{
+    SyntheticParams params;
+    params.lifetime_dist = LifetimeDist::exponential;
+    params.mean_lifetime = 100;
+    detail::Rng rng(17);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += synthetic_lifetime(rng, params, 0);
+    EXPECT_NEAR(sum / n, 100.0, 20.0);
+}
+
+TEST(Synthetic, CrossThreadFractionProducesForeignFrees)
+{
+    SyntheticParams params;
+    params.operations = 4000;
+    params.nthreads = 4;
+    params.cross_thread_free_fraction = 0.5;
+    Trace trace = generate_synthetic_trace(params);
+
+    std::map<std::uint64_t, std::int32_t> birth_tid;
+    int cross = 0, total_frees = 0;
+    for (const TraceOp& op : trace.ops()) {
+        if (op.kind == TraceOp::Kind::alloc) {
+            birth_tid[op.object] = op.tid;
+        } else {
+            ++total_frees;
+            cross += op.tid != birth_tid[op.object];
+        }
+    }
+    // 50% redraw uniformly over 4 threads -> 3/8 truly foreign.
+    EXPECT_NEAR(static_cast<double>(cross) / total_frees, 0.375, 0.05);
+}
+
+TEST(Synthetic, ReplaysCleanlyAgainstHoard)
+{
+    SyntheticParams params;
+    params.operations = 6000;
+    params.cross_thread_free_fraction = 0.2;
+    Trace trace = generate_synthetic_trace(params);
+
+    HoardAllocator<NativePolicy> allocator{Config{}};
+    auto result = replay<NativePolicy>(allocator, trace);
+    EXPECT_EQ(result.allocs, 6000u);
+    EXPECT_EQ(allocator.stats().in_use_bytes.current(), 0u);
+    EXPECT_TRUE(allocator.check_invariants());
+    EXPECT_GE(result.peak_in_use_bytes, trace.max_live_bytes());
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace hoard

@@ -1,0 +1,140 @@
+/** @file Tests for trace recording, serialization, and replay. */
+
+#include "workloads/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/factory.h"
+#include "core/hoard_allocator.h"
+#include "policy/native_policy.h"
+#include "workloads/native_bodies.h"
+#include "workloads/shbench.h"
+
+namespace hoard {
+namespace workloads {
+namespace {
+
+Trace
+record_small_workload(Allocator& inner)
+{
+    Trace trace;
+    TraceRecorder recorder(inner, trace);
+    NativePolicy::rebind_thread_index(0);
+    ShbenchParams params;
+    params.operations = 2000;
+    params.working_set = 64;
+    shbench_thread<NativePolicy>(recorder, params, 0);
+    return trace;
+}
+
+TEST(Trace, RecorderCapturesBalancedOps)
+{
+    HoardAllocator<NativePolicy> inner{Config{}};
+    Trace trace = record_small_workload(inner);
+    ASSERT_FALSE(trace.empty());
+    std::size_t allocs = 0, frees = 0;
+    for (const TraceOp& op : trace.ops()) {
+        if (op.kind == TraceOp::Kind::alloc)
+            ++allocs;
+        else
+            ++frees;
+    }
+    EXPECT_EQ(allocs, frees) << "shbench frees everything";
+    EXPECT_GT(trace.max_live_bytes(), 0u);
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    HoardAllocator<NativePolicy> inner{Config{}};
+    Trace trace = record_small_workload(inner);
+    std::stringstream buffer;
+    trace.save(buffer);
+    Trace loaded = Trace::load(buffer);
+    EXPECT_TRUE(trace == loaded);
+}
+
+TEST(Trace, ReplayIsFaithful)
+{
+    // Record against Hoard, replay against a fresh Hoard: same op
+    // counts, leak-free finish.
+    HoardAllocator<NativePolicy> recording_inner{Config{}};
+    Trace trace = record_small_workload(recording_inner);
+
+    HoardAllocator<NativePolicy> target{Config{}};
+    ReplayResult result = replay<NativePolicy>(target, trace);
+    EXPECT_EQ(result.allocs + result.frees, trace.size());
+    EXPECT_EQ(target.stats().in_use_bytes.current(), 0u);
+    EXPECT_TRUE(target.check_invariants());
+}
+
+TEST(Trace, ReplayDeterministicFootprint)
+{
+    HoardAllocator<NativePolicy> recording_inner{Config{}};
+    Trace trace = record_small_workload(recording_inner);
+
+    auto run = [&trace] {
+        HoardAllocator<NativePolicy> target{Config{}};
+        return replay<NativePolicy>(target, trace).peak_held_bytes;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Trace, ReplayComparesAllocators)
+{
+    // The fragmentation-study use case: one trace, every allocator.
+    HoardAllocator<NativePolicy> recording_inner{Config{}};
+    Trace trace = record_small_workload(recording_inner);
+    std::uint64_t live = trace.max_live_bytes();
+    ASSERT_GT(live, 0u);
+
+    for (auto kind : baselines::kAllKinds) {
+        auto allocator = baselines::make_allocator<NativePolicy>(kind);
+        ReplayResult result = replay<NativePolicy>(*allocator, trace);
+        EXPECT_GE(result.peak_in_use_bytes, live)
+            << baselines::to_string(kind);
+        EXPECT_GE(result.peak_held_bytes, result.peak_in_use_bytes)
+            << baselines::to_string(kind);
+    }
+}
+
+TEST(Trace, CrossThreadOpsSurviveReplay)
+{
+    Trace trace;
+    // Hand-written trace: thread 0 allocates, thread 1 frees.
+    for (std::uint64_t i = 0; i < 64; ++i)
+        trace.append({TraceOp::Kind::alloc, 0, i, 64});
+    for (std::uint64_t i = 0; i < 64; ++i)
+        trace.append({TraceOp::Kind::free_op, 1, i, 0});
+
+    HoardAllocator<NativePolicy> target{Config{}};
+    ReplayResult result = replay<NativePolicy>(target, trace);
+    EXPECT_EQ(result.allocs, 64u);
+    EXPECT_EQ(result.frees, 64u);
+    EXPECT_TRUE(target.check_invariants());
+}
+
+TEST(Trace, UnbalancedTraceIsDrained)
+{
+    Trace trace;
+    trace.append({TraceOp::Kind::alloc, 0, 0, 128});
+    trace.append({TraceOp::Kind::alloc, 0, 1, 128});
+    // Only one free recorded.
+    trace.append({TraceOp::Kind::free_op, 0, 0, 0});
+
+    HoardAllocator<NativePolicy> target{Config{}};
+    replay<NativePolicy>(target, trace);
+    EXPECT_EQ(target.stats().in_use_bytes.current(), 0u)
+        << "replayer must drain leaked objects";
+}
+
+TEST(Trace, LoadRejectsGarbage)
+{
+    std::stringstream bad("x 1 2 3\n");
+    EXPECT_DEATH(Trace::load(bad), "unknown trace record");
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace hoard

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Workload smoke tests: every benchmark from the paper's Table 2 runs
+ * natively, leak-free and corruption-free, on every allocator — the
+ * precondition for trusting any number the benches print.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/factory.h"
+#include "policy/native_policy.h"
+#include "workloads/native_bodies.h"
+#include "workloads/prodcons.h"
+#include "workloads/runners.h"
+
+namespace hoard {
+namespace {
+
+struct WorkloadCase
+{
+    const char* name;
+    // Factory, not instance: passive-false state is one-shot.
+    workloads::NativeWorkloadBody (*make)();
+};
+
+workloads::NativeWorkloadBody
+make_threadtest()
+{
+    workloads::ThreadtestParams p;
+    p.total_objects = 4000;
+    p.iterations = 2;
+    return workloads::native_threadtest_body(p);
+}
+
+workloads::NativeWorkloadBody
+make_shbench()
+{
+    workloads::ShbenchParams p;
+    p.operations = 8000;
+    p.working_set = 100;
+    return workloads::native_shbench_body(p);
+}
+
+workloads::NativeWorkloadBody
+make_larson()
+{
+    workloads::LarsonParams p;
+    p.slots_per_thread = 100;
+    p.rounds_per_epoch = 4000;
+    p.epochs = 2;
+    return workloads::native_larson_body(p);
+}
+
+workloads::NativeWorkloadBody
+make_active_false()
+{
+    workloads::FalseSharingParams p;
+    p.total_objects = 400;
+    p.writes_per_object = 50;
+    return workloads::native_active_false_body(p);
+}
+
+workloads::NativeWorkloadBody
+make_passive_false()
+{
+    workloads::FalseSharingParams p;
+    p.total_objects = 400;
+    p.writes_per_object = 50;
+    return workloads::native_passive_false_body(p);
+}
+
+workloads::NativeWorkloadBody
+make_bemsim()
+{
+    workloads::BemSimParams p;
+    p.phases = 1;
+    p.total_panels = 8;
+    p.elements_per_panel = 100;
+    return workloads::native_bemsim_body(p);
+}
+
+workloads::NativeWorkloadBody
+make_barneshut()
+{
+    workloads::BarnesHutParams p;
+    p.total_systems = 8;
+    p.bodies_per_system = 100;
+    p.steps = 2;
+    return workloads::native_barneshut_body(p);
+}
+
+class WorkloadSmokeTest
+    : public ::testing::TestWithParam<
+          std::tuple<baselines::AllocatorKind, WorkloadCase>>
+{};
+
+TEST_P(WorkloadSmokeTest, RunsLeakFree)
+{
+    auto [kind, wl] = GetParam();
+    const int nthreads = 4;
+    Config config;
+    config.heap_count = nthreads;
+    auto allocator =
+        baselines::make_allocator<NativePolicy>(kind, config);
+
+    workloads::NativeWorkloadBody body = wl.make();
+    workloads::native_run(nthreads, [&](int tid) {
+        body(*allocator, tid, nthreads);
+    });
+
+    const detail::AllocatorStats& stats = allocator->stats();
+    EXPECT_GT(stats.allocs.get(), 0u);
+    EXPECT_EQ(stats.allocs.get(), stats.frees.get())
+        << "workload leaked objects";
+    EXPECT_EQ(stats.in_use_bytes.current(), 0u);
+}
+
+std::vector<WorkloadCase>
+all_workloads()
+{
+    return {
+        {"threadtest", &make_threadtest},
+        {"shbench", &make_shbench},
+        {"larson", &make_larson},
+        {"activefalse", &make_active_false},
+        {"passivefalse", &make_passive_false},
+        {"bemsim", &make_bemsim},
+        {"barneshut", &make_barneshut},
+    };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadSmokeTest,
+    ::testing::Combine(::testing::ValuesIn(baselines::kAllKinds),
+                       ::testing::ValuesIn(all_workloads())),
+    [](const ::testing::TestParamInfo<
+        std::tuple<baselines::AllocatorKind, WorkloadCase>>& info) {
+        return std::string(
+                   baselines::to_string(std::get<0>(info.param))) +
+               "_" + std::get<1>(info.param).name;
+    });
+
+TEST(ProdConsWorkload, DeterministicSeries)
+{
+    auto run = [] {
+        Config config;
+        config.heap_count = 4;
+        auto allocator = baselines::make_allocator<NativePolicy>(
+            baselines::AllocatorKind::hoard, config);
+        workloads::ProdConsParams params;
+        params.rounds = 20;
+        std::vector<std::size_t> held;
+        workloads::prodcons_pair<NativePolicy>(*allocator, params, 0,
+                                               &held);
+        return held;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(LarsonWorkload, EpochRebindingChangesHeaps)
+{
+    // After larson completes, the thread's index reflects its last
+    // epoch's identity, not its starting one.
+    Config config;
+    config.heap_count = 4;
+    auto allocator = baselines::make_allocator<NativePolicy>(
+        baselines::AllocatorKind::hoard, config);
+    workloads::LarsonParams params;
+    params.nthreads = 1;
+    params.slots_per_thread = 10;
+    params.rounds_per_epoch = 10;
+    params.epochs = 3;
+    workloads::larson_thread<NativePolicy>(*allocator, params, 0);
+    // Each epoch rebinds by nthreads+1 (a multiple of nthreads would
+    // hash back to the birth heap).
+    EXPECT_EQ(NativePolicy::thread_index(),
+              3 * (params.nthreads + 1));
+}
+
+}  // namespace
+}  // namespace hoard
