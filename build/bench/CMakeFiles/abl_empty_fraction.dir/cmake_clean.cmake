@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_empty_fraction.dir/abl_empty_fraction.cc.o"
+  "CMakeFiles/abl_empty_fraction.dir/abl_empty_fraction.cc.o.d"
+  "abl_empty_fraction"
+  "abl_empty_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_empty_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_oversubscription.dir/abl_oversubscription.cc.o"
+  "CMakeFiles/abl_oversubscription.dir/abl_oversubscription.cc.o.d"
+  "abl_oversubscription"
+  "abl_oversubscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_release_threshold.dir/abl_release_threshold.cc.o"
+  "CMakeFiles/abl_release_threshold.dir/abl_release_threshold.cc.o.d"
+  "abl_release_threshold"
+  "abl_release_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_release_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

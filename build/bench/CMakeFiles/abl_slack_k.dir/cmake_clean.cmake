@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_slack_k.dir/abl_slack_k.cc.o"
+  "CMakeFiles/abl_slack_k.dir/abl_slack_k.cc.o.d"
+  "abl_slack_k"
+  "abl_slack_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_slack_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_slack_k.
+# This may be replaced when dependencies are built.

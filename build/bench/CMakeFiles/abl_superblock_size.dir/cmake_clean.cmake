@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_superblock_size.dir/abl_superblock_size.cc.o"
+  "CMakeFiles/abl_superblock_size.dir/abl_superblock_size.cc.o.d"
+  "abl_superblock_size"
+  "abl_superblock_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_superblock_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_thread_cache.dir/abl_thread_cache.cc.o"
+  "CMakeFiles/abl_thread_cache.dir/abl_thread_cache.cc.o.d"
+  "abl_thread_cache"
+  "abl_thread_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_thread_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_speedup_activefalse.dir/fig_speedup_activefalse.cc.o"
+  "CMakeFiles/fig_speedup_activefalse.dir/fig_speedup_activefalse.cc.o.d"
+  "fig_speedup_activefalse"
+  "fig_speedup_activefalse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_speedup_activefalse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

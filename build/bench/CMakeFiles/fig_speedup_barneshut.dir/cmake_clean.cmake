@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_speedup_barneshut.dir/fig_speedup_barneshut.cc.o"
+  "CMakeFiles/fig_speedup_barneshut.dir/fig_speedup_barneshut.cc.o.d"
+  "fig_speedup_barneshut"
+  "fig_speedup_barneshut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_speedup_barneshut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_speedup_barneshut.
+# This may be replaced when dependencies are built.

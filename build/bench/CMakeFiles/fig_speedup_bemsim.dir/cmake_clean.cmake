@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_speedup_bemsim.dir/fig_speedup_bemsim.cc.o"
+  "CMakeFiles/fig_speedup_bemsim.dir/fig_speedup_bemsim.cc.o.d"
+  "fig_speedup_bemsim"
+  "fig_speedup_bemsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_speedup_bemsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_speedup_bemsim.
+# This may be replaced when dependencies are built.

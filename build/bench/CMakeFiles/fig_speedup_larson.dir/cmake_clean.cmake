@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_speedup_larson.dir/fig_speedup_larson.cc.o"
+  "CMakeFiles/fig_speedup_larson.dir/fig_speedup_larson.cc.o.d"
+  "fig_speedup_larson"
+  "fig_speedup_larson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_speedup_larson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

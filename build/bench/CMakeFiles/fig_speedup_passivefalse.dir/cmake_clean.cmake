@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_speedup_passivefalse.dir/fig_speedup_passivefalse.cc.o"
+  "CMakeFiles/fig_speedup_passivefalse.dir/fig_speedup_passivefalse.cc.o.d"
+  "fig_speedup_passivefalse"
+  "fig_speedup_passivefalse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_speedup_passivefalse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_speedup_shbench.dir/fig_speedup_shbench.cc.o"
+  "CMakeFiles/fig_speedup_shbench.dir/fig_speedup_shbench.cc.o.d"
+  "fig_speedup_shbench"
+  "fig_speedup_shbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_speedup_shbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

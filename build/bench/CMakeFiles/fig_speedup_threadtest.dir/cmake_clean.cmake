@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_speedup_threadtest.dir/fig_speedup_threadtest.cc.o"
+  "CMakeFiles/fig_speedup_threadtest.dir/fig_speedup_threadtest.cc.o.d"
+  "fig_speedup_threadtest"
+  "fig_speedup_threadtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_speedup_threadtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

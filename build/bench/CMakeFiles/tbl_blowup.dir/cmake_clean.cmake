@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_blowup.dir/tbl_blowup.cc.o"
+  "CMakeFiles/tbl_blowup.dir/tbl_blowup.cc.o.d"
+  "tbl_blowup"
+  "tbl_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_fragmentation.dir/tbl_fragmentation.cc.o"
+  "CMakeFiles/tbl_fragmentation.dir/tbl_fragmentation.cc.o.d"
+  "tbl_fragmentation"
+  "tbl_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_latency.dir/tbl_latency.cc.o"
+  "CMakeFiles/tbl_latency.dir/tbl_latency.cc.o.d"
+  "tbl_latency"
+  "tbl_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

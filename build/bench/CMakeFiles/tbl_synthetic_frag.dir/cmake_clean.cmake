@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_synthetic_frag.dir/tbl_synthetic_frag.cc.o"
+  "CMakeFiles/tbl_synthetic_frag.dir/tbl_synthetic_frag.cc.o.d"
+  "tbl_synthetic_frag"
+  "tbl_synthetic_frag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_synthetic_frag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_taxonomy.dir/tbl_taxonomy.cc.o"
+  "CMakeFiles/tbl_taxonomy.dir/tbl_taxonomy.cc.o.d"
+  "tbl_taxonomy"
+  "tbl_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_uniprocessor.dir/tbl_uniprocessor.cc.o"
+  "CMakeFiles/tbl_uniprocessor.dir/tbl_uniprocessor.cc.o.d"
+  "tbl_uniprocessor"
+  "tbl_uniprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_uniprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

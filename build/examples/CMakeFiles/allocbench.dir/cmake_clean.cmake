@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocbench.dir/allocbench.cpp.o"
+  "CMakeFiles/allocbench.dir/allocbench.cpp.o.d"
+  "allocbench"
+  "allocbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtserver.dir/mtserver.cpp.o"
+  "CMakeFiles/mtserver.dir/mtserver.cpp.o.d"
+  "mtserver"
+  "mtserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stl_containers.dir/stl_containers.cpp.o"
+  "CMakeFiles/stl_containers.dir/stl_containers.cpp.o.d"
+  "stl_containers"
+  "stl_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stl_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

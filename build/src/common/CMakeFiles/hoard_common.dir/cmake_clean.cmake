@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoard_common.dir/failure.cc.o"
+  "CMakeFiles/hoard_common.dir/failure.cc.o.d"
+  "libhoard_common.a"
+  "libhoard_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoard_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoard_core.dir/config.cc.o"
+  "CMakeFiles/hoard_core.dir/config.cc.o.d"
+  "CMakeFiles/hoard_core.dir/facade.cc.o"
+  "CMakeFiles/hoard_core.dir/facade.cc.o.d"
+  "CMakeFiles/hoard_core.dir/size_classes.cc.o"
+  "CMakeFiles/hoard_core.dir/size_classes.cc.o.d"
+  "libhoard_core.a"
+  "libhoard_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoard_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

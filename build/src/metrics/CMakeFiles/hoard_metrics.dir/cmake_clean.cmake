@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoard_metrics.dir/speedup.cc.o"
+  "CMakeFiles/hoard_metrics.dir/speedup.cc.o.d"
+  "CMakeFiles/hoard_metrics.dir/table.cc.o"
+  "CMakeFiles/hoard_metrics.dir/table.cc.o.d"
+  "libhoard_metrics.a"
+  "libhoard_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoard_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoard_os.dir/page_provider.cc.o"
+  "CMakeFiles/hoard_os.dir/page_provider.cc.o.d"
+  "libhoard_os.a"
+  "libhoard_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoard_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

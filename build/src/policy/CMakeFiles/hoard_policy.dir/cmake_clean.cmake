@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoard_policy.dir/native_policy.cc.o"
+  "CMakeFiles/hoard_policy.dir/native_policy.cc.o.d"
+  "libhoard_policy.a"
+  "libhoard_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoard_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoard_sim.dir/fiber.cc.o"
+  "CMakeFiles/hoard_sim.dir/fiber.cc.o.d"
+  "CMakeFiles/hoard_sim.dir/machine.cc.o"
+  "CMakeFiles/hoard_sim.dir/machine.cc.o.d"
+  "libhoard_sim.a"
+  "libhoard_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoard_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

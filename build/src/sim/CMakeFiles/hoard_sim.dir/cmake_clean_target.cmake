@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhoard_sim.a"
+)

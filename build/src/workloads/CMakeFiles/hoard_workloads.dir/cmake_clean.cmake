@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoard_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/hoard_workloads.dir/synthetic.cc.o.d"
+  "CMakeFiles/hoard_workloads.dir/trace.cc.o"
+  "CMakeFiles/hoard_workloads.dir/trace.cc.o.d"
+  "libhoard_workloads.a"
+  "libhoard_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoard_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/intrusive_list_test.cc" "tests/CMakeFiles/common_test.dir/common/intrusive_list_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/intrusive_list_test.cc.o.d"
+  "/root/repo/tests/common/mathutil_test.cc" "tests/CMakeFiles/common_test.dir/common/mathutil_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/mathutil_test.cc.o.d"
+  "/root/repo/tests/common/memutil_test.cc" "tests/CMakeFiles/common_test.dir/common/memutil_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/memutil_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/common_test.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/common_test.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/hoard_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hoard_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hoard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/hoard_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/hoard_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hoard_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hoard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/config_test.cc" "tests/CMakeFiles/core_test.dir/core/config_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/config_test.cc.o.d"
+  "/root/repo/tests/core/debug_allocator_test.cc" "tests/CMakeFiles/core_test.dir/core/debug_allocator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/debug_allocator_test.cc.o.d"
+  "/root/repo/tests/core/dump_test.cc" "tests/CMakeFiles/core_test.dir/core/dump_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/dump_test.cc.o.d"
+  "/root/repo/tests/core/facade_test.cc" "tests/CMakeFiles/core_test.dir/core/facade_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/facade_test.cc.o.d"
+  "/root/repo/tests/core/heap_test.cc" "tests/CMakeFiles/core_test.dir/core/heap_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/heap_test.cc.o.d"
+  "/root/repo/tests/core/hoard_allocator_test.cc" "tests/CMakeFiles/core_test.dir/core/hoard_allocator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/hoard_allocator_test.cc.o.d"
+  "/root/repo/tests/core/hoard_invariant_test.cc" "tests/CMakeFiles/core_test.dir/core/hoard_invariant_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/hoard_invariant_test.cc.o.d"
+  "/root/repo/tests/core/pmr_resource_test.cc" "tests/CMakeFiles/core_test.dir/core/pmr_resource_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pmr_resource_test.cc.o.d"
+  "/root/repo/tests/core/sim_allocator_test.cc" "tests/CMakeFiles/core_test.dir/core/sim_allocator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sim_allocator_test.cc.o.d"
+  "/root/repo/tests/core/size_classes_test.cc" "tests/CMakeFiles/core_test.dir/core/size_classes_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/size_classes_test.cc.o.d"
+  "/root/repo/tests/core/stl_allocator_test.cc" "tests/CMakeFiles/core_test.dir/core/stl_allocator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/stl_allocator_test.cc.o.d"
+  "/root/repo/tests/core/superblock_param_test.cc" "tests/CMakeFiles/core_test.dir/core/superblock_param_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/superblock_param_test.cc.o.d"
+  "/root/repo/tests/core/superblock_test.cc" "tests/CMakeFiles/core_test.dir/core/superblock_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/superblock_test.cc.o.d"
+  "/root/repo/tests/core/thread_cache_test.cc" "tests/CMakeFiles/core_test.dir/core/thread_cache_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/thread_cache_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/hoard_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hoard_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hoard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/hoard_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/hoard_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hoard_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hoard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/config_test.cc.o"
+  "CMakeFiles/core_test.dir/core/config_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/debug_allocator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/debug_allocator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/dump_test.cc.o"
+  "CMakeFiles/core_test.dir/core/dump_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/facade_test.cc.o"
+  "CMakeFiles/core_test.dir/core/facade_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/heap_test.cc.o"
+  "CMakeFiles/core_test.dir/core/heap_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/hoard_allocator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/hoard_allocator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/hoard_invariant_test.cc.o"
+  "CMakeFiles/core_test.dir/core/hoard_invariant_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pmr_resource_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pmr_resource_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sim_allocator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sim_allocator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/size_classes_test.cc.o"
+  "CMakeFiles/core_test.dir/core/size_classes_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/stl_allocator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/stl_allocator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/superblock_param_test.cc.o"
+  "CMakeFiles/core_test.dir/core/superblock_param_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/superblock_test.cc.o"
+  "CMakeFiles/core_test.dir/core/superblock_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/thread_cache_test.cc.o"
+  "CMakeFiles/core_test.dir/core/thread_cache_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_new_test.dir/integration/global_new_test.cc.o"
+  "CMakeFiles/global_new_test.dir/integration/global_new_test.cc.o.d"
+  "global_new_test"
+  "global_new_test.pdb"
+  "global_new_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_new_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

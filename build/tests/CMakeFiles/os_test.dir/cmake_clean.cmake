@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_test.dir/os/meta_arena_test.cc.o"
+  "CMakeFiles/os_test.dir/os/meta_arena_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/page_provider_test.cc.o"
+  "CMakeFiles/os_test.dir/os/page_provider_test.cc.o.d"
+  "os_test"
+  "os_test.pdb"
+  "os_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
