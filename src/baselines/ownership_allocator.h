@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -218,6 +219,8 @@ class OwnershipAllocator final : public Allocator
     {
         Policy::work(CostKind::os_map);
         std::size_t offset = Superblock::header_bytes();
+        if (size > std::numeric_limits<std::size_t>::max() - offset)
+            return nullptr;  // span would overflow; report OOM
         std::size_t total = offset + size;
         void* memory = provider_.map(total, config_.superblock_bytes);
         if (memory == nullptr)

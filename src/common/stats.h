@@ -82,6 +82,8 @@ struct AllocatorStats
     Counter superblock_transfers;///< per-proc heap -> global heap moves
     Counter global_fetches;      ///< superblocks pulled from the global heap
     Counter huge_allocs;         ///< allocations > S/2 served directly
+    Counter oom_reclaims;        ///< map failures answered by reclaiming
+    Counter oom_failures;        ///< allocations that failed even after reclaim
 
     /**
      * Fragmentation as the paper reports it: maximum memory held by the

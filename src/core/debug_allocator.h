@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -66,6 +67,10 @@ class DebugAllocator final : public Allocator
     void*
     allocate(std::size_t size) override
     {
+        if (size > std::numeric_limits<std::size_t>::max() -
+                       kTailCanaryBytes) {
+            return nullptr;  // canary would overflow the request
+        }
         void* p = inner_.allocate(size + kTailCanaryBytes);
         if (p == nullptr)
             return nullptr;

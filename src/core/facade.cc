@@ -83,6 +83,12 @@ hoard_usable_size(const void* p)
     return global_allocator().usable_size(p);
 }
 
+std::size_t
+hoard_release_free_memory()
+{
+    return global_allocator().release_free_memory();
+}
+
 const detail::AllocatorStats&
 hoard_stats()
 {

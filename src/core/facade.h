@@ -48,6 +48,14 @@ int hoard_posix_memalign(void** out, std::size_t align, std::size_t size);
 /** Usable bytes behind @p p. */
 std::size_t hoard_usable_size(const void* p);
 
+/**
+ * malloc_trim analog: drains thread caches and returns every
+ * completely-empty superblock to the OS.  Returns the bytes released.
+ * Useful for long-running servers reacting to memory-pressure signals;
+ * also invoked automatically (once) before any allocation reports OOM.
+ */
+std::size_t hoard_release_free_memory();
+
 /** Statistics of the global instance. */
 const detail::AllocatorStats& hoard_stats();
 

@@ -102,6 +102,35 @@ global_new_impl(std::size_t size)
     }
 }
 
+/**
+ * Aligned form of the standard allocation loop: like the plain form,
+ * a failed attempt consults the installed new_handler and retries
+ * until either an attempt succeeds or no handler remains ([new.delete]
+ * requires this for every throwing operator new, aligned included).
+ */
+inline void*
+global_new_aligned_impl(std::size_t size, std::size_t alignment)
+{
+    if (new_depth() > 0) {
+        // Bootstrap path: over-allocate and align by hand.
+        auto addr = reinterpret_cast<std::uintptr_t>(
+            bootstrap_alloc(size + alignment));
+        return reinterpret_cast<void*>((addr + alignment - 1) &
+                                       ~(alignment - 1));
+    }
+    for (;;) {
+        ++new_depth();
+        void* p = hoard_aligned_alloc(alignment, size);
+        --new_depth();
+        if (p != nullptr)
+            return p;
+        std::new_handler handler = std::get_new_handler();
+        if (handler == nullptr)
+            throw std::bad_alloc();
+        handler();
+    }
+}
+
 inline void
 global_delete_impl(void* p) noexcept
 {
@@ -144,26 +173,32 @@ operator new[](std::size_t size, const std::nothrow_t&) noexcept
 void*
 operator new(std::size_t size, std::align_val_t align)
 {
-    auto alignment = static_cast<std::size_t>(align);
-    if (hoard::detail::new_depth() > 0) {
-        // Bootstrap path: over-allocate and align by hand.
-        auto addr = reinterpret_cast<std::uintptr_t>(
-            hoard::detail::bootstrap_alloc(size + alignment));
-        return reinterpret_cast<void*>((addr + alignment - 1) &
-                                       ~(alignment - 1));
-    }
-    ++hoard::detail::new_depth();
-    void* p = hoard::hoard_aligned_alloc(alignment, size);
-    --hoard::detail::new_depth();
-    if (p == nullptr)
-        throw std::bad_alloc();
-    return p;
+    return hoard::detail::global_new_aligned_impl(
+        size, static_cast<std::size_t>(align));
 }
 
 void*
 operator new[](std::size_t size, std::align_val_t align)
 {
     return operator new(size, align);
+}
+
+void*
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t&) noexcept
+{
+    try {
+        return operator new(size, align);
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void*
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t&) noexcept
+{
+    return operator new(size, align, std::nothrow);
 }
 
 void
@@ -222,6 +257,19 @@ operator delete(void* p, const std::nothrow_t&) noexcept
 
 void
 operator delete[](void* p, const std::nothrow_t&) noexcept
+{
+    hoard::detail::global_delete_impl(p);
+}
+
+void
+operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept
+{
+    hoard::detail::global_delete_impl(p);
+}
+
+void
+operator delete[](void* p, std::align_val_t,
+                  const std::nothrow_t&) noexcept
 {
     hoard::detail::global_delete_impl(p);
 }

@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -177,6 +178,46 @@ class HoardAllocator final : public Allocator
     const Config& config() const { return config_; }
     const SizeClasses& size_classes() const { return classes_; }
     int heap_count() const { return config_.heap_count; }
+
+    /**
+     * Best-effort memory release back to the OS: drains every thread
+     * cache to the heaps, then unmaps every completely-empty superblock
+     * from every heap (including the global heap's empty cache).
+     * Returns the bytes unmapped.  This is the reclaim step of the
+     * OOM retry path and doubles as a malloc_trim-style API for
+     * long-running servers reacting to memory pressure.  Takes no lock
+     * on entry; heap locks are taken one at a time, so concurrent
+     * allocation stays safe (and may legitimately race fresh memory in).
+     */
+    std::size_t
+    release_free_memory()
+    {
+        flush_thread_caches();
+        std::size_t released = 0;
+        for (auto& heap_ptr : heaps_) {
+            Heap& heap = *heap_ptr;
+            std::lock_guard<typename Policy::Mutex> guard(heap.mutex);
+            for (auto& bin : heap.bins) {
+                // Only band 0 can hold used == 0 superblocks.
+                auto& group = bin.groups[0];
+                Superblock* sb = group.front();
+                while (sb != nullptr) {
+                    Superblock* next = group.next(sb);
+                    if (sb->empty()) {
+                        group.remove(sb);
+                        heap.held -= sb->span_bytes();
+                        released += release_to_provider(sb);
+                    }
+                    sb = next;
+                }
+            }
+            while (Superblock* sb = heap.empty_list.pop_front()) {
+                heap.held -= sb->span_bytes();
+                released += release_to_provider(sb);
+            }
+        }
+        return released;
+    }
 
     /**
      * Drains every thread cache back to the owning heaps (no-op when
@@ -400,9 +441,31 @@ class HoardAllocator final : public Allocator
         return *heaps_[static_cast<std::size_t>(my_heap_index())];
     }
 
-    /** malloc slow+fast path for a non-huge class (paper Figure 2). */
+    /**
+     * Graceful-degradation wrapper around the class allocation path:
+     * when the provider refuses memory, reclaim everything reclaimable
+     * (thread caches, empty superblocks across all heaps) and retry
+     * exactly once before reporting OOM to the caller.  All heap
+     * accounting is already settled when the try-path reports failure,
+     * so the retry observes a consistent allocator.
+     */
     void*
     allocate_from_class(int cls)
+    {
+        void* block = try_allocate_from_class(cls);
+        if (block == nullptr) {
+            stats_.oom_reclaims.add();
+            release_free_memory();
+            block = try_allocate_from_class(cls);
+            if (block == nullptr)
+                stats_.oom_failures.add();
+        }
+        return block;
+    }
+
+    /** malloc slow+fast path for a non-huge class (paper Figure 2). */
+    void*
+    try_allocate_from_class(int cls)
     {
         const std::size_t block_bytes = classes_.block_size(cls);
         Heap& heap = my_heap();
@@ -597,25 +660,54 @@ class HoardAllocator final : public Allocator
     {
         if (global.empty_list.size() >= config_.empty_cache_limit) {
             global.held -= sb->span_bytes();
-            stats_.held_bytes.sub(sb->span_bytes());
-            stats_.os_bytes.sub(sb->span_bytes());
-            Policy::work(CostKind::os_map);
-            std::size_t bytes = sb->span_bytes();
-            sb->~Superblock();
-            provider_.unmap(sb, bytes);
+            release_to_provider(sb);
             return;
         }
         global.empty_list.push_front(sb);
     }
 
-    /** Huge path: a dedicated chunk with a superblock header. */
+    /**
+     * Unmaps an unlinked superblock, settling the footprint gauges.
+     * The caller has already removed @p sb from its heap's lists and
+     * held count.  Returns the bytes given back.
+     */
+    std::size_t
+    release_to_provider(Superblock* sb)
+    {
+        std::size_t bytes = sb->span_bytes();
+        stats_.held_bytes.sub(bytes);
+        stats_.os_bytes.sub(bytes);
+        Policy::work(CostKind::os_map);
+        sb->~Superblock();
+        provider_.unmap(sb, bytes);
+        return bytes;
+    }
+
+    /** Huge path with the same reclaim-then-retry-once OOM handling. */
     void*
     allocate_huge(std::size_t size, std::size_t align)
+    {
+        void* p = try_allocate_huge(size, align);
+        if (p == nullptr) {
+            stats_.oom_reclaims.add();
+            release_free_memory();
+            p = try_allocate_huge(size, align);
+            if (p == nullptr)
+                stats_.oom_failures.add();
+        }
+        return p;
+    }
+
+    /** Huge path: a dedicated chunk with a superblock header. */
+    void*
+    try_allocate_huge(std::size_t size, std::size_t align)
     {
         Policy::work(CostKind::os_map);
         std::size_t header = Superblock::header_bytes();
         std::size_t offset =
             align <= header ? header : detail::align_up(header, align);
+        if (size > std::numeric_limits<std::size_t>::max() - offset)
+            return nullptr;  // span would overflow; report OOM
         std::size_t total = offset + size;
         void* memory = provider_.map(total, config_.superblock_bytes);
         if (memory == nullptr)

@@ -29,6 +29,12 @@ class PmrResource : public std::pmr::memory_resource
     Allocator* backend() const { return backend_; }
 
   protected:
+    /**
+     * OOM contract: the backends report exhaustion as nullptr (after
+     * the Hoard backend's reclaim-and-retry pass); memory_resource's
+     * contract is an exception, so the translation happens exactly
+     * here.  No resource state changes on the failure path.
+     */
     void*
     do_allocate(std::size_t bytes, std::size_t alignment) override
     {

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Fault-injecting and memory-pressure decorators for the page substrate.
+ *
+ * Every allocator in this repository draws memory exclusively from a
+ * PageProvider, so wrapping the provider is enough to subject the whole
+ * stack to deterministic out-of-memory scenarios:
+ *
+ *   - FaultInjectingPageProvider: fails map() calls on a seedable,
+ *     reproducible schedule (fail the nth call, fail every kth call, or
+ *     fail with probability p under a fixed RNG seed).  Models transient
+ *     mmap failure (ENOMEM under overcommit pressure).
+ *   - CappedPageProvider: enforces a hard byte budget, modeling an RSS
+ *     limit or cgroup memory ceiling.  map() fails once the budget is
+ *     reached and succeeds again after enough memory is unmapped; the
+ *     budget can be shrunk at runtime to model mounting pressure.
+ *
+ * Both decorators are thread-safe (the allocators map from many heaps
+ * concurrently) and assume exclusive use of the wrapped provider for
+ * accounting purposes.  They are cheap enough to leave in test builds
+ * but are not intended for production hot paths.
+ */
+
+#ifndef HOARD_OS_FAULT_INJECTION_H_
+#define HOARD_OS_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+
+#include "common/failure.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "os/page_provider.h"
+
+namespace hoard {
+namespace os {
+
+/**
+ * Decorator that fails map() calls on a deterministic schedule.
+ *
+ * Exactly one schedule is active at a time; setting a new one replaces
+ * the previous and resets the call position, so tests can re-arm the
+ * same provider between phases.  unmap() is never failed — a provider
+ * that loses memory on release would corrupt every accounting gauge
+ * above it, which is not a scenario any allocator can survive.
+ */
+class FaultInjectingPageProvider final : public PageProvider
+{
+  public:
+    explicit FaultInjectingPageProvider(PageProvider& inner)
+        : inner_(inner)
+    {}
+
+    /** Disables injection; all calls pass through. */
+    void
+    clear_schedule()
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        mode_ = Mode::none;
+        position_ = 0;
+    }
+
+    /** Fails the @p n-th map() from now (1-based), once. */
+    void
+    fail_nth_map(std::uint64_t n)
+    {
+        HOARD_CHECK(n > 0);
+        std::lock_guard<std::mutex> guard(mutex_);
+        mode_ = Mode::nth;
+        param_ = n;
+        position_ = 0;
+    }
+
+    /** Fails every @p k-th map() from now (the kth, 2kth, ...). */
+    void
+    fail_every_kth_map(std::uint64_t k)
+    {
+        HOARD_CHECK(k > 0);
+        std::lock_guard<std::mutex> guard(mutex_);
+        mode_ = Mode::every_k;
+        param_ = k;
+        position_ = 0;
+    }
+
+    /** Fails each map() independently with probability @p p (seeded). */
+    void
+    fail_with_probability(double p, std::uint64_t seed)
+    {
+        HOARD_CHECK(p >= 0.0 && p <= 1.0);
+        std::lock_guard<std::mutex> guard(mutex_);
+        mode_ = Mode::probabilistic;
+        probability_ = p;
+        rng_ = detail::Rng(seed);
+        position_ = 0;
+    }
+
+    void*
+    map(std::size_t bytes, std::size_t align) override
+    {
+        map_calls_.add();
+        if (should_fail()) {
+            injected_failures_.add();
+            return nullptr;
+        }
+        return inner_.map(bytes, align);
+    }
+
+    void
+    unmap(void* p, std::size_t bytes) override
+    {
+        unmap_calls_.add();
+        inner_.unmap(p, bytes);
+    }
+
+    std::size_t mapped_bytes() const override
+    {
+        return inner_.mapped_bytes();
+    }
+
+    std::size_t peak_mapped_bytes() const override
+    {
+        return inner_.peak_mapped_bytes();
+    }
+
+    /// @name Injection telemetry.
+    /// @{
+    std::uint64_t map_calls() const { return map_calls_.get(); }
+    std::uint64_t unmap_calls() const { return unmap_calls_.get(); }
+    std::uint64_t injected_failures() const
+    {
+        return injected_failures_.get();
+    }
+    /// @}
+
+  private:
+    enum class Mode
+    {
+        none,
+        nth,
+        every_k,
+        probabilistic,
+    };
+
+    bool
+    should_fail()
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        switch (mode_) {
+        case Mode::none:
+            return false;
+        case Mode::nth:
+            if (++position_ == param_) {
+                mode_ = Mode::none;  // one-shot
+                return true;
+            }
+            return false;
+        case Mode::every_k:
+            if (++position_ == param_) {
+                position_ = 0;
+                return true;
+            }
+            return false;
+        case Mode::probabilistic:
+            return rng_.uniform() < probability_;
+        }
+        return false;
+    }
+
+    PageProvider& inner_;
+    std::mutex mutex_;
+    Mode mode_ = Mode::none;
+    std::uint64_t param_ = 0;
+    std::uint64_t position_ = 0;
+    double probability_ = 0.0;
+    detail::Rng rng_{0};
+    detail::Counter map_calls_;
+    detail::Counter unmap_calls_;
+    detail::Counter injected_failures_;
+};
+
+/**
+ * Decorator that enforces a hard byte budget — a model of a fixed RSS
+ * ceiling.  A map() whose request would push the mapped total past the
+ * budget fails with nullptr; releasing memory restores headroom.  The
+ * accounted charge is whatever the inner provider actually books (page
+ * rounding included), measured as the delta of its gauge, so this
+ * decorator must wrap a provider it uses exclusively.
+ */
+class CappedPageProvider final : public PageProvider
+{
+  public:
+    static constexpr std::size_t kUnlimited =
+        std::numeric_limits<std::size_t>::max();
+
+    explicit CappedPageProvider(PageProvider& inner,
+                                std::size_t budget_bytes = kUnlimited)
+        : inner_(inner), budget_(budget_bytes)
+    {}
+
+    /**
+     * Adjusts the budget.  Shrinking below the currently mapped total is
+     * allowed (models pressure arriving while memory is out): existing
+     * mappings stay valid, and every new map() fails until enough memory
+     * is returned.
+     */
+    void
+    set_budget(std::size_t budget_bytes)
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        budget_ = budget_bytes;
+    }
+
+    std::size_t
+    budget() const
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        return budget_;
+    }
+
+    void*
+    map(std::size_t bytes, std::size_t align) override
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        std::size_t before = inner_.mapped_bytes();
+        if (bytes > budget_ || before > budget_ - bytes) {
+            budget_rejections_.add();
+            return nullptr;
+        }
+        void* p = inner_.map(bytes, align);
+        if (p == nullptr)
+            return nullptr;
+        // Re-check against the actual page-rounded charge; a request
+        // that rounds past the ceiling is over budget, not over by a
+        // little.
+        if (inner_.mapped_bytes() > budget_) {
+            inner_.unmap(p, bytes);
+            budget_rejections_.add();
+            return nullptr;
+        }
+        gauge_.add(inner_.mapped_bytes() - before);
+        return p;
+    }
+
+    void
+    unmap(void* p, std::size_t bytes) override
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        std::size_t before = inner_.mapped_bytes();
+        inner_.unmap(p, bytes);
+        gauge_.sub(before - inner_.mapped_bytes());
+    }
+
+    std::size_t mapped_bytes() const override { return gauge_.current(); }
+    std::size_t peak_mapped_bytes() const override { return gauge_.peak(); }
+
+    /** map() calls refused because they would exceed the budget. */
+    std::uint64_t budget_rejections() const
+    {
+        return budget_rejections_.get();
+    }
+
+  private:
+    PageProvider& inner_;
+    mutable std::mutex mutex_;
+    std::size_t budget_;
+    detail::Gauge gauge_;
+    detail::Counter budget_rejections_;
+};
+
+}  // namespace os
+}  // namespace hoard
+
+#endif  // HOARD_OS_FAULT_INJECTION_H_

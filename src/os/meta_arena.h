@@ -14,7 +14,6 @@
 #include <mutex>
 #include <new>
 
-#include "common/failure.h"
 #include "common/mathutil.h"
 #include "os/page_provider.h"
 
@@ -35,35 +34,50 @@ class MetaArena
     MetaArena(const MetaArena&) = delete;
     MetaArena& operator=(const MetaArena&) = delete;
 
-    /** Allocates @p bytes with @p align alignment; never returns null. */
+    /**
+     * Allocates @p bytes with @p align alignment.  Returns nullptr when
+     * the provider is out of memory; the arena's cursor and accounting
+     * are unchanged on the failure path, so callers can retry after
+     * relieving pressure.
+     */
     void*
     allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t))
     {
         std::lock_guard<std::mutex> guard(mutex_);
-        cursor_ = detail::align_up(cursor_, align);
-        if (current_ == nullptr || cursor_ + bytes > chunk_limit_)
-            grow(bytes, align);
-        void* p = reinterpret_cast<void*>(cursor_);
-        cursor_ += bytes;
+        std::uintptr_t at = detail::align_up(cursor_, align);
+        if (current_ == nullptr || at + bytes > chunk_limit_) {
+            if (!grow(bytes, align))
+                return nullptr;
+            at = detail::align_up(cursor_, align);
+        }
+        void* p = reinterpret_cast<void*>(at);
+        cursor_ = at + bytes;
         allocated_ += bytes;
         return p;
     }
 
-    /** Constructs a T in arena storage. */
+    /** Constructs a T in arena storage; nullptr on exhaustion. */
     template <typename T, typename... Args>
     T*
     make(Args&&... args)
     {
         void* p = allocate(sizeof(T), alignof(T));
+        if (p == nullptr)
+            return nullptr;
         return new (p) T(static_cast<Args&&>(args)...);
     }
 
-    /** Constructs an array of @p n default-initialized Ts. */
+    /**
+     * Constructs an array of @p n default-initialized Ts; nullptr on
+     * exhaustion.
+     */
     template <typename T>
     T*
     make_array(std::size_t n)
     {
         void* p = allocate(sizeof(T) * n, alignof(T));
+        if (p == nullptr)
+            return nullptr;
         T* arr = static_cast<T*>(p);
         for (std::size_t i = 0; i < n; ++i)
             new (arr + i) T();
@@ -80,14 +94,21 @@ class MetaArena
         std::size_t bytes;
     };
 
-    void
+    /**
+     * Maps a fresh chunk big enough for @p bytes at @p align (the extra
+     * @p align covers re-aligning the post-header cursor).  Returns
+     * false — leaving every member untouched — when the provider cannot
+     * supply memory.
+     */
+    bool
     grow(std::size_t bytes, std::size_t align)
     {
         std::size_t need =
             detail::align_up(sizeof(ChunkHeader) + bytes + align,
                              chunk_bytes_);
         void* chunk = provider_.map(need, alignof(std::max_align_t));
-        HOARD_CHECK(chunk != nullptr);
+        if (chunk == nullptr)
+            return false;
         auto* hdr = static_cast<ChunkHeader*>(chunk);
         hdr->next = chunks_;
         hdr->bytes = need;
@@ -96,6 +117,7 @@ class MetaArena
         cursor_ = reinterpret_cast<std::uintptr_t>(chunk) +
                   sizeof(ChunkHeader);
         chunk_limit_ = reinterpret_cast<std::uintptr_t>(chunk) + need;
+        return true;
     }
 
     void

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <limits>
 
 #include "common/failure.h"
 #include "common/mathutil.h"
@@ -30,9 +31,18 @@ MmapPageProvider::map(std::size_t bytes, std::size_t align)
     HOARD_CHECK(detail::is_pow2(align));
 
     const std::size_t ps = page_size();
+    // Absurd requests (page rounding or the alignment over-map would
+    // overflow size_t) are exhaustion, not caller error: they arise
+    // from legitimate huge allocation sizes, so report OOM rather than
+    // aborting.
+    constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+    if (bytes > kMax - (ps - 1))
+        return nullptr;
     bytes = detail::align_up(bytes, ps);
     if (align < ps)
         align = ps;
+    if (bytes > kMax - (align - ps))
+        return nullptr;
 
     // Over-map so an aligned sub-range of the right size must exist,
     // then trim the misaligned head and the surplus tail.

@@ -53,10 +53,14 @@ larson_thread(Allocator& allocator, const LarsonParams& params, int tid)
     std::vector<void*> slots(
         static_cast<std::size_t>(params.slots_per_thread));
 
+    // Under memory pressure allocate may return nullptr; a slot then
+    // simply holds no object until a later replacement succeeds
+    // (deallocate(nullptr) is a no-op).
     for (void*& slot : slots) {
         std::size_t bytes = rng.range(params.min_bytes, params.max_bytes);
         slot = allocator.allocate(bytes);
-        write_memory<Policy>(slot, bytes);
+        if (slot != nullptr)
+            write_memory<Policy>(slot, bytes);
     }
 
     for (int epoch = 0; epoch < params.epochs; ++epoch) {
@@ -66,7 +70,8 @@ larson_thread(Allocator& allocator, const LarsonParams& params, int tid)
             std::size_t bytes =
                 rng.range(params.min_bytes, params.max_bytes);
             slots[idx] = allocator.allocate(bytes);
-            write_memory<Policy>(slots[idx], bytes);
+            if (slots[idx] != nullptr)
+                write_memory<Policy>(slots[idx], bytes);
         }
         // Hand the slot array to a fresh thread: new logical id, so the
         // next epoch frees this epoch's objects from a different heap.

@@ -41,8 +41,12 @@ threadtest_thread(Allocator& allocator, const ThreadtestParams& params,
 
     for (int iter = 0; iter < params.iterations; ++iter) {
         for (int i = 0; i < per_thread; ++i) {
+            // Under memory pressure (fault-injecting providers, RSS
+            // caps) allocate may return nullptr; the workload degrades
+            // by skipping the object — deallocate(nullptr) is a no-op.
             void* p = allocator.allocate(params.object_bytes);
-            write_memory<Policy>(p, params.object_bytes);
+            if (p != nullptr)
+                write_memory<Policy>(p, params.object_bytes);
             if (params.work_per_object != 0)
                 Policy::work(params.work_per_object);
             objects[static_cast<std::size_t>(i)] = p;

@@ -83,6 +83,46 @@ TEST_F(DebugAllocatorTest, FatalModeAborts)
     EXPECT_DEATH(debug.deallocate(p), "untracked pointer");
 }
 
+TEST_F(DebugAllocatorTest, ForeignPointerReportFires)
+{
+    // The failure report itself must fire (not just a counter tick)
+    // when a pointer this wrapper never handed out is freed.
+    HoardAllocator<NativePolicy> inner{Config{}};
+    DebugAllocator debug(inner);  // OnError::fatal
+    int stack_var = 0;
+    EXPECT_DEATH(debug.deallocate(&stack_var), "untracked pointer");
+}
+
+TEST_F(DebugAllocatorTest, OverrunReportFires)
+{
+    HoardAllocator<NativePolicy> inner{Config{}};
+    DebugAllocator debug(inner);  // OnError::fatal
+    auto* p = static_cast<char*>(debug.allocate(100));
+    std::memset(p, 0x42, 104);  // trample the tail canary
+    EXPECT_DEATH(debug.deallocate(p), "overrun");
+}
+
+TEST_F(DebugAllocatorTest, DoubleFreeDoesNotCorruptInner)
+{
+    // In counting mode the bad free is swallowed, never forwarded: the
+    // inner allocator's books and invariants stay exact.
+    HoardAllocator<NativePolicy> inner{Config{}};
+    DebugAllocator debug(inner, DebugAllocator::OnError::count);
+    void* p = debug.allocate(64);
+    debug.deallocate(p);
+    std::uint64_t frees = inner.stats().frees.get();
+    debug.deallocate(p);
+    debug.deallocate(p);
+    EXPECT_EQ(debug.bad_free_count(), 2u);
+    EXPECT_EQ(inner.stats().frees.get(), frees);
+    EXPECT_TRUE(inner.check_invariants());
+    // The wrapper keeps working afterwards.
+    void* q = debug.allocate(64);
+    ASSERT_NE(q, nullptr);
+    debug.deallocate(q);
+    EXPECT_EQ(debug.live_allocations(), 0u);
+}
+
 TEST_F(DebugAllocatorTest, LeakReport)
 {
     HoardAllocator<NativePolicy> inner{Config{}};

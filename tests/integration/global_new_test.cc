@@ -13,14 +13,39 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <limits>
 #include <map>
 #include <memory>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
 
 namespace hoard {
 namespace {
+
+/**
+ * A request no machine can satisfy, loaded through a volatile so the
+ * compiler cannot see the constant (and cannot warn about it).
+ */
+std::size_t
+impossible_size()
+{
+    static volatile std::size_t huge =
+        std::numeric_limits<std::size_t>::max() / 2;
+    return huge;
+}
+
+int g_handler_calls = 0;
+
+/** new_handler that gives up (uninstalls itself) after three calls. */
+void
+counting_handler()
+{
+    ++g_handler_calls;
+    if (g_handler_calls >= 3)
+        std::set_new_handler(nullptr);
+}
 
 TEST(GlobalNew, OperatorNewGoesThroughHoard)
 {
@@ -97,6 +122,38 @@ TEST(GlobalNew, SmartPointersAndThreads)
         ASSERT_NE(r, nullptr);
         EXPECT_NE(r->find("ok"), std::string::npos);
     }
+}
+
+TEST(GlobalNew, NothrowExhaustionReturnsNull)
+{
+    std::uint64_t allocs = hoard_stats().allocs.get();
+    EXPECT_EQ(operator new(impossible_size(), std::nothrow), nullptr);
+    EXPECT_EQ(operator new[](impossible_size(), std::nothrow), nullptr);
+    EXPECT_EQ(operator new(impossible_size(), std::align_val_t{256},
+                           std::nothrow),
+              nullptr);
+    // The failed attempts recorded nothing and corrupted nothing.
+    EXPECT_EQ(hoard_stats().allocs.get(), allocs);
+    EXPECT_TRUE(global_allocator().check_invariants());
+}
+
+TEST(GlobalNew, NewHandlerIsConsultedBeforeThrowing)
+{
+    // The throwing forms must loop through std::get_new_handler: call
+    // it on failure, retry, and only throw once the handler is gone.
+    g_handler_calls = 0;
+    std::new_handler old = std::set_new_handler(counting_handler);
+    EXPECT_THROW(operator new(impossible_size()), std::bad_alloc);
+    EXPECT_EQ(g_handler_calls, 3);
+
+    g_handler_calls = 0;
+    std::set_new_handler(counting_handler);
+    EXPECT_THROW(operator new(impossible_size(), std::align_val_t{128}),
+                 std::bad_alloc);
+    EXPECT_EQ(g_handler_calls, 3);
+
+    std::set_new_handler(old);
+    EXPECT_TRUE(global_allocator().check_invariants());
 }
 
 TEST(GlobalNew, AllocatorBooksStayConsistent)

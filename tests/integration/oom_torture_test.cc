@@ -1,0 +1,222 @@
+/**
+ * @file
+ * OOM torture: real workloads (threadtest, larson) driven over
+ * fault-injecting and hard-budget page providers, under both the
+ * native and the simulated execution policy.  The allocator must
+ * never crash, must keep its emptiness invariants through every
+ * injected failure, and must hand back every byte at teardown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "baselines/ownership_allocator.h"
+#include "baselines/pure_private_allocator.h"
+#include "baselines/serial_allocator.h"
+#include "core/hoard_allocator.h"
+#include "os/fault_injection.h"
+#include "policy/native_policy.h"
+#include "policy/sim_policy.h"
+#include "sim/machine.h"
+#include "workloads/larson.h"
+#include "workloads/runners.h"
+#include "workloads/threadtest.h"
+
+namespace hoard {
+namespace {
+
+using NativeHoard = HoardAllocator<NativePolicy>;
+using SimHoard = HoardAllocator<SimPolicy>;
+
+workloads::ThreadtestParams
+small_threadtest()
+{
+    workloads::ThreadtestParams params;
+    params.nthreads = 4;
+    params.iterations = 6;
+    params.total_objects = 8000;
+    params.object_bytes = 8;
+    return params;
+}
+
+workloads::LarsonParams
+small_larson()
+{
+    workloads::LarsonParams params;
+    params.nthreads = 4;
+    params.slots_per_thread = 200;
+    params.rounds_per_epoch = 400;
+    params.epochs = 2;
+    return params;
+}
+
+TEST(OomTorture, NativeThreadtestUnderFailEveryK)
+{
+    os::MmapPageProvider inner;
+    os::FaultInjectingPageProvider provider(inner);
+    provider.fail_every_kth_map(3);
+    Config config;
+    config.heap_count = 4;
+    {
+        NativeHoard allocator(config, provider);
+        workloads::ThreadtestParams params = small_threadtest();
+        workloads::native_run(params.nthreads, [&](int tid) {
+            workloads::threadtest_thread<NativePolicy>(allocator, params,
+                                                       tid);
+        });
+        allocator.flush_thread_caches();
+        EXPECT_TRUE(allocator.check_invariants());
+        EXPECT_EQ(allocator.stats().in_use_bytes.current(), 0u);
+    }
+    // Teardown returned every byte to the OS despite the failures.
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+    EXPECT_EQ(inner.mapped_bytes(), 0u);
+    EXPECT_GT(provider.injected_failures(), 0u);
+}
+
+TEST(OomTorture, NativeLarsonUnderShrinkingBudget)
+{
+    os::MmapPageProvider inner;
+    os::CappedPageProvider provider(inner, 1u << 20);
+    Config config;
+    config.heap_count = 4;
+    {
+        NativeHoard allocator(config, provider);
+        workloads::LarsonParams params = small_larson();
+        // Memory pressure mounts between generations: the ceiling drops
+        // from comfortable to far below the workload's live set.
+        const std::size_t budgets[] = {1u << 20, 256u * 1024, 64u * 1024,
+                                       16u * 1024};
+        for (std::size_t budget : budgets) {
+            provider.set_budget(budget);
+            // React to the pressure notification the way a server
+            // would: trim, then run the next generation under the
+            // tighter ceiling (forcing fresh maps against it).
+            allocator.release_free_memory();
+            workloads::native_run(params.nthreads, [&](int tid) {
+                workloads::larson_thread<NativePolicy>(allocator, params,
+                                                       tid);
+            });
+            allocator.flush_thread_caches();
+            EXPECT_TRUE(allocator.check_invariants());
+            EXPECT_EQ(allocator.stats().in_use_bytes.current(), 0u);
+        }
+        // The tight rounds forced real rejections and real reclaims.
+        EXPECT_GT(provider.budget_rejections(), 0u);
+        EXPECT_GT(allocator.stats().oom_reclaims.get(), 0u);
+    }
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+    EXPECT_EQ(inner.mapped_bytes(), 0u);
+}
+
+TEST(OomTorture, SimThreadtestUnderFailEveryKIsDeterministic)
+{
+    auto run_once = [] {
+        os::MmapPageProvider inner;
+        os::FaultInjectingPageProvider provider(inner);
+        provider.fail_every_kth_map(3);
+        Config config;
+        config.heap_count = 4;
+        std::uint64_t makespan = 0;
+        {
+            SimHoard allocator(config, provider);
+            workloads::ThreadtestParams params = small_threadtest();
+            params.iterations = 3;
+            params.total_objects = 4000;
+            makespan = workloads::sim_run(
+                4, params.nthreads, [&](int tid) {
+                    workloads::threadtest_thread<SimPolicy>(allocator,
+                                                            params, tid);
+                });
+            // Flushing and invariant checks lock VirtualMutexes, so
+            // they must run on a machine.
+            sim::Machine quiesce(1);
+            quiesce.spawn(0, 0, [&allocator] {
+                allocator.flush_thread_caches();
+                EXPECT_TRUE(allocator.check_invariants());
+            });
+            quiesce.run();
+            EXPECT_EQ(allocator.stats().in_use_bytes.current(), 0u);
+        }
+        EXPECT_EQ(provider.mapped_bytes(), 0u);
+        EXPECT_GT(provider.injected_failures(), 0u);
+        return makespan;
+    };
+    std::uint64_t first = run_once();
+    EXPECT_GT(first, 0u);
+    // Virtual time plus a deterministic schedule: bit-equal reruns.
+    EXPECT_EQ(first, run_once());
+}
+
+TEST(OomTorture, SimLarsonUnderHardBudget)
+{
+    os::MmapPageProvider inner;
+    // Twelve superblocks for a workload that wants several dozen.
+    os::CappedPageProvider provider(inner, 96u * 1024);
+    Config config;
+    config.heap_count = 4;
+    {
+        SimHoard allocator(config, provider);
+        workloads::LarsonParams params = small_larson();
+        params.slots_per_thread = 150;
+        params.rounds_per_epoch = 300;
+        std::uint64_t makespan = workloads::sim_run(
+            4, params.nthreads, [&](int tid) {
+                workloads::larson_thread<SimPolicy>(allocator, params, tid);
+            });
+        EXPECT_GT(makespan, 0u);
+        sim::Machine quiesce(1);
+        quiesce.spawn(0, 0, [&allocator] {
+            allocator.flush_thread_caches();
+            EXPECT_TRUE(allocator.check_invariants());
+        });
+        quiesce.run();
+        EXPECT_EQ(allocator.stats().in_use_bytes.current(), 0u);
+        EXPECT_GT(provider.budget_rejections(), 0u);
+        EXPECT_GT(allocator.stats().oom_reclaims.get(), 0u);
+    }
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+}
+
+TEST(OomTorture, BaselinesSurviveFailEveryK)
+{
+    Config config;
+    config.heap_count = 4;
+    workloads::ThreadtestParams params = small_threadtest();
+    params.iterations = 3;
+
+    auto torture = [&](auto make_allocator) {
+        os::MmapPageProvider inner;
+        os::FaultInjectingPageProvider provider(inner);
+        provider.fail_every_kth_map(2);
+        {
+            auto allocator = make_allocator(provider);
+            workloads::native_run(params.nthreads, [&](int tid) {
+                workloads::threadtest_thread<NativePolicy>(*allocator,
+                                                           params, tid);
+            });
+            EXPECT_EQ(allocator->stats().in_use_bytes.current(), 0u);
+        }
+        EXPECT_EQ(provider.mapped_bytes(), 0u);
+        EXPECT_GT(provider.injected_failures(), 0u);
+    };
+
+    torture([&](os::PageProvider& p) {
+        return std::make_unique<baselines::SerialAllocator<NativePolicy>>(
+            config, p);
+    });
+    torture([&](os::PageProvider& p) {
+        return std::make_unique<
+            baselines::PurePrivateAllocator<NativePolicy>>(config, p);
+    });
+    torture([&](os::PageProvider& p) {
+        return std::make_unique<
+            baselines::OwnershipAllocator<NativePolicy>>(config, p);
+    });
+}
+
+}  // namespace
+}  // namespace hoard

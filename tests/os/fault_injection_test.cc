@@ -1,0 +1,204 @@
+/** @file Unit tests for the fault-injecting page-substrate decorators. */
+
+#include "os/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/mathutil.h"
+#include "os/page_provider.h"
+
+namespace hoard {
+namespace os {
+namespace {
+
+TEST(FaultInjectingPageProvider, PassesThroughWhenDisarmed)
+{
+    MmapPageProvider inner;
+    FaultInjectingPageProvider provider(inner);
+    void* p = provider.map(8192, 8192);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(detail::is_aligned(p, 8192));
+    EXPECT_EQ(provider.mapped_bytes(), 8192u);
+    provider.unmap(p, 8192);
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+    EXPECT_EQ(provider.map_calls(), 1u);
+    EXPECT_EQ(provider.unmap_calls(), 1u);
+    EXPECT_EQ(provider.injected_failures(), 0u);
+}
+
+TEST(FaultInjectingPageProvider, FailNthMapFailsExactlyOnce)
+{
+    MmapPageProvider inner;
+    FaultInjectingPageProvider provider(inner);
+    provider.fail_nth_map(3);
+    std::vector<void*> mapped;
+    for (int i = 0; i < 6; ++i) {
+        void* p = provider.map(4096, 4096);
+        if (i == 2) {
+            EXPECT_EQ(p, nullptr) << "call " << i + 1;
+        } else {
+            EXPECT_NE(p, nullptr) << "call " << i + 1;
+            mapped.push_back(p);
+        }
+    }
+    EXPECT_EQ(provider.injected_failures(), 1u);
+    EXPECT_EQ(provider.map_calls(), 6u);
+    for (void* p : mapped)
+        provider.unmap(p, 4096);
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+}
+
+TEST(FaultInjectingPageProvider, FailEveryKth)
+{
+    MmapPageProvider inner;
+    FaultInjectingPageProvider provider(inner);
+    provider.fail_every_kth_map(3);
+    for (int i = 1; i <= 12; ++i) {
+        void* p = provider.map(4096, 4096);
+        if (i % 3 == 0) {
+            EXPECT_EQ(p, nullptr) << "call " << i;
+        } else {
+            ASSERT_NE(p, nullptr) << "call " << i;
+            provider.unmap(p, 4096);
+        }
+    }
+    EXPECT_EQ(provider.injected_failures(), 4u);
+}
+
+TEST(FaultInjectingPageProvider, ProbabilisticIsSeededAndDeterministic)
+{
+    // Same seed -> identical failure pattern on two providers.
+    MmapPageProvider inner_a, inner_b;
+    FaultInjectingPageProvider a(inner_a), b(inner_b);
+    a.fail_with_probability(0.5, 42);
+    b.fail_with_probability(0.5, 42);
+    int failures = 0;
+    for (int i = 0; i < 64; ++i) {
+        void* pa = a.map(4096, 4096);
+        void* pb = b.map(4096, 4096);
+        EXPECT_EQ(pa == nullptr, pb == nullptr) << "call " << i;
+        if (pa == nullptr)
+            ++failures;
+        if (pa != nullptr)
+            a.unmap(pa, 4096);
+        if (pb != nullptr)
+            b.unmap(pb, 4096);
+    }
+    // p = 0.5 over 64 draws: some of each, overwhelmingly likely.
+    EXPECT_GT(failures, 0);
+    EXPECT_LT(failures, 64);
+}
+
+TEST(FaultInjectingPageProvider, ProbabilityExtremes)
+{
+    MmapPageProvider inner;
+    FaultInjectingPageProvider provider(inner);
+    provider.fail_with_probability(1.0, 7);
+    EXPECT_EQ(provider.map(4096, 4096), nullptr);
+    EXPECT_EQ(provider.map(4096, 4096), nullptr);
+    provider.fail_with_probability(0.0, 7);
+    void* p = provider.map(4096, 4096);
+    EXPECT_NE(p, nullptr);
+    provider.unmap(p, 4096);
+}
+
+TEST(FaultInjectingPageProvider, ClearScheduleDisarms)
+{
+    MmapPageProvider inner;
+    FaultInjectingPageProvider provider(inner);
+    provider.fail_every_kth_map(1);  // every call fails
+    EXPECT_EQ(provider.map(4096, 4096), nullptr);
+    provider.clear_schedule();
+    void* p = provider.map(4096, 4096);
+    ASSERT_NE(p, nullptr);
+    provider.unmap(p, 4096);
+}
+
+TEST(CappedPageProvider, EnforcesBudget)
+{
+    MmapPageProvider inner;
+    CappedPageProvider provider(inner, 16384);
+    void* a = provider.map(8192, 8192);
+    ASSERT_NE(a, nullptr);
+    void* b = provider.map(8192, 8192);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(provider.mapped_bytes(), 16384u);
+    // Budget exhausted: the next map must fail without side effects.
+    EXPECT_EQ(provider.map(4096, 4096), nullptr);
+    EXPECT_EQ(provider.budget_rejections(), 1u);
+    EXPECT_EQ(provider.mapped_bytes(), 16384u);
+    // Releasing memory restores headroom.
+    provider.unmap(a, 8192);
+    void* c = provider.map(4096, 4096);
+    ASSERT_NE(c, nullptr);
+    provider.unmap(b, 8192);
+    provider.unmap(c, 4096);
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+}
+
+TEST(CappedPageProvider, AccountsPageRounding)
+{
+    // A 100-byte request costs a whole page; the budget check must use
+    // the rounded charge, not the raw request.
+    MmapPageProvider inner;
+    CappedPageProvider provider(inner, 4096);
+    void* p = provider.map(100, 64);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(provider.mapped_bytes(), 4096u);
+    EXPECT_EQ(provider.map(100, 64), nullptr);
+    provider.unmap(p, 100);
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+}
+
+TEST(CappedPageProvider, ShrinkingBudgetBelowMappedTotal)
+{
+    MmapPageProvider inner;
+    CappedPageProvider provider(inner, 1 << 20);
+    void* a = provider.map(65536, 65536);
+    ASSERT_NE(a, nullptr);
+    // Pressure arrives: the ceiling drops below what is already out.
+    provider.set_budget(4096);
+    EXPECT_EQ(provider.budget(), 4096u);
+    EXPECT_EQ(provider.map(4096, 4096), nullptr);
+    // The existing mapping stays valid and can be returned.
+    std::memset(a, 0x5a, 65536);
+    provider.unmap(a, 65536);
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+    // With memory back under the ceiling, mapping works again.
+    void* b = provider.map(4096, 4096);
+    ASSERT_NE(b, nullptr);
+    provider.unmap(b, 4096);
+}
+
+TEST(CappedPageProvider, ZeroBudgetRefusesEverything)
+{
+    MmapPageProvider inner;
+    CappedPageProvider provider(inner, 0);
+    EXPECT_EQ(provider.map(4096, 4096), nullptr);
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+    EXPECT_EQ(inner.mapped_bytes(), 0u);
+}
+
+TEST(CappedPageProvider, ComposesWithFaultInjection)
+{
+    // Stacked decorators: a budget AND a deterministic failure schedule.
+    MmapPageProvider inner;
+    CappedPageProvider capped(inner, 1 << 20);
+    FaultInjectingPageProvider provider(capped);
+    provider.fail_nth_map(2);
+    void* a = provider.map(8192, 8192);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(provider.map(8192, 8192), nullptr);  // injected
+    void* b = provider.map(8192, 8192);
+    ASSERT_NE(b, nullptr);
+    provider.unmap(a, 8192);
+    provider.unmap(b, 8192);
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace os
+}  // namespace hoard

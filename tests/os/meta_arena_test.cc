@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/mathutil.h"
+#include "os/fault_injection.h"
 
 namespace hoard {
 namespace os {
@@ -84,6 +85,70 @@ TEST(MetaArena, ReleasesOnDestruction)
         EXPECT_GT(provider.mapped_bytes(), 0u);
     }
     EXPECT_EQ(provider.mapped_bytes(), 0u);
+}
+
+TEST(MetaArena, MapFailurePropagatesAsNull)
+{
+    MmapPageProvider inner;
+    FaultInjectingPageProvider provider(inner);
+    MetaArena arena(provider, 4096);
+    provider.fail_nth_map(1);
+    EXPECT_EQ(arena.allocate(100), nullptr);
+    EXPECT_EQ(arena.allocated_bytes(), 0u);
+    // The failure left the arena consistent: the next allocation (with
+    // the schedule exhausted) succeeds.
+    void* p = arena.allocate(100);
+    EXPECT_NE(p, nullptr);
+    EXPECT_EQ(arena.allocated_bytes(), 100u);
+}
+
+TEST(MetaArena, MakeReturnsNullOnExhaustion)
+{
+    struct Widget
+    {
+        int a = 1;
+    };
+    MmapPageProvider inner;
+    FaultInjectingPageProvider provider(inner);
+    MetaArena arena(provider, 4096);
+    provider.fail_every_kth_map(1);  // every map fails
+    EXPECT_EQ(arena.make<Widget>(), nullptr);
+    EXPECT_EQ(arena.make_array<int>(32), nullptr);
+    provider.clear_schedule();
+    Widget* w = arena.make<Widget>();
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->a, 1);
+}
+
+TEST(MetaArena, GrowthFailureMidStreamKeepsEarlierAllocations)
+{
+    MmapPageProvider inner;
+    FaultInjectingPageProvider provider(inner);
+    MetaArena arena(provider, 4096);
+    auto* a = static_cast<char*>(arena.allocate(1024));
+    ASSERT_NE(a, nullptr);
+    std::memset(a, 7, 1024);
+    // Force the next chunk map to fail: a large request must grow.
+    provider.fail_nth_map(1);
+    EXPECT_EQ(arena.allocate(64 * 1024), nullptr);
+    // Earlier memory is untouched and the arena still serves from the
+    // current chunk.
+    EXPECT_EQ(a[512], 7);
+    void* b = arena.allocate(16);
+    EXPECT_NE(b, nullptr);
+}
+
+TEST(MetaArena, AlignmentHonoredOnFreshChunk)
+{
+    // The first allocation of a chunk must respect large alignments
+    // even though the chunk cursor starts just past the header.
+    MmapPageProvider provider;
+    MetaArena arena(provider, 4096);
+    void* p = arena.allocate(64, 64);
+    EXPECT_TRUE(detail::is_aligned(p, 64));
+    MetaArena arena2(provider, 4096);
+    void* q = arena2.allocate(8, 256);
+    EXPECT_TRUE(detail::is_aligned(q, 256));
 }
 
 TEST(MetaArena, ThreadSafeAllocation)
