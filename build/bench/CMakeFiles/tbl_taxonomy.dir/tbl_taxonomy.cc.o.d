@@ -198,8 +198,8 @@ bench/CMakeFiles/tbl_taxonomy.dir/tbl_taxonomy.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/baselines/ownership_allocator.h \
  /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/limits /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \

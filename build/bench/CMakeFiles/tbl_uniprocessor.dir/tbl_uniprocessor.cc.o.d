@@ -215,8 +215,8 @@ bench/CMakeFiles/tbl_uniprocessor.dir/tbl_uniprocessor.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/baselines/ownership_allocator.h \
  /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/limits /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/failure.h \
  /root/repo/src/common/stats.h /root/repo/src/core/allocator.h \

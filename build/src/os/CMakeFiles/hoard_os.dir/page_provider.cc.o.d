@@ -166,5 +166,5 @@ src/os/CMakeFiles/hoard_os.dir/page_provider.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/mman-map-flags-generic.h \
  /usr/include/x86_64-linux-gnu/bits/mman-linux.h \
  /usr/include/x86_64-linux-gnu/bits/mman-shared.h \
- /usr/include/x86_64-linux-gnu/bits/mman_ext.h \
+ /usr/include/x86_64-linux-gnu/bits/mman_ext.h /usr/include/c++/12/limits \
  /root/repo/src/common/failure.h /root/repo/src/common/mathutil.h

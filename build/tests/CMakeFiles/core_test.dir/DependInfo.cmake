@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/heap_test.cc" "tests/CMakeFiles/core_test.dir/core/heap_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/heap_test.cc.o.d"
   "/root/repo/tests/core/hoard_allocator_test.cc" "tests/CMakeFiles/core_test.dir/core/hoard_allocator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/hoard_allocator_test.cc.o.d"
   "/root/repo/tests/core/hoard_invariant_test.cc" "tests/CMakeFiles/core_test.dir/core/hoard_invariant_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/hoard_invariant_test.cc.o.d"
+  "/root/repo/tests/core/oom_paths_test.cc" "tests/CMakeFiles/core_test.dir/core/oom_paths_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/oom_paths_test.cc.o.d"
   "/root/repo/tests/core/pmr_resource_test.cc" "tests/CMakeFiles/core_test.dir/core/pmr_resource_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pmr_resource_test.cc.o.d"
   "/root/repo/tests/core/sim_allocator_test.cc" "tests/CMakeFiles/core_test.dir/core/sim_allocator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sim_allocator_test.cc.o.d"
   "/root/repo/tests/core/size_classes_test.cc" "tests/CMakeFiles/core_test.dir/core/size_classes_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/size_classes_test.cc.o.d"

@@ -35,11 +35,12 @@ tests/CMakeFiles/core_test.dir/core/debug_allocator_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/stl_pair.h \
- /usr/include/c++/12/type_traits /usr/include/c++/12/bits/move.h \
- /usr/include/c++/12/bits/utility.h /usr/include/c++/12/compare \
- /usr/include/c++/12/concepts /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/mutex /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/type_traits \
+ /usr/include/c++/12/bits/move.h /usr/include/c++/12/bits/utility.h \
+ /usr/include/c++/12/compare /usr/include/c++/12/concepts \
+ /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/invoke.h /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception.h \
  /usr/include/c++/12/bits/exception_ptr.h \
@@ -129,7 +130,7 @@ tests/CMakeFiles/core_test.dir/core/debug_allocator_test.cc.o: \
  /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime /usr/include/time.h \
+ /usr/include/c++/12/ctime /usr/include/time.h \
  /usr/include/x86_64-linux-gnu/bits/time.h \
  /usr/include/x86_64-linux-gnu/bits/timex.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_tm.h \

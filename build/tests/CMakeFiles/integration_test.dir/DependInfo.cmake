@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/integration/composition_test.cc" "tests/CMakeFiles/integration_test.dir/integration/composition_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/composition_test.cc.o.d"
   "/root/repo/tests/integration/native_stress_test.cc" "tests/CMakeFiles/integration_test.dir/integration/native_stress_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/native_stress_test.cc.o.d"
+  "/root/repo/tests/integration/oom_torture_test.cc" "tests/CMakeFiles/integration_test.dir/integration/oom_torture_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/oom_torture_test.cc.o.d"
   "/root/repo/tests/integration/sim_replay_test.cc" "tests/CMakeFiles/integration_test.dir/integration/sim_replay_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/sim_replay_test.cc.o.d"
   "/root/repo/tests/integration/sim_results_test.cc" "tests/CMakeFiles/integration_test.dir/integration/sim_results_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/sim_results_test.cc.o.d"
   )

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/integration_test.dir/integration/composition_test.cc.o.d"
   "CMakeFiles/integration_test.dir/integration/native_stress_test.cc.o"
   "CMakeFiles/integration_test.dir/integration/native_stress_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/oom_torture_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/oom_torture_test.cc.o.d"
   "CMakeFiles/integration_test.dir/integration/sim_replay_test.cc.o"
   "CMakeFiles/integration_test.dir/integration/sim_replay_test.cc.o.d"
   "CMakeFiles/integration_test.dir/integration/sim_results_test.cc.o"

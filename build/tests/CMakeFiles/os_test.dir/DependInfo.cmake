@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/os/fault_injection_test.cc" "tests/CMakeFiles/os_test.dir/os/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/os_test.dir/os/fault_injection_test.cc.o.d"
   "/root/repo/tests/os/meta_arena_test.cc" "tests/CMakeFiles/os_test.dir/os/meta_arena_test.cc.o" "gcc" "tests/CMakeFiles/os_test.dir/os/meta_arena_test.cc.o.d"
   "/root/repo/tests/os/page_provider_test.cc" "tests/CMakeFiles/os_test.dir/os/page_provider_test.cc.o" "gcc" "tests/CMakeFiles/os_test.dir/os/page_provider_test.cc.o.d"
   )

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/os_test.dir/os/fault_injection_test.cc.o"
+  "CMakeFiles/os_test.dir/os/fault_injection_test.cc.o.d"
   "CMakeFiles/os_test.dir/os/meta_arena_test.cc.o"
   "CMakeFiles/os_test.dir/os/meta_arena_test.cc.o.d"
   "CMakeFiles/os_test.dir/os/page_provider_test.cc.o"

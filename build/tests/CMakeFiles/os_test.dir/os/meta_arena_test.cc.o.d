@@ -148,7 +148,7 @@ tests/CMakeFiles/os_test.dir/os/meta_arena_test.cc.o: \
  /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
- /root/repo/src/common/failure.h /root/repo/src/common/mathutil.h \
+ /root/repo/src/common/mathutil.h /root/repo/src/common/failure.h \
  /root/repo/src/os/page_provider.h /root/repo/src/common/stats.h \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
@@ -308,4 +308,5 @@ tests/CMakeFiles/os_test.dir/os/meta_arena_test.cc.o: \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/os/fault_injection.h /root/repo/src/common/rng.h
