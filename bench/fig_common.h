@@ -22,6 +22,12 @@ struct FigCli
 {
     bool quick = false;
     bool diagnostics = true;
+
+    /** --obs: profile heap locks and trace events in every cell. */
+    bool observability = false;
+
+    /** --trace-dir DIR: dump per-cell Chrome traces (implies --obs). */
+    std::string trace_dir;
 };
 
 inline FigCli
@@ -33,6 +39,11 @@ parse_cli(int argc, char** argv)
             cli.quick = true;
         else if (std::strcmp(argv[i], "--no-diagnostics") == 0)
             cli.diagnostics = false;
+        else if (std::strcmp(argv[i], "--obs") == 0)
+            cli.observability = true;
+        else if (std::strcmp(argv[i], "--trace-dir") == 0 &&
+                 i + 1 < argc)
+            cli.trace_dir = argv[++i];
     }
     return cli;
 }
@@ -46,6 +57,8 @@ paper_options(const FigCli& cli)
         options.procs = {1, 2, 4, 8};
     else
         options.procs = {1, 2, 4, 6, 8, 10, 12, 14};
+    options.observability = cli.observability;
+    options.trace_dir = cli.trace_dir;
     return options;
 }
 

@@ -148,7 +148,7 @@ class OwnershipAllocator final : public Allocator
         // Ownership: the block goes home.  Owners never change, so no
         // re-check loop is needed.
         auto* arena = static_cast<Arena*>(sb->owner());
-        std::lock_guard<typename Policy::Mutex> guard(arena->mutex);
+        std::lock_guard<typename Arena::Mutex> guard(arena->mutex);
         int old_group = sb->fullness_group();
         Policy::touch(p, sizeof(void*), true);
         Policy::touch(sb, sizeof(Superblock), true);

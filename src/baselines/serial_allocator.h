@@ -60,7 +60,7 @@ class SerialAllocator final : public Allocator
             return allocate_huge(size);
 
         const std::size_t block_bytes = classes_.block_size(cls);
-        std::lock_guard<typename Policy::Mutex> guard(heap_.mutex);
+        std::lock_guard<typename HoardHeap<Policy>::Mutex> guard(heap_.mutex);
 
         int probes = 0;
         Superblock* sb = heap_.find_allocatable(cls, &probes);
@@ -110,7 +110,7 @@ class SerialAllocator final : public Allocator
             return;
         }
 
-        std::lock_guard<typename Policy::Mutex> guard(heap_.mutex);
+        std::lock_guard<typename HoardHeap<Policy>::Mutex> guard(heap_.mutex);
         int old_group = sb->fullness_group();
         Policy::touch(p, sizeof(void*), true);
         Policy::touch(sb, sizeof(Superblock), true);

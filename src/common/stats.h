@@ -14,6 +14,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/failure.h"
+
 namespace hoard {
 namespace detail {
 
@@ -51,7 +53,20 @@ class Gauge
         }
     }
 
-    void sub(std::uint64_t n) { cur_.fetch_sub(n, std::memory_order_relaxed); }
+    /**
+     * Lowers the level by @p n.  Subtracting more than the current
+     * level would wrap the unsigned counter and poison every derived
+     * metric (fragmentation, footprint tables), so debug builds treat
+     * it as a caller bug.  The check reads the level racily; under
+     * concurrent mutation it can only under-report, never false-fire
+     * on a balanced add/sub history.
+     */
+    void
+    sub(std::uint64_t n)
+    {
+        HOARD_DCHECK(n <= cur_.load(std::memory_order_relaxed));
+        cur_.fetch_sub(n, std::memory_order_relaxed);
+    }
 
     std::uint64_t current() const { return cur_.load(std::memory_order_relaxed); }
     std::uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }

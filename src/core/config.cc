@@ -34,6 +34,10 @@ Config::validate() const
         HOARD_FATAL("min_block_bytes (%zu) too large for superblock (%zu)",
                     min_block_bytes, superblock_bytes);
     }
+    if (!detail::is_pow2(obs_ring_events) || obs_ring_events < 2) {
+        HOARD_FATAL("obs_ring_events (%zu) must be a power of two >= 2",
+                    obs_ring_events);
+    }
 }
 
 }  // namespace hoard

@@ -96,6 +96,24 @@ struct Config
      */
     std::uint32_t thread_cache_blocks = 0;
 
+    /**
+     * Runtime switch for the observability layer (src/obs/): event
+     * tracing into per-thread rings plus heap-lock contention
+     * profiling.  OR-ed with the HOARD_OBS environment variable, so a
+     * deployed binary can be traced without a rebuild.  Off by default:
+     * the only hot-path residue is one predicted-not-taken branch (and
+     * nothing at all when the HOARD_OBS build option is off).
+     * Snapshots (take_snapshot) work regardless of this flag.
+     */
+    bool observability = false;
+
+    /**
+     * Events retained per ring shard when observability is on (the
+     * recorder keeps EventRecorder::kShards rings and overwrites the
+     * oldest events).  Power of two >= 2.
+     */
+    std::size_t obs_ring_events = 1024;
+
     /** Aborts with HOARD_FATAL on any out-of-range parameter. */
     void validate() const;
 };

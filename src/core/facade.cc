@@ -3,9 +3,11 @@
 #include <cerrno>
 #include <cstring>
 #include <limits>
+#include <ostream>
 #include <thread>
 
 #include "common/mathutil.h"
+#include "obs/trace_export.h"
 
 namespace hoard {
 
@@ -93,6 +95,37 @@ const detail::AllocatorStats&
 hoard_stats()
 {
     return global_allocator().stats();
+}
+
+obs::AllocatorSnapshot
+hoard_snapshot()
+{
+    return global_allocator().take_snapshot();
+}
+
+const obs::EventRecorder*
+hoard_event_recorder()
+{
+    return global_allocator().recorder();
+}
+
+std::size_t
+hoard_write_chrome_trace(std::ostream& os)
+{
+    const obs::EventRecorder* recorder = hoard_event_recorder();
+    if (recorder == nullptr) {
+        static const obs::EventRecorder empty{2};
+        obs::write_chrome_trace(os, empty);
+        return 0;
+    }
+    obs::write_chrome_trace(os, *recorder);
+    return recorder->collect().size();
+}
+
+void
+hoard_write_prometheus(std::ostream& os)
+{
+    obs::write_prometheus(os, hoard_snapshot());
 }
 
 }  // namespace hoard

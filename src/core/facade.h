@@ -13,6 +13,7 @@
 #define HOARD_CORE_FACADE_H_
 
 #include <cstddef>
+#include <iosfwd>
 
 #include "common/stats.h"
 #include "core/hoard_allocator.h"
@@ -58,6 +59,30 @@ std::size_t hoard_release_free_memory();
 
 /** Statistics of the global instance. */
 const detail::AllocatorStats& hoard_stats();
+
+/// @name Observability of the global instance (src/obs/).
+/// @{
+
+/** Per-heap snapshot; works whether or not tracing is enabled. */
+obs::AllocatorSnapshot hoard_snapshot();
+
+/**
+ * Event recorder of the global instance, or nullptr unless tracing was
+ * enabled (HOARD_OBS env var at first use, with HOARD_OBS compiled in).
+ */
+const obs::EventRecorder* hoard_event_recorder();
+
+/**
+ * Writes the retained trace as Chrome trace JSON.  Returns the number
+ * of events written (0 with a valid-but-empty document when tracing is
+ * off).
+ */
+std::size_t hoard_write_chrome_trace(std::ostream& os);
+
+/** Writes a snapshot as Prometheus text exposition. */
+void hoard_write_prometheus(std::ostream& os);
+
+/// @}
 
 }  // namespace hoard
 

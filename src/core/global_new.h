@@ -24,14 +24,55 @@
 #include <new>
 
 #include "core/facade.h"
+#include "obs/trace_export.h"
 
 #ifdef HOARD_REPLACE_GLOBAL_NEW
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 namespace hoard {
 namespace detail {
+
+/**
+ * Exit-time observability dump for whole-process deployments.  When the
+ * HOARD_OBS_DUMP environment variable names a path prefix, the process
+ * writes <prefix>.snapshot.txt, <prefix>.prom, and <prefix>.trace.json
+ * at exit — typically combined with HOARD_OBS=1 so the trace has
+ * events.  Registered via a static initializer in every binary that
+ * replaces operator new, and inert unless the variable is set.
+ */
+inline void
+obs_dump_at_exit()
+{
+    const char* prefix = std::getenv("HOARD_OBS_DUMP");
+    if (prefix == nullptr)
+        return;
+    {
+        std::ofstream os(std::string(prefix) + ".snapshot.txt");
+        obs::write_human(os, hoard_snapshot());
+    }
+    {
+        std::ofstream os(std::string(prefix) + ".prom");
+        hoard_write_prometheus(os);
+    }
+    {
+        std::ofstream os(std::string(prefix) + ".trace.json");
+        hoard_write_chrome_trace(os);
+    }
+}
+
+inline struct ObsDumpRegistrar
+{
+    ObsDumpRegistrar()
+    {
+        if (std::getenv("HOARD_OBS_DUMP") != nullptr)
+            std::atexit(obs_dump_at_exit);
+    }
+} obs_dump_registrar;
 
 /**
  * Bootstrap arena.  Constructing the global Hoard instance itself

@@ -17,6 +17,7 @@
 
 #include "common/failure.h"
 #include "core/superblock.h"
+#include "obs/contention.h"
 
 namespace hoard {
 
@@ -30,7 +31,13 @@ struct SizeClassBin
 template <typename Policy>
 struct HoardHeap
 {
-    using Mutex = typename Policy::Mutex;
+    /**
+     * The policy mutex behind an optional contention profiler.  The
+     * wrapper is a plain forwarder until ProfiledMutex::set_profiled
+     * flips it on (and compiles down to the raw mutex entirely when
+     * observability is off at build time).
+     */
+    using Mutex = obs::ProfiledMutex<Policy>;
 
     explicit HoardHeap(int index_, int num_classes)
         : index(index_), bins(static_cast<std::size_t>(num_classes))

@@ -41,6 +41,9 @@
 #include "core/heap.h"
 #include "core/size_classes.h"
 #include "core/superblock.h"
+#include "obs/event_ring.h"
+#include "obs/gating.h"
+#include "obs/snapshot.h"
 #include "os/page_provider.h"
 #include "policy/cost_kind.h"
 
@@ -71,6 +74,14 @@ class HoardAllocator final : public Allocator
                 caches_.push_back(std::make_unique<ThreadCacheSlot>(
                     static_cast<std::size_t>(classes_.count())));
         }
+        if constexpr (Policy::kObsEnabled) {
+            if (config_.observability || obs::env_enabled()) {
+                recorder_ = std::make_unique<obs::EventRecorder>(
+                    config_.obs_ring_events);
+                for (auto& heap : heaps_)
+                    heap->mutex.set_profiled(true);
+            }
+        }
     }
 
     ~HoardAllocator() override { release_everything(); }
@@ -89,8 +100,16 @@ class HoardAllocator final : public Allocator
         if (cls == SizeClasses::kHuge)
             return allocate_huge(size, /*align=*/16);
         void* block = nullptr;
-        if (!caches_.empty())
+        if (!caches_.empty()) {
             block = cache_pop(cls);
+            if (tracing()) {
+                record_event(block != nullptr
+                                 ? obs::EventKind::cache_hit
+                                 : obs::EventKind::cache_miss,
+                             my_heap_index(), cls,
+                             classes_.block_size(cls));
+            }
+        }
         if (block == nullptr)
             block = allocate_from_class(cls);
         if (block == nullptr)
@@ -196,7 +215,7 @@ class HoardAllocator final : public Allocator
         std::size_t released = 0;
         for (auto& heap_ptr : heaps_) {
             Heap& heap = *heap_ptr;
-            std::lock_guard<typename Policy::Mutex> guard(heap.mutex);
+            std::lock_guard<typename Heap::Mutex> guard(heap.mutex);
             for (auto& bin : heap.bins) {
                 // Only band 0 can hold used == 0 superblocks.
                 auto& group = bin.groups[0];
@@ -264,7 +283,7 @@ class HoardAllocator final : public Allocator
            << " P=" << config_.heap_count << "\n";
         for (auto& heap_ptr : heaps_) {
             Heap& heap = *heap_ptr;
-            std::lock_guard<typename Policy::Mutex> guard(heap.mutex);
+            std::lock_guard<typename Heap::Mutex> guard(heap.mutex);
             os << (heap.index == 0 ? "  heap 0 (global)" : "  heap ")
                << (heap.index == 0 ? "" : std::to_string(heap.index))
                << ": in-use " << heap.in_use << " held " << heap.held;
@@ -308,7 +327,7 @@ class HoardAllocator final : public Allocator
     heap_in_use(int i)
     {
         Heap& h = *heaps_[static_cast<std::size_t>(i)];
-        std::lock_guard<typename Policy::Mutex> guard(h.mutex);
+        std::lock_guard<typename Heap::Mutex> guard(h.mutex);
         return h.in_use;
     }
 
@@ -317,7 +336,7 @@ class HoardAllocator final : public Allocator
     heap_held(int i)
     {
         Heap& h = *heaps_[static_cast<std::size_t>(i)];
-        std::lock_guard<typename Policy::Mutex> guard(h.mutex);
+        std::lock_guard<typename Heap::Mutex> guard(h.mutex);
         return h.held;
     }
 
@@ -341,6 +360,99 @@ class HoardAllocator final : public Allocator
             check_heap(*heap);
         return true;
     }
+
+    /**
+     * Structured snapshot of every heap: u_i/a_i, superblock population
+     * per size class and fullness group, lock-contention profiles, the
+     * huge list, and a copy of the global counters.  Available whether
+     * or not event tracing is enabled.  Takes each heap's lock briefly
+     * (one at a time, so concurrent allocation stays safe); exact
+     * reconciliation against the gauges needs a quiesced allocator.
+     * Under SimPolicy this must run inside a simulated thread, like any
+     * other lock-taking introspection.
+     */
+    obs::AllocatorSnapshot
+    take_snapshot()
+    {
+        // Phase 1: allocate every byte the snapshot will ever need.
+        // In whole-process deployments (global_new.h) these
+        // allocations come back through this very allocator, so they
+        // must land (a) outside any heap lock — allocating under one
+        // self-deadlocks — and (b) *before* the gauges are copied:
+        // an allocation between the gauge copy and the heap walk is
+        // seen by one side but not the other and breaks exact
+        // reconciliation.
+        obs::AllocatorSnapshot snap;
+        snap.allocator_name = name();
+        snap.superblock_bytes = config_.superblock_bytes;
+        snap.empty_fraction = config_.empty_fraction;
+        snap.release_threshold = config_.release_threshold;
+        snap.slack_superblocks = config_.slack_superblocks;
+        snap.heap_count = config_.heap_count;
+        snap.heaps.resize(heaps_.size());
+        for (obs::HeapSnapshot& hs : snap.heaps) {
+            hs.classes.resize(
+                static_cast<std::size_t>(classes_.count()));
+            for (std::size_t cls = 0; cls < hs.classes.size(); ++cls) {
+                hs.classes[cls].size_class = static_cast<int>(cls);
+                hs.classes[cls].block_bytes =
+                    static_cast<std::uint32_t>(
+                        classes_.block_size(static_cast<int>(cls)));
+                hs.classes[cls].group_counts.assign(
+                    Superblock::kGroupCount, 0);
+            }
+        }
+
+        // Phase 2: copy the gauges, then walk — allocation-free.
+        snap.cached_bytes = stats_.cached_bytes.current();
+        snap.stats.allocs = stats_.allocs.get();
+        snap.stats.frees = stats_.frees.get();
+        snap.stats.in_use_bytes = stats_.in_use_bytes.current();
+        snap.stats.held_bytes = stats_.held_bytes.current();
+        snap.stats.os_bytes = stats_.os_bytes.current();
+        snap.stats.cached_bytes = stats_.cached_bytes.current();
+        snap.stats.superblock_allocs = stats_.superblock_allocs.get();
+        snap.stats.superblock_transfers =
+            stats_.superblock_transfers.get();
+        snap.stats.global_fetches = stats_.global_fetches.get();
+        snap.stats.huge_allocs = stats_.huge_allocs.get();
+        snap.stats.oom_reclaims = stats_.oom_reclaims.get();
+        snap.stats.oom_failures = stats_.oom_failures.get();
+        for (std::size_t i = 0; i < heaps_.size(); ++i)
+            fill_heap_snapshot(*heaps_[i], snap.heaps[i]);
+        {
+            std::lock_guard<typename Policy::Mutex> guard(huge_mutex_);
+            for (Superblock* sb = huge_list_.front(); sb != nullptr;
+                 sb = huge_list_.next(sb)) {
+                ++snap.huge_count;
+                snap.huge_user_bytes += sb->huge_user_bytes();
+                snap.huge_span_bytes += sb->span_bytes();
+            }
+        }
+
+        // Phase 3: prune empty classes.  erase() only moves and
+        // destroys — still no allocation.
+        for (obs::HeapSnapshot& hs : snap.heaps) {
+            hs.classes.erase(
+                std::remove_if(hs.classes.begin(), hs.classes.end(),
+                               [](const obs::ClassSnapshot& cs) {
+                                   return cs.superblocks == 0;
+                               }),
+                hs.classes.end());
+            hs.active_classes =
+                static_cast<std::uint32_t>(hs.classes.size());
+        }
+        return snap;
+    }
+
+    /**
+     * The event recorder, or nullptr when tracing is off (runtime flag
+     * unset, or observability compiled out).
+     */
+    const obs::EventRecorder* recorder() const { return recorder_.get(); }
+
+    /** True when event tracing and lock profiling are active. */
+    bool observability_enabled() const { return recorder_ != nullptr; }
 
     /// @}
 
@@ -433,6 +545,82 @@ class HoardAllocator final : public Allocator
         return true;
     }
 
+    /**
+     * True when events should be recorded.  A constant false when
+     * observability is compiled out, so `if (tracing())` folds away
+     * along with its argument computations.
+     */
+    bool
+    tracing() const
+    {
+        if constexpr (Policy::kObsEnabled)
+            return recorder_ != nullptr;
+        else
+            return false;
+    }
+
+    /**
+     * Records one trace event.  Compiles to nothing when observability
+     * is off at build time; costs one predicted branch when tracing is
+     * off at run time.  Safe to call with or without heap locks held
+     * (the ring is lock-free).
+     */
+    void
+    record_event(obs::EventKind kind, int heap, int size_class,
+                 std::uint64_t bytes)
+    {
+        if constexpr (Policy::kObsEnabled) {
+            if (recorder_ != nullptr) {
+                recorder_->record(Policy::timestamp(),
+                                  Policy::thread_index(), kind, heap,
+                                  size_class, bytes);
+            }
+        } else {
+            (void)kind;
+            (void)heap;
+            (void)size_class;
+            (void)bytes;
+        }
+    }
+
+    /**
+     * Fills one heap's snapshot in place; takes and releases the
+     * heap's lock.  @p hs arrives with every vector pre-sized by
+     * take_snapshot() — nothing here may allocate.  Allocating under
+     * the heap lock would self-deadlock whole-process deployments
+     * (global_new.h), and allocating at all between the gauge copy and
+     * this walk would break exact reconciliation.  LockStats is safe
+     * to copy under the lock: its histogram is a fixed std::array.
+     */
+    void
+    fill_heap_snapshot(Heap& heap, obs::HeapSnapshot& hs)
+    {
+        std::lock_guard<typename Heap::Mutex> guard(heap.mutex);
+        hs.index = heap.index;
+        hs.in_use = heap.in_use;
+        hs.held = heap.held;
+        hs.empty_cached = heap.empty_list.size();
+        for (std::size_t cls = 0; cls < heap.bins.size(); ++cls) {
+            auto& bin = heap.bins[cls];
+            obs::ClassSnapshot& cs = hs.classes[cls];
+            for (int g = 0; g < Superblock::kGroupCount; ++g) {
+                for (Superblock* sb = bin.groups[g].front();
+                     sb != nullptr; sb = bin.groups[g].next(sb)) {
+                    ++cs.group_counts[static_cast<std::size_t>(g)];
+                    ++cs.superblocks;
+                    cs.used_blocks += sb->used();
+                    cs.capacity_blocks += sb->capacity();
+                    hs.uncarved +=
+                        sb->span_bytes() -
+                        static_cast<std::size_t>(sb->capacity()) *
+                            sb->block_bytes();
+                }
+            }
+        }
+        if constexpr (Policy::kObsEnabled)
+            hs.lock = heap.mutex.stats_locked();
+    }
+
     Heap& global_heap() { return *heaps_[0]; }
 
     Heap&
@@ -455,6 +643,8 @@ class HoardAllocator final : public Allocator
         void* block = try_allocate_from_class(cls);
         if (block == nullptr) {
             stats_.oom_reclaims.add();
+            record_event(obs::EventKind::oom_reclaim, my_heap_index(),
+                         cls, classes_.block_size(cls));
             release_free_memory();
             block = try_allocate_from_class(cls);
             if (block == nullptr)
@@ -469,7 +659,7 @@ class HoardAllocator final : public Allocator
     {
         const std::size_t block_bytes = classes_.block_size(cls);
         Heap& heap = my_heap();
-        std::lock_guard<typename Policy::Mutex> guard(heap.mutex);
+        std::lock_guard<typename Heap::Mutex> guard(heap.mutex);
 
         int probes = 0;
         Superblock* sb = heap.find_allocatable(cls, &probes);
@@ -486,6 +676,8 @@ class HoardAllocator final : public Allocator
                 // block of it has escaped), so adopting it outside the
                 // global lock is race-free.
                 adopt(heap, sb);
+                record_event(obs::EventKind::class_refill, heap.index,
+                             cls, sb->span_bytes());
             }
         }
 
@@ -571,9 +763,11 @@ class HoardAllocator final : public Allocator
             heap.held -= victim->span_bytes();
             heap.in_use -= victim->used_bytes();
             stats_.superblock_transfers.add();
+            record_event(obs::EventKind::transfer_to_global, heap.index,
+                         victim->size_class(), victim->span_bytes());
 
             Heap& global = global_heap();
-            std::lock_guard<typename Policy::Mutex> guard(global.mutex);
+            std::lock_guard<typename Heap::Mutex> guard(global.mutex);
             victim->set_owner(&global);
             global.held += victim->span_bytes();
             global.in_use += victim->used_bytes();
@@ -597,7 +791,7 @@ class HoardAllocator final : public Allocator
     fetch_from_global(int cls, Heap& dest)
     {
         Heap& global = global_heap();
-        std::lock_guard<typename Policy::Mutex> guard(global.mutex);
+        std::lock_guard<typename Heap::Mutex> guard(global.mutex);
 
         int probes = 0;
         Superblock* sb = global.find_allocatable(cls, &probes);
@@ -620,6 +814,8 @@ class HoardAllocator final : public Allocator
         global.in_use -= sb->used_bytes();
         stats_.global_fetches.add();
         adopt(dest, sb);
+        record_event(obs::EventKind::fetch_from_global, dest.index, cls,
+                     sb->span_bytes());
         return sb;
     }
 
@@ -690,6 +886,8 @@ class HoardAllocator final : public Allocator
         void* p = try_allocate_huge(size, align);
         if (p == nullptr) {
             stats_.oom_reclaims.add();
+            record_event(obs::EventKind::oom_reclaim, 0,
+                         SizeClasses::kHuge, size);
             release_free_memory();
             p = try_allocate_huge(size, align);
             if (p == nullptr)
@@ -723,6 +921,8 @@ class HoardAllocator final : public Allocator
         stats_.in_use_bytes.add(size);
         stats_.held_bytes.add(total);
         stats_.os_bytes.add(total);
+        record_event(obs::EventKind::huge_alloc, 0, SizeClasses::kHuge,
+                     size);
         return static_cast<char*>(memory) + offset;
     }
 
@@ -773,7 +973,7 @@ class HoardAllocator final : public Allocator
     void
     check_heap(Heap& heap)
     {
-        std::lock_guard<typename Policy::Mutex> guard(heap.mutex);
+        std::lock_guard<typename Heap::Mutex> guard(heap.mutex);
         std::size_t used_sum = 0;
         std::size_t held_sum = 0;
         std::size_t uncarved = 0;  // header + tail remainder per sb
@@ -852,6 +1052,8 @@ class HoardAllocator final : public Allocator
     typename Policy::Mutex huge_mutex_;
     SuperblockList huge_list_;
     detail::AllocatorStats stats_;
+    /// Event rings; non-null only while tracing is enabled.
+    std::unique_ptr<obs::EventRecorder> recorder_;
 };
 
 }  // namespace hoard

@@ -1,15 +1,63 @@
 #include "metrics/speedup.h"
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include "common/failure.h"
+#include "core/hoard_allocator.h"
 #include "metrics/table.h"
+#include "obs/trace_export.h"
 #include "policy/sim_policy.h"
 #include "sim/machine.h"
 
 namespace hoard {
 namespace metrics {
+
+namespace {
+
+/**
+ * Post-run observability harvest for one cell.  Snapshots must run on
+ * a simulated thread (they take VirtualMutexes), so this spins up a
+ * one-processor machine just for the walk.
+ */
+void
+harvest_observability(Allocator& allocator, const SpeedupOptions& options,
+                      baselines::AllocatorKind kind, int procs,
+                      SpeedupCell& cell)
+{
+    auto* hoard_alloc =
+        dynamic_cast<HoardAllocator<SimPolicy>*>(&allocator);
+    if (hoard_alloc == nullptr || !hoard_alloc->observability_enabled())
+        return;
+
+    obs::AllocatorSnapshot snap;
+    sim::Machine checker(1);
+    checker.spawn(0, 0, [hoard_alloc, &snap] {
+        snap = hoard_alloc->take_snapshot();
+    });
+    checker.run();
+
+    for (const obs::HeapSnapshot& h : snap.heaps) {
+        cell.heap_lock_acquires += h.lock.acquires;
+        cell.heap_lock_contended += h.lock.contended;
+    }
+    cell.trace_events = hoard_alloc->recorder()->total_recorded();
+
+    if (!options.trace_dir.empty()) {
+        std::string path = options.trace_dir + "/" +
+                           baselines::to_string(kind) + "_p" +
+                           std::to_string(procs) + ".trace.json";
+        std::ofstream os(path);
+        if (os) {
+            // Virtual cycles as-is: no wall-clock unit to scale to.
+            obs::write_chrome_trace(os, *hoard_alloc->recorder(),
+                                    /*ts_per_us=*/1.0);
+        }
+    }
+}
+
+}  // namespace
 
 SpeedupResult
 run_speedup_experiment(const std::string& title,
@@ -30,6 +78,8 @@ run_speedup_experiment(const std::string& title,
             const int procs = options.procs[pi];
             Config config = options.base_config;
             config.heap_count = procs;
+            if (options.observability || !options.trace_dir.empty())
+                config.observability = true;
 
             auto allocator = baselines::make_allocator<SimPolicy>(
                 options.kinds[ki], config);
@@ -53,6 +103,10 @@ run_speedup_experiment(const std::string& title,
             HOARD_CHECK(base_makespan != 0);
             cell.speedup = static_cast<double>(base_makespan) /
                            static_cast<double>(makespan);
+            if (config.observability) {
+                harvest_observability(*allocator, options,
+                                      options.kinds[ki], procs, cell);
+            }
         }
     }
     return result;
@@ -102,6 +156,31 @@ SpeedupResult::print(std::ostream& os, bool diagnostics) const
             }
         }
         dtable.print(os);
+
+        if (options.observability || !options.trace_dir.empty()) {
+            os << "\n# heap-lock profile: acquires / contended /"
+                  " trace events (Hoard cells only)\n";
+            Table otable(dheader);
+            for (std::size_t pi = 0; pi < options.procs.size(); ++pi) {
+                otable.begin_row();
+                otable.cell_u64(static_cast<unsigned long long>(
+                    options.procs[pi]));
+                for (std::size_t ki = 0; ki < options.kinds.size();
+                     ++ki) {
+                    const SpeedupCell& c = cells[pi][ki];
+                    char buf[96];
+                    std::snprintf(
+                        buf, sizeof(buf), "%llu/%llu/%llu",
+                        static_cast<unsigned long long>(
+                            c.heap_lock_acquires),
+                        static_cast<unsigned long long>(
+                            c.heap_lock_contended),
+                        static_cast<unsigned long long>(c.trace_events));
+                    otable.cell(buf);
+                }
+            }
+            otable.print(os);
+        }
     }
     os.flush();
 }

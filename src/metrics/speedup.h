@@ -49,6 +49,21 @@ struct SpeedupOptions
      * regime the paper's thread-to-heap mapping is designed for.
      */
     int threads_per_proc = 1;
+
+    /**
+     * Enables the observability layer (src/obs/) per cell: event
+     * tracing plus heap-lock contention profiling, surfaced in the
+     * diagnostics table.  Profiling charges the cost model for extra
+     * lock probes, so leave this off for paper-figure runs.
+     */
+    bool observability = false;
+
+    /**
+     * When non-empty, each Hoard cell dumps its retained event window
+     * to <trace_dir>/<allocator>_p<P>.trace.json (Chrome trace format,
+     * timestamps in virtual cycles).  Implies observability.
+     */
+    std::string trace_dir;
 };
 
 /** One measured cell. */
@@ -58,6 +73,14 @@ struct SpeedupCell
     double speedup = 0.0;
     std::uint64_t lock_contentions = 0;
     std::uint64_t remote_transfers = 0;
+
+    /// @name Filled only when SpeedupOptions::observability is on and
+    /// the allocator is Hoard (zeros otherwise).
+    /// @{
+    std::uint64_t heap_lock_acquires = 0;
+    std::uint64_t heap_lock_contended = 0;
+    std::uint64_t trace_events = 0;
+    /// @}
 };
 
 /** Results of one experiment: cells[proc_index][kind_index]. */

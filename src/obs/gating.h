@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Observability gating (DESIGN.md; docs/OBSERVABILITY.md).
+ *
+ * Two independent switches decide whether the allocator records
+ * anything:
+ *
+ *  - Compile time: the HOARD_OBS CMake option (default ON) defines the
+ *    HOARD_OBS macro.  When 0, every instrumentation site in the
+ *    allocator is removed by `if constexpr` on Policy::kObsEnabled and
+ *    the hot paths are bit-identical to an uninstrumented build.
+ *  - Run time: Config::observability, OR-ed with the HOARD_OBS
+ *    environment variable ("1"/"true"/"on").  When off (the default),
+ *    the only residual cost on the hot path is one predictable branch
+ *    on a plain bool.
+ *
+ * The compile-time switch is surfaced as a Policy constant rather than
+ * used directly so a single binary can instantiate both an instrumented
+ * and an uninstrumented allocator (bench/micro_obs_overhead.cc measures
+ * one against the other).
+ */
+
+#ifndef HOARD_OBS_GATING_H_
+#define HOARD_OBS_GATING_H_
+
+#include <cstdlib>
+#include <cstring>
+
+// Builds that bypass CMake get the instrumented default.
+#ifndef HOARD_OBS
+#define HOARD_OBS 1
+#endif
+
+namespace hoard {
+namespace obs {
+
+/** True when instrumentation is compiled into this build. */
+inline constexpr bool kCompiledIn = HOARD_OBS != 0;
+
+/** True when the HOARD_OBS environment variable requests tracing. */
+inline bool
+env_enabled()
+{
+    static const bool enabled = [] {
+        const char* v = std::getenv("HOARD_OBS");
+        if (v == nullptr)
+            return false;
+        return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+               std::strcmp(v, "on") == 0;
+    }();
+    return enabled;
+}
+
+}  // namespace obs
+}  // namespace hoard
+
+#endif  // HOARD_OBS_GATING_H_

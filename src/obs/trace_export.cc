@@ -1,0 +1,207 @@
+#include "obs/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+namespace hoard {
+namespace obs {
+
+namespace {
+
+/** Fixed-format double: Chrome's ts field and Prometheus values. */
+void
+put_double(std::ostream& os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    os << buf;
+}
+
+void
+prom_header(std::ostream& os, const char* name, const char* type,
+            const char* help)
+{
+    os << "# HELP " << name << ' ' << help << '\n'
+       << "# TYPE " << name << ' ' << type << '\n';
+}
+
+}  // namespace
+
+void
+write_chrome_trace(std::ostream& os, const EventRecorder& recorder,
+                   double ts_per_us)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent& ev : recorder.collect()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"name\":\"" << to_string(ev.kind)
+           << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << ev.tid
+           << ",\"ts\":";
+        put_double(os, static_cast<double>(ev.timestamp) / ts_per_us);
+        os << ",\"args\":{\"heap\":" << ev.heap
+           << ",\"size_class\":" << ev.size_class
+           << ",\"bytes\":" << ev.bytes << "}}";
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+       << "\"recorded\":" << recorder.total_recorded()
+       << ",\"dropped\":" << recorder.dropped() << "}}\n";
+    os.flush();
+}
+
+void
+write_prometheus(std::ostream& os, const AllocatorSnapshot& snap)
+{
+    prom_header(os, "hoard_heap_in_use_bytes", "gauge",
+                "u_i: block bytes handed to the program, per heap");
+    for (const HeapSnapshot& h : snap.heaps) {
+        os << "hoard_heap_in_use_bytes{heap=\"" << h.index << "\"} "
+           << h.in_use << '\n';
+    }
+
+    prom_header(os, "hoard_heap_held_bytes", "gauge",
+                "a_i: bytes held in superblocks, per heap");
+    for (const HeapSnapshot& h : snap.heaps) {
+        os << "hoard_heap_held_bytes{heap=\"" << h.index << "\"} "
+           << h.held << '\n';
+    }
+
+    prom_header(os, "hoard_heap_invariant_slack_bytes", "gauge",
+                "signed slack above the emptiness-invariant bound");
+    for (const HeapSnapshot& h : snap.heaps) {
+        if (h.index == 0)
+            continue;
+        os << "hoard_heap_invariant_slack_bytes{heap=\"" << h.index
+           << "\"} ";
+        put_double(os, h.invariant_slack_bytes(snap.superblock_bytes,
+                                               snap.release_threshold,
+                                               snap.slack_superblocks));
+        os << '\n';
+    }
+
+    prom_header(os, "hoard_heap_superblocks", "gauge",
+                "superblock count per heap and size class");
+    for (const HeapSnapshot& h : snap.heaps) {
+        for (const ClassSnapshot& c : h.classes) {
+            os << "hoard_heap_superblocks{heap=\"" << h.index
+               << "\",size_class=\"" << c.size_class << "\"} "
+               << c.superblocks << '\n';
+        }
+    }
+
+    prom_header(os, "hoard_lock_acquires_total", "counter",
+                "heap lock acquisitions (0 unless profiling enabled)");
+    for (const HeapSnapshot& h : snap.heaps) {
+        os << "hoard_lock_acquires_total{heap=\"" << h.index << "\"} "
+           << h.lock.acquires << '\n';
+    }
+
+    prom_header(os, "hoard_lock_contended_total", "counter",
+                "heap lock acquisitions that had to wait");
+    for (const HeapSnapshot& h : snap.heaps) {
+        os << "hoard_lock_contended_total{heap=\"" << h.index << "\"} "
+           << h.lock.contended << '\n';
+    }
+
+    prom_header(os, "hoard_lock_wait", "gauge",
+                "contended-wait percentiles (policy time units)");
+    for (const HeapSnapshot& h : snap.heaps) {
+        for (double p : {50.0, 99.0}) {
+            os << "hoard_lock_wait{heap=\"" << h.index
+               << "\",quantile=\"" << (p == 50.0 ? "0.5" : "0.99")
+               << "\"} ";
+            put_double(os, h.lock.wait.percentile(p));
+            os << '\n';
+        }
+    }
+
+    const StatsSummary& s = snap.stats;
+    prom_header(os, "hoard_allocs_total", "counter", "allocate() calls");
+    os << "hoard_allocs_total " << s.allocs << '\n';
+    prom_header(os, "hoard_frees_total", "counter", "deallocate() calls");
+    os << "hoard_frees_total " << s.frees << '\n';
+    prom_header(os, "hoard_in_use_bytes", "gauge",
+                "block bytes currently live (U)");
+    os << "hoard_in_use_bytes " << s.in_use_bytes << '\n';
+    prom_header(os, "hoard_held_bytes", "gauge",
+                "bytes held in superblocks (A)");
+    os << "hoard_held_bytes " << s.held_bytes << '\n';
+    prom_header(os, "hoard_os_bytes", "gauge",
+                "bytes currently mapped from the OS");
+    os << "hoard_os_bytes " << s.os_bytes << '\n';
+    prom_header(os, "hoard_cached_bytes", "gauge",
+                "bytes parked in thread caches");
+    os << "hoard_cached_bytes " << s.cached_bytes << '\n';
+    prom_header(os, "hoard_superblock_transfers_total", "counter",
+                "per-processor heap to global heap moves");
+    os << "hoard_superblock_transfers_total " << s.superblock_transfers
+       << '\n';
+    prom_header(os, "hoard_global_fetches_total", "counter",
+                "superblocks pulled from the global heap");
+    os << "hoard_global_fetches_total " << s.global_fetches << '\n';
+    prom_header(os, "hoard_oom_reclaims_total", "counter",
+                "map failures answered by reclaiming");
+    os << "hoard_oom_reclaims_total " << s.oom_reclaims << '\n';
+    prom_header(os, "hoard_oom_failures_total", "counter",
+                "allocations that failed even after reclaim");
+    os << "hoard_oom_failures_total " << s.oom_failures << '\n';
+    os.flush();
+}
+
+void
+write_human(std::ostream& os, const AllocatorSnapshot& snap)
+{
+    os << snap.allocator_name << " snapshot: S=" << snap.superblock_bytes
+       << " f=" << snap.empty_fraction << " t=" << snap.release_threshold
+       << " K=" << snap.slack_superblocks << " P=" << snap.heap_count
+       << "\n";
+    os << "  totals: in-use " << snap.stats.in_use_bytes << " held "
+       << snap.stats.held_bytes << " os " << snap.stats.os_bytes
+       << " cached " << snap.cached_bytes << " huge " << snap.huge_count
+       << " (" << snap.huge_user_bytes << "/" << snap.huge_span_bytes
+       << " B)\n";
+    os << "  reconciles: " << (snap.reconciles() ? "yes" : "no")
+       << ", invariant: "
+       << (snap.all_heaps_satisfy_invariant() ? "ok" : "VIOLATED")
+       << "\n";
+    for (const HeapSnapshot& h : snap.heaps) {
+        os << (h.index == 0 ? "  heap 0 (global)" : "  heap ")
+           << (h.index == 0 ? "" : std::to_string(h.index)) << ": u="
+           << h.in_use << " a=" << h.held;
+        if (h.index != 0) {
+            os << " slack=";
+            put_double(os, h.invariant_slack_bytes(
+                               snap.superblock_bytes,
+                               snap.release_threshold,
+                               snap.slack_superblocks));
+        }
+        if (h.index == 0)
+            os << " empty-cached=" << h.empty_cached;
+        if (h.lock.acquires != 0) {
+            os << " lock(acq=" << h.lock.acquires
+               << " contended=" << h.lock.contended << " wait-p99=";
+            put_double(os, h.lock.wait.percentile(99));
+            os << ")";
+        }
+        os << "\n";
+        for (const ClassSnapshot& c : h.classes) {
+            os << "    class " << c.size_class << " (" << c.block_bytes
+               << " B): " << c.superblocks << " superblock(s), "
+               << c.used_blocks << "/" << c.capacity_blocks
+               << " blocks, groups [";
+            for (std::size_t g = 0; g < c.group_counts.size(); ++g) {
+                if (g != 0)
+                    os << ' ';
+                os << c.group_counts[g];
+            }
+            os << "]\n";
+        }
+    }
+    os.flush();
+}
+
+}  // namespace obs
+}  // namespace hoard

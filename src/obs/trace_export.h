@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Exporters for event rings and snapshots.
+ *
+ * Three formats, one per consumer:
+ *  - Chrome trace_event JSON (chrome://tracing, Perfetto) for the
+ *    event rings — each allocator event becomes an instant event on
+ *    its recording thread's track;
+ *  - Prometheus text exposition for snapshots — per-heap gauges with
+ *    heap/size-class labels, ready for a scrape endpoint;
+ *  - a human-readable dump for operators and test logs.
+ */
+
+#ifndef HOARD_OBS_TRACE_EXPORT_H_
+#define HOARD_OBS_TRACE_EXPORT_H_
+
+#include <ostream>
+
+#include "obs/event_ring.h"
+#include "obs/snapshot.h"
+
+namespace hoard {
+namespace obs {
+
+/**
+ * Writes the recorder's retained events as Chrome trace JSON
+ * ({"traceEvents":[...]}).  @p ts_per_us converts recorded timestamps
+ * to the format's microseconds: 1000 for NativePolicy nanoseconds, 1
+ * to map one virtual cycle to 1 us for SimPolicy traces.
+ */
+void write_chrome_trace(std::ostream& os, const EventRecorder& recorder,
+                        double ts_per_us = 1000.0);
+
+/** Writes a snapshot as Prometheus text exposition (version 0.0.4). */
+void write_prometheus(std::ostream& os, const AllocatorSnapshot& snap);
+
+/** Writes a snapshot as an indented human-readable report. */
+void write_human(std::ostream& os, const AllocatorSnapshot& snap);
+
+}  // namespace obs
+}  // namespace hoard
+
+#endif  // HOARD_OBS_TRACE_EXPORT_H_

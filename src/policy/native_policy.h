@@ -11,11 +11,13 @@
 #ifndef HOARD_POLICY_NATIVE_POLICY_H_
 #define HOARD_POLICY_NATIVE_POLICY_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
 
+#include "obs/gating.h"
 #include "policy/cost_kind.h"
 
 namespace hoard {
@@ -76,6 +78,24 @@ struct NativePolicy
 {
     using Mutex = std::mutex;
     using Event = NativeEvent;
+
+    /**
+     * Whether observability instrumentation is compiled into allocators
+     * instantiated with this policy (HOARD_OBS CMake option).  A policy
+     * subclass can override it to false to stamp out an uninstrumented
+     * allocator in an instrumented build (bench/micro_obs_overhead.cc).
+     */
+    static constexpr bool kObsEnabled = obs::kCompiledIn;
+
+    /** Timestamp for trace events and wait timing: steady-clock ns. */
+    static std::uint64_t
+    timestamp()
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
 
     /** Computation charge: free under native execution. */
     static void work(std::uint64_t /* cycles */) {}

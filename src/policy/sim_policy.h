@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/gating.h"
 #include "policy/cost_kind.h"
 #include "sim/machine.h"
 #include "sim/virtual_event.h"
@@ -25,6 +26,19 @@ struct SimPolicy
 {
     using Mutex = sim::VirtualMutex;
     using Event = sim::VirtualEvent;
+
+    /** @see NativePolicy::kObsEnabled */
+    static constexpr bool kObsEnabled = obs::kCompiledIn;
+
+    /**
+     * Timestamp for trace events and wait timing: the calling simulated
+     * thread's virtual clock, in cycles.  Only valid inside a run.
+     */
+    static std::uint64_t
+    timestamp()
+    {
+        return sim::Machine::current()->current_clock();
+    }
 
     static void
     work(std::uint64_t cycles)

@@ -38,6 +38,64 @@ TEST(Gauge, TracksLevelAndPeak)
     EXPECT_EQ(g.peak(), 170u);
 }
 
+TEST(Gauge, SubToExactlyZeroIsBalanced)
+{
+    Gauge g;
+    g.add(64);
+    g.sub(64);
+    EXPECT_EQ(g.current(), 0u);
+    EXPECT_EQ(g.peak(), 64u);
+}
+
+#ifndef NDEBUG
+TEST(GaugeDeathTest, SubBelowZeroIsACallerBug)
+{
+    Gauge g;
+    g.add(10);
+    EXPECT_DEATH(g.sub(11), "invariant failed");
+}
+
+TEST(GaugeDeathTest, SubOnEmptyGaugeIsACallerBug)
+{
+    Gauge g;
+    EXPECT_DEATH(g.sub(1), "invariant failed");
+}
+#endif
+
+TEST(Gauge, ResetClearsLevelAndPeak)
+{
+    Gauge g;
+    g.add(100);
+    g.sub(40);
+    g.reset();
+    EXPECT_EQ(g.current(), 0u);
+    EXPECT_EQ(g.peak(), 0u);
+    g.add(5);
+    EXPECT_EQ(g.peak(), 5u);
+}
+
+TEST(Gauge, PeakIsSupremumOfRacingLevels)
+{
+    // Each thread repeatedly holds a distinct level live; the CAS-max
+    // loop must record at least the largest single contribution and at
+    // most the sum of all concurrent ones.
+    Gauge g;
+    std::vector<std::thread> threads;
+    for (int t = 1; t <= 4; ++t) {
+        threads.emplace_back([&g, t] {
+            for (int i = 0; i < 10000; ++i) {
+                g.add(static_cast<std::uint64_t>(t));
+                g.sub(static_cast<std::uint64_t>(t));
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(g.current(), 0u);
+    EXPECT_GE(g.peak(), 4u);
+    EXPECT_LE(g.peak(), 10u);  // 1+2+3+4
+}
+
 TEST(Gauge, PeakUnderConcurrency)
 {
     Gauge g;

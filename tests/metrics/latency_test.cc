@@ -82,6 +82,60 @@ TEST(LatencyHistogram, HugeValuesClampToLastBucket)
     EXPECT_GT(hist.percentile(50), 1e12);
 }
 
+TEST(LatencyHistogram, SingleSampleDrivesEveryPercentile)
+{
+    LatencyHistogram hist;
+    hist.record(100);
+    double p0 = hist.percentile(0);
+    double p50 = hist.percentile(50);
+    double p100 = hist.percentile(100);
+    EXPECT_DOUBLE_EQ(p0, p50);
+    EXPECT_DOUBLE_EQ(p50, p100);
+    EXPECT_GE(p50, 100.0 / 1.5);
+    EXPECT_LE(p50, 100.0 * 1.5);
+}
+
+TEST(LatencyHistogram, ExtremePercentilesHitExtremeBuckets)
+{
+    LatencyHistogram hist;
+    for (int i = 0; i < 10; ++i)
+        hist.record(1);
+    for (int i = 0; i < 10; ++i)
+        hist.record(1 << 20);
+    EXPECT_DOUBLE_EQ(hist.percentile(0), 1.0);
+    EXPECT_GT(hist.percentile(100), 1e6 / 1.5);
+}
+
+TEST(LatencyHistogram, BoundaryBetweenFirstTwoBuckets)
+{
+    // Bucket 0 holds {0, 1} and reports exactly 1.0; value 2 is the
+    // first sample of bucket 1 and reports its geometric midpoint.
+    LatencyHistogram ones;
+    ones.record(1);
+    EXPECT_DOUBLE_EQ(ones.percentile(50), 1.0);
+
+    LatencyHistogram twos;
+    twos.record(2);
+    double mid = twos.percentile(50);
+    EXPECT_GT(mid, 2.0);
+    EXPECT_LT(mid, 4.0);
+    EXPECT_GT(mid, ones.percentile(50));
+}
+
+TEST(LatencyHistogram, LastBucketSaturatesButKeepsExactMax)
+{
+    // Everything at or beyond 2^(kBuckets-1) lands in the last bucket:
+    // percentiles collapse to one midpoint, but max() stays exact.
+    LatencyHistogram hist;
+    std::uint64_t lo = std::uint64_t{1} << (LatencyHistogram::kBuckets - 1);
+    hist.record(lo);
+    hist.record(lo * 4);
+    hist.record(~std::uint64_t{0});
+    EXPECT_EQ(hist.count(), 3u);
+    EXPECT_DOUBLE_EQ(hist.percentile(1), hist.percentile(99));
+    EXPECT_EQ(hist.max(), ~std::uint64_t{0});
+}
+
 TEST(LatencyHistogram, MergeCombines)
 {
     LatencyHistogram a, b;

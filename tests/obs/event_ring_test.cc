@@ -1,0 +1,177 @@
+/** @file Unit tests for the lock-free event ring and recorder. */
+
+#include "obs/event_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hoard {
+namespace obs {
+namespace {
+
+TraceEvent
+make_event(std::uint64_t ts, int tid = 0,
+           EventKind kind = EventKind::cache_hit)
+{
+    TraceEvent ev;
+    ev.timestamp = ts;
+    ev.bytes = ts * 10;
+    ev.tid = tid;
+    ev.size_class = static_cast<std::int32_t>(ts % 7);
+    ev.heap = static_cast<std::uint16_t>(tid % 4);
+    ev.kind = kind;
+    return ev;
+}
+
+TEST(EventRing, RoundTripsAllFields)
+{
+    EventRing ring(8);
+    TraceEvent in;
+    in.timestamp = 0x1122334455667788;
+    in.bytes = 4096;
+    in.tid = 42;
+    in.size_class = -1;  // SizeClasses::kHuge encodes as -1
+    in.heap = 3;
+    in.kind = EventKind::huge_alloc;
+    ring.record(in);
+
+    std::vector<TraceEvent> out;
+    EXPECT_EQ(ring.collect(out), 1u);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].timestamp, in.timestamp);
+    EXPECT_EQ(out[0].bytes, in.bytes);
+    EXPECT_EQ(out[0].tid, in.tid);
+    EXPECT_EQ(out[0].size_class, in.size_class);
+    EXPECT_EQ(out[0].heap, in.heap);
+    EXPECT_EQ(out[0].kind, in.kind);
+}
+
+TEST(EventRing, CollectReturnsOldestFirst)
+{
+    EventRing ring(8);
+    for (std::uint64_t i = 1; i <= 5; ++i)
+        ring.record(make_event(i));
+    std::vector<TraceEvent> out;
+    ring.collect(out);
+    ASSERT_EQ(out.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(out[i].timestamp, i + 1);
+}
+
+TEST(EventRing, OverwritesOldestWhenFull)
+{
+    EventRing ring(4);
+    for (std::uint64_t i = 1; i <= 10; ++i)
+        ring.record(make_event(i));
+    EXPECT_EQ(ring.total_recorded(), 10u);
+    EXPECT_EQ(ring.dropped(), 6u);
+    std::vector<TraceEvent> out;
+    ring.collect(out);
+    ASSERT_EQ(out.size(), 4u);
+    // The four newest survive, oldest first.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(out[i].timestamp, i + 7);
+}
+
+TEST(EventRing, NoDropsUntilCapacityExceeded)
+{
+    EventRing ring(4);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(ring.dropped(), 0u);
+        ring.record(make_event(i + 1));
+    }
+    EXPECT_EQ(ring.dropped(), 0u);
+    ring.record(make_event(5));
+    EXPECT_EQ(ring.dropped(), 1u);
+}
+
+TEST(EventRingDeathTest, RejectsNonPowerOfTwoCapacity)
+{
+    EXPECT_DEATH(EventRing ring(3), "invariant failed");
+    EXPECT_DEATH(EventRing ring(0), "invariant failed");
+    EXPECT_DEATH(EventRing ring(1), "invariant failed");
+}
+
+TEST(EventRing, ConcurrentWritersLoseNothingFromCounts)
+{
+    // 4 writers, ring big enough to retain everything: total_recorded
+    // must be exact and every retained slot must hold a plausible event
+    // (fields may mix between racing writers, but counts cannot).
+    EventRing ring(4096);
+    constexpr int kWriters = 4;
+    constexpr int kPerWriter = 1000;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&ring, w] {
+            for (int i = 0; i < kPerWriter; ++i)
+                ring.record(make_event(
+                    static_cast<std::uint64_t>(i) + 1, w));
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(ring.total_recorded(),
+              static_cast<std::uint64_t>(kWriters * kPerWriter));
+    EXPECT_EQ(ring.dropped(), 0u);
+    std::vector<TraceEvent> out;
+    EXPECT_EQ(ring.collect(out),
+              static_cast<std::size_t>(kWriters * kPerWriter));
+}
+
+TEST(EventRecorder, ShardsByThreadAndMergesSorted)
+{
+    EventRecorder recorder(16);
+    // Record with interleaved timestamps from many "threads".
+    for (int tid = 0; tid < 32; ++tid) {
+        recorder.record(static_cast<std::uint64_t>(100 - tid), tid,
+                        EventKind::class_refill, tid % 4, 2, 512);
+    }
+    std::vector<TraceEvent> events = recorder.collect();
+    ASSERT_EQ(events.size(), 32u);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_LE(events[i - 1].timestamp, events[i].timestamp);
+    EXPECT_EQ(recorder.total_recorded(), 32u);
+    EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(EventRecorder, KindCountsTallyRetainedWindow)
+{
+    EventRecorder recorder(16);
+    for (int i = 0; i < 5; ++i)
+        recorder.record(1, 0, EventKind::cache_hit, 1, 0, 8);
+    for (int i = 0; i < 3; ++i)
+        recorder.record(2, 1, EventKind::transfer_to_global, 1, 0, 8192);
+    recorder.record(3, 2, EventKind::oom_reclaim, 0, -1, 1 << 20);
+
+    std::vector<std::uint64_t> counts = recorder.kind_counts();
+    ASSERT_EQ(counts.size(),
+              static_cast<std::size_t>(EventKind::kCount));
+    EXPECT_EQ(counts[static_cast<std::size_t>(EventKind::cache_hit)], 5u);
+    EXPECT_EQ(
+        counts[static_cast<std::size_t>(EventKind::transfer_to_global)],
+        3u);
+    EXPECT_EQ(counts[static_cast<std::size_t>(EventKind::oom_reclaim)],
+              1u);
+    EXPECT_EQ(counts[static_cast<std::size_t>(EventKind::huge_alloc)],
+              0u);
+}
+
+TEST(EventKindNames, AreStableAndDistinct)
+{
+    EXPECT_STREQ(to_string(EventKind::transfer_to_global),
+                 "transfer_to_global");
+    EXPECT_STREQ(to_string(EventKind::fetch_from_global),
+                 "fetch_from_global");
+    EXPECT_STREQ(to_string(EventKind::cache_hit), "cache_hit");
+    EXPECT_STREQ(to_string(EventKind::cache_miss), "cache_miss");
+    EXPECT_STREQ(to_string(EventKind::class_refill), "class_refill");
+    EXPECT_STREQ(to_string(EventKind::oom_reclaim), "oom_reclaim");
+    EXPECT_STREQ(to_string(EventKind::huge_alloc), "huge_alloc");
+    EXPECT_STREQ(to_string(EventKind::kCount), "?");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hoard

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON validator for tests.
+ *
+ * The Chrome trace exporter emits JSON by hand; these tests verify the
+ * output actually parses rather than eyeballing substrings.  The
+ * validator accepts exactly RFC 8259 JSON (objects, arrays, strings
+ * with escapes, numbers, true/false/null) and rejects trailing junk.
+ * It deliberately builds no DOM — tests combine it with substring
+ * checks for content assertions.
+ */
+
+#ifndef HOARD_TESTS_OBS_JSON_CHECK_H_
+#define HOARD_TESTS_OBS_JSON_CHECK_H_
+
+#include <cctype>
+#include <string>
+
+namespace hoard {
+namespace testutil {
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string& text) : text_(text) {}
+
+    /** True when the whole text is one valid JSON value. */
+    bool
+    valid()
+    {
+        pos_ = 0;
+        bool ok = value();
+        skip_ws();
+        return ok && pos_ == text_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        skip_ws();
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_;  // '{'
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skip_ws();
+            if (!string())
+                return false;
+            skip_ws();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            if (!value())
+                return false;
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_;  // '['
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+                char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= text_.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(text_[pos_])))
+                            return false;
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return false;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return false;  // raw control character
+            }
+            ++pos_;
+        }
+        return false;  // unterminated
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!digit())
+            return false;
+        if (text_[pos_] == '0') {
+            ++pos_;
+        } else {
+            while (digit())
+                ++pos_;
+        }
+        if (peek() == '.') {
+            ++pos_;
+            if (!digit())
+                return false;
+            while (digit())
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!digit())
+                return false;
+            while (digit())
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        for (const char* c = word; *c != '\0'; ++c, ++pos_) {
+            if (pos_ >= text_.size() || text_[pos_] != *c)
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    digit() const
+    {
+        return pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]));
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+/** Convenience wrapper. */
+inline bool
+json_valid(const std::string& text)
+{
+    return JsonChecker(text).valid();
+}
+
+}  // namespace testutil
+}  // namespace hoard
+
+#endif  // HOARD_TESTS_OBS_JSON_CHECK_H_
