@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Regression gate: diffs two suite (or single-bench) report files.
+ *
+ * Loads BASE and NEXT (hoard-bench-suite-v1 or hoard-bench-report-v1),
+ * pairs their metrics by key, and prints the per-metric delta.  A
+ * metric regresses when it moves more than the threshold in its
+ * declared worse direction ("better": "higher"|"lower"; "info"
+ * metrics are never gated).  Exits 1 when any metric regressed, 2 on
+ * usage or parse errors — so CI can gate on the exit code.
+ *
+ *   ./build/bench/bench_compare BASE.json NEXT.json \
+ *       [--max-regress-pct 10]
+ *
+ * Metrics present in BASE but missing from NEXT are listed as
+ * warnings, not regressions: benches come and go across revisions.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "metrics/bench_report.h"
+#include "metrics/json_value.h"
+
+namespace {
+
+using hoard::metrics::CompareResult;
+using hoard::metrics::JsonValue;
+using hoard::metrics::MetricDelta;
+
+bool
+load(const std::string& path, JsonValue& out)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::perror(path.c_str());
+        return false;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    std::string error;
+    out = JsonValue::parse(ss.str(), &error);
+    if (!out.is_object()) {
+        std::cerr << path << ": invalid JSON: " << error << "\n";
+        return false;
+    }
+    return true;
+}
+
+void
+usage(std::ostream& os)
+{
+    os << "usage: bench_compare BASE.json NEXT.json"
+          " [--max-regress-pct PCT]\n"
+       << "  exits 0 when no gated metric regressed past PCT"
+          " (default 10),\n"
+       << "  1 on regression, 2 on usage/parse errors\n";
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string base_path, next_path;
+    double max_regress_pct = 10.0;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--max-regress-pct") == 0 &&
+            i + 1 < argc) {
+            char* end = nullptr;
+            max_regress_pct = std::strtod(argv[++i], &end);
+            if (end == argv[i] || max_regress_pct < 0.0) {
+                std::cerr << "bench_compare: bad threshold '" << argv[i]
+                          << "'\n";
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            usage(std::cout);
+            return 0;
+        } else if (argv[i][0] == '-') {
+            std::cerr << "bench_compare: unknown option '" << argv[i]
+                      << "'\n";
+            usage(std::cerr);
+            return 2;
+        } else if (base_path.empty()) {
+            base_path = argv[i];
+        } else if (next_path.empty()) {
+            next_path = argv[i];
+        } else {
+            std::cerr << "bench_compare: too many arguments\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+    if (base_path.empty() || next_path.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    JsonValue base, next;
+    if (!load(base_path, base) || !load(next_path, next))
+        return 2;
+
+    CompareResult result =
+        hoard::metrics::compare_reports(base, next, max_regress_pct);
+
+    std::printf("%-58s %14s %14s %9s\n", "metric", "base", "next",
+                "change");
+    for (const MetricDelta& d : result.deltas) {
+        std::printf("%-58s %14.4g %14.4g %+8.2f%%%s\n", d.key.c_str(),
+                    d.base, d.next, d.change_pct,
+                    d.regression ? "  REGRESSION" : "");
+    }
+    for (const std::string& key : result.missing)
+        std::printf("%-58s missing from %s\n", key.c_str(),
+                    next_path.c_str());
+
+    std::printf("\n%zu metric(s) compared, %d regression(s) past "
+                "%.1f%%, %zu missing\n",
+                result.deltas.size(), result.regressions,
+                max_regress_pct, result.missing.size());
+    return result.ok() ? 0 : 1;
+}

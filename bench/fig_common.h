@@ -1,39 +1,105 @@
 /**
  * @file
- * Shared setup for the fig_* speedup benches: the paper's processor
- * counts (1..14, the Sun Enterprise 5000's size) and a tiny CLI
- * (--quick shrinks the sweep for smoke runs, --csv emits CSV rows).
+ * Shared CLI and reporting for the bench binaries.
+ *
+ * Every fig/tbl/abl bench parses the same flag set (strictly: an
+ * unknown flag is an error, not a silent no-op — a typo like --qiuck
+ * must not silently run the full sweep) and can emit its results as a
+ * machine-readable JSON report (metrics/bench_report.h) next to the
+ * human table.  bench/run_suite drives every bench with --json and
+ * merges the documents; see docs/BENCHMARKING.md.
  */
 
 #ifndef HOARD_BENCH_FIG_COMMON_H_
 #define HOARD_BENCH_FIG_COMMON_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "metrics/bench_report.h"
 #include "metrics/speedup.h"
 
 namespace hoard {
 namespace bench {
 
-/** Options shared by every figure bench. */
+/** Options shared by every bench binary. */
 struct FigCli
 {
     bool quick = false;
     bool diagnostics = true;
 
-    /** --obs: profile heap locks and trace events in every cell. */
+    /** --obs: profile heap locks, trace events, sample the timeline. */
     bool observability = false;
 
     /** --trace-dir DIR: dump per-cell Chrome traces (implies --obs). */
     std::string trace_dir;
+
+    /**
+     * --timeline-dir DIR: dump per-cell gauge timelines as JSONL
+     * (implies --obs).  With --obs and no explicit directory,
+     * timelines land in --trace-dir if given, else the cwd.
+     */
+    std::string timeline_dir;
+
+    /** --json FILE: write the machine-readable report to FILE. */
+    std::string json_path;
+
+    /** basename(argv[0]): the report's stable bench identifier. */
+    std::string bench_name;
 };
 
+/** basename without directories, for bench identifiers. */
+inline std::string
+bench_basename(const char* argv0)
+{
+    std::string name = argv0 != nullptr ? argv0 : "bench";
+    std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    return name;
+}
+
+inline void
+print_usage(const std::string& bench, std::ostream& os)
+{
+    os << "usage: " << bench << " [options]\n"
+       << "  --quick            shrink the sweep for smoke runs\n"
+       << "  --no-diagnostics   suppress per-cell diagnostic tables\n"
+       << "  --obs              enable observability: lock profiles,\n"
+       << "                     trace events, timeline sampling\n"
+       << "  --trace-dir DIR    dump per-cell Chrome traces to DIR\n"
+       << "                     (implies --obs)\n"
+       << "  --timeline-dir DIR dump per-cell gauge timelines (JSONL)\n"
+       << "                     to DIR (implies --obs)\n"
+       << "  --json FILE        write a machine-readable report to\n"
+       << "                     FILE (schema hoard-bench-report-v1)\n"
+       << "  --help             show this message and exit\n";
+}
+
+/**
+ * Parses the shared flag set.  Unknown flags and missing arguments are
+ * errors: the message goes to stderr and the process exits 2, so a
+ * typo can never silently change what a bench measured.  --help prints
+ * usage and exits 0.
+ */
 inline FigCli
 parse_cli(int argc, char** argv)
 {
     FigCli cli;
+    cli.bench_name = bench_basename(argc > 0 ? argv[0] : nullptr);
+
+    auto need_arg = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::cerr << cli.bench_name << ": " << argv[i]
+                      << " requires an argument\n";
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
             cli.quick = true;
@@ -41,10 +107,26 @@ parse_cli(int argc, char** argv)
             cli.diagnostics = false;
         else if (std::strcmp(argv[i], "--obs") == 0)
             cli.observability = true;
-        else if (std::strcmp(argv[i], "--trace-dir") == 0 &&
-                 i + 1 < argc)
-            cli.trace_dir = argv[++i];
+        else if (std::strcmp(argv[i], "--trace-dir") == 0)
+            cli.trace_dir = need_arg(i);
+        else if (std::strcmp(argv[i], "--timeline-dir") == 0)
+            cli.timeline_dir = need_arg(i);
+        else if (std::strcmp(argv[i], "--json") == 0)
+            cli.json_path = need_arg(i);
+        else if (std::strcmp(argv[i], "--help") == 0) {
+            print_usage(cli.bench_name, std::cout);
+            std::exit(0);
+        } else {
+            std::cerr << cli.bench_name << ": unknown option '"
+                      << argv[i] << "'\n";
+            print_usage(cli.bench_name, std::cerr);
+            std::exit(2);
+        }
     }
+    if (!cli.trace_dir.empty() || !cli.timeline_dir.empty())
+        cli.observability = true;
+    if (cli.observability && cli.timeline_dir.empty())
+        cli.timeline_dir = cli.trace_dir.empty() ? "." : cli.trace_dir;
     return cli;
 }
 
@@ -59,10 +141,15 @@ paper_options(const FigCli& cli)
         options.procs = {1, 2, 4, 6, 8, 10, 12, 14};
     options.observability = cli.observability;
     options.trace_dir = cli.trace_dir;
+    options.timeline_dir = cli.timeline_dir;
+    options.slug = cli.bench_name + "_";
     return options;
 }
 
-/** Runs and prints one figure. */
+/**
+ * Runs and prints one figure; when --json was given, also writes the
+ * per-cell report.
+ */
 inline void
 emit_figure(const std::string& title, const metrics::SpeedupOptions& opt,
             const metrics::SimWorkloadBody& body, const FigCli& cli)
@@ -71,6 +158,14 @@ emit_figure(const std::string& title, const metrics::SpeedupOptions& opt,
         metrics::run_speedup_experiment(title, opt, body);
     result.print(std::cout, cli.diagnostics);
     std::cout << "\n";
+
+    if (!cli.json_path.empty()) {
+        metrics::BenchReport report(cli.bench_name, cli.quick);
+        report.set_title(title);
+        report.add_speedup_result(result);
+        if (!report.write_file(cli.json_path))
+            std::exit(1);
+    }
 }
 
 }  // namespace bench

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Suite runner: drives every fig and tbl bench binary with --json and
+ * merges the per-bench reports into one machine-readable suite file
+ * (schema hoard-bench-suite-v1, default BENCH_hoard.json).
+ *
+ * The output is the repo's performance trajectory artifact: CI runs
+ * `run_suite --quick`, archives the file, and gates it against the
+ * committed baseline with bench/bench_compare.  See
+ * docs/BENCHMARKING.md for the schema and workflow.
+ *
+ *   ./build/bench/run_suite --quick --out BENCH_hoard.json
+ *
+ * Bench binaries are expected next to this one (same build
+ * directory); --bench-dir overrides.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/bench_report.h"
+#include "metrics/json_value.h"
+
+namespace {
+
+using hoard::metrics::BenchReport;
+using hoard::metrics::JsonValue;
+
+/** Every bench that reports; run_suite must cover all of them. */
+const char* const kBenches[] = {
+    "fig_speedup_threadtest", "fig_speedup_larson",
+    "fig_speedup_shbench",    "fig_speedup_activefalse",
+    "fig_speedup_passivefalse", "fig_speedup_barneshut",
+    "fig_speedup_bemsim",     "tbl_blowup",
+    "tbl_latency",            "tbl_fragmentation",
+    "tbl_taxonomy",           "tbl_uniprocessor",
+    "tbl_synthetic_frag",
+};
+
+std::string
+dirname_of(const std::string& path)
+{
+    std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+bool
+read_file(const std::string& path, std::string& out)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+void
+usage(std::ostream& os)
+{
+    os << "usage: run_suite [options]\n"
+       << "  --quick          pass --quick to every bench\n"
+       << "  --obs            pass --obs to the fig_* benches\n"
+       << "  --out FILE       suite output path (default"
+          " BENCH_hoard.json)\n"
+       << "  --bench-dir DIR  directory holding the bench binaries\n"
+       << "                   (default: this binary's directory)\n"
+       << "  --help           show this message and exit\n";
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    bool obs = false;
+    std::string out_path = "BENCH_hoard.json";
+    std::string bench_dir = dirname_of(argv[0]);
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--obs") == 0) {
+            obs = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--bench-dir") == 0 &&
+                   i + 1 < argc) {
+            bench_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "run_suite: unknown option '" << argv[i]
+                      << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    JsonValue suite = JsonValue::make_object();
+    suite.set("schema",
+              JsonValue::make_string(BenchReport::kSuiteSchema));
+    suite.set("quick", JsonValue::make_bool(quick));
+    suite.set("environment", BenchReport::environment_json());
+    JsonValue benches = JsonValue::make_object();
+
+    int failures = 0;
+    for (const char* bench : kBenches) {
+        const std::string part = out_path + "." + bench + ".part.json";
+        std::string cmd = bench_dir + "/" + bench +
+                          " --no-diagnostics --json " + part;
+        if (quick)
+            cmd += " --quick";
+        const bool is_fig = std::strncmp(bench, "fig_", 4) == 0;
+        if (obs && is_fig)
+            cmd += " --obs";
+        cmd += " > /dev/null";
+
+        std::cerr << "run_suite: " << bench << "...\n";
+        int rc = std::system(cmd.c_str());
+        std::string text;
+        if (rc != 0 || !read_file(part, text)) {
+            std::cerr << "run_suite: " << bench << " FAILED (rc=" << rc
+                      << ")\n";
+            ++failures;
+            continue;
+        }
+        std::remove(part.c_str());
+
+        std::string error;
+        JsonValue doc = JsonValue::parse(text, &error);
+        if (!doc.is_object()) {
+            std::cerr << "run_suite: " << bench
+                      << " produced invalid JSON: " << error << "\n";
+            ++failures;
+            continue;
+        }
+        benches.set(bench, std::move(doc));
+    }
+    suite.set("benches", std::move(benches));
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::perror(out_path.c_str());
+        return 2;
+    }
+    suite.write(os);
+    os.flush();
+    if (!os.good()) {
+        std::cerr << "run_suite: write to " << out_path << " failed\n";
+        return 2;
+    }
+
+    std::cerr << "run_suite: wrote " << out_path << " ("
+              << (sizeof(kBenches) / sizeof(kBenches[0]) -
+                  static_cast<std::size_t>(failures))
+              << "/" << sizeof(kBenches) / sizeof(kBenches[0])
+              << " benches)\n";
+    return failures == 0 ? 0 : 1;
+}

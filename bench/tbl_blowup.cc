@@ -18,11 +18,12 @@
  * see workloads/prodcons.h), so these numbers are exactly reproducible.
  */
 
-#include <cstring>
 #include <iostream>
 #include <vector>
 
 #include "baselines/factory.h"
+#include "bench/fig_common.h"
+#include "metrics/bench_report.h"
 #include "metrics/table.h"
 #include "policy/native_policy.h"
 #include "workloads/prodcons.h"
@@ -31,7 +32,10 @@ int
 main(int argc, char** argv)
 {
     using namespace hoard;
-    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    bench::FigCli cli = bench::parse_cli(argc, argv);
+    const bool quick = cli.quick;
+    metrics::BenchReport report(cli.bench_name, quick);
+    report.set_title("TBL-blowup: producer-consumer footprint");
 
     // ---- (a) held bytes vs round, one pair ----
     workloads::ProdConsParams params;
@@ -73,6 +77,18 @@ main(int argc, char** argv)
     }
     table_a.print(std::cout);
 
+    for (std::size_t k = 0; k < series.size(); ++k) {
+        // Gate Hoard's plateau; the baselines (notably pure-private's
+        // unbounded growth) are context, not contract.
+        const auto kind = baselines::kAllKinds[k];
+        report.add_metric(
+            std::string("blowup/pair_final/") + baselines::to_string(kind),
+            static_cast<double>(series[k].back()), "bytes",
+            kind == baselines::AllocatorKind::hoard
+                ? metrics::Better::lower
+                : metrics::Better::info);
+    }
+
     // ---- (b) final held bytes vs rotating roles ----
     workloads::ProdConsParams rot = params;
     rot.batch_objects = 6000;  // one 375 KiB batch, always live
@@ -96,8 +112,15 @@ main(int argc, char** argv)
                 baselines::make_allocator<NativePolicy>(kind, config);
             workloads::prodcons_rotating<NativePolicy>(*allocator, rot,
                                                        roles);
-            table_b.cell(metrics::format_bytes(
-                allocator->stats().held_bytes.peak()));
+            const std::size_t peak = allocator->stats().held_bytes.peak();
+            table_b.cell(metrics::format_bytes(peak));
+            report.add_metric("blowup/rotating_p" +
+                                  std::to_string(roles) + "/" +
+                                  baselines::to_string(kind),
+                              static_cast<double>(peak), "bytes",
+                              kind == baselines::AllocatorKind::hoard
+                                  ? metrics::Better::lower
+                                  : metrics::Better::info);
         }
     }
     table_b.print(std::cout);
@@ -105,5 +128,7 @@ main(int argc, char** argv)
     std::cout << "\n# Expected: 'private' grows with round in (a) without"
                  " bound; 'ownership' strands one batch per role in (b)"
                  " (O(P)); 'hoard' and 'serial' stay near one batch.\n";
+    if (!cli.json_path.empty() && !report.write_file(cli.json_path))
+        return 1;
     return 0;
 }

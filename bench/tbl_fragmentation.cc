@@ -13,13 +13,14 @@
  * workloads with cross-thread frees (larson); ownership sits between.
  */
 
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "baselines/factory.h"
+#include "bench/fig_common.h"
+#include "metrics/bench_report.h"
 #include "metrics/table.h"
 #include "workloads/native_bodies.h"
 #include "workloads/runners.h"
@@ -80,8 +81,11 @@ build_suite(bool quick)
 int
 main(int argc, char** argv)
 {
-    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    bench::FigCli cli = bench::parse_cli(argc, argv);
+    const bool quick = cli.quick;
     const int nthreads = 4;
+    metrics::BenchReport report(cli.bench_name, quick);
+    report.set_title("TBL-frag: fragmentation A/U per benchmark");
 
     std::cout << "# TBL-frag: max in use (U), max held (A),"
                  " fragmentation A/U per benchmark\n";
@@ -122,6 +126,15 @@ main(int argc, char** argv)
             table.cell(metrics::format_bytes(stats.in_use_bytes.peak()));
             table.cell(metrics::format_bytes(stats.held_bytes.peak()));
             table.cell_double(stats.fragmentation());
+
+            // Native threads make these noisy run to run; gate only
+            // Hoard's ratio (and loosely — see CI smoke thresholds).
+            report.add_metric(
+                "frag/" + wl.name + "/" + baselines::to_string(kind),
+                stats.fragmentation(), "ratio",
+                kind == baselines::AllocatorKind::hoard
+                    ? metrics::Better::lower
+                    : metrics::Better::info);
         }
     }
     table.print(std::cout);
@@ -129,5 +142,7 @@ main(int argc, char** argv)
     std::cout << "\n# Paper reference: Hoard's fragmentation stays"
                  " bounded (~<= 1/(1-f) + slack); compare the hoard and"
                  " private columns on larson.\n";
+    if (!cli.json_path.empty() && !report.write_file(cli.json_path))
+        return 1;
     return 0;
 }

@@ -13,13 +13,14 @@
  * operation's own work is unchanged.
  */
 
-#include <cstring>
 #include <iostream>
 #include <memory>
 #include <vector>
 
 #include "baselines/factory.h"
+#include "bench/fig_common.h"
 #include "common/rng.h"
+#include "metrics/bench_report.h"
 #include "metrics/latency.h"
 #include "metrics/table.h"
 #include "policy/sim_policy.h"
@@ -74,9 +75,13 @@ measure(baselines::AllocatorKind kind, int procs, int ops_per_thread)
 int
 main(int argc, char** argv)
 {
-    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    using namespace hoard;
+    bench::FigCli cli = bench::parse_cli(argc, argv);
+    const bool quick = cli.quick;
     const int procs = 8;
     const int ops = quick ? 2000 : 6000;
+    metrics::BenchReport report(cli.bench_name, quick);
+    report.set_title("TBL-latency: per-op latency percentiles at P=8");
 
     std::cout << "# TBL-latency: per-op latency (virtual cycles) at P="
               << procs << ", larson-style replacement loop\n";
@@ -92,11 +97,31 @@ main(int argc, char** argv)
         table.cell_double(hist.percentile(90), 0);
         table.cell_double(hist.percentile(99), 0);
         table.cell_u64(hist.max());
+
+        // Only Hoard's percentiles are a contract; the baselines are
+        // the comparison story.
+        const metrics::Better gate =
+            kind == baselines::AllocatorKind::hoard
+                ? metrics::Better::lower
+                : metrics::Better::info;
+        const std::string prefix =
+            std::string("latency/") + baselines::to_string(kind);
+        report.add_metric(prefix + "/p50", hist.percentile(50),
+                          "cycles", gate);
+        report.add_metric(prefix + "/p99", hist.percentile(99),
+                          "cycles", gate);
+        report.add_metric(prefix + "/mean", hist.mean(), "cycles",
+                          metrics::Better::info);
+        report.add_metric(prefix + "/max",
+                          static_cast<double>(hist.max()), "cycles",
+                          metrics::Better::info);
     }
     table.print(std::cout);
 
     std::cout << "\n# Expected: hoard's tail stays within a small"
                  " multiple of its median; the serial allocator's p99"
                  " and max blow up with queueing delay.\n";
+    if (!cli.json_path.empty() && !report.write_file(cli.json_path))
+        return 1;
     return 0;
 }

@@ -10,11 +10,12 @@
  * bytes — the denominator the fragmentation literature uses.
  */
 
-#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "baselines/factory.h"
+#include "bench/fig_common.h"
+#include "metrics/bench_report.h"
 #include "metrics/table.h"
 #include "policy/native_policy.h"
 #include "workloads/synthetic.h"
@@ -57,7 +58,10 @@ to_string(workloads::LifetimeDist d)
 int
 main(int argc, char** argv)
 {
-    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    bench::FigCli cli = bench::parse_cli(argc, argv);
+    const bool quick = cli.quick;
+    metrics::BenchReport report(cli.bench_name, quick);
+    report.set_title("TBL-synth: fragmentation on synthetic traces");
 
     std::cout << "# TBL-synth: fragmentation (peak held / trace max"
                  " live) on synthetic traces,\n"
@@ -95,9 +99,20 @@ main(int argc, char** argv)
                                                             config);
                 auto result = workloads::replay<NativePolicy>(
                     *allocator, trace);
-                table.cell_double(
+                const double frag =
                     static_cast<double>(result.peak_held_bytes) /
-                    static_cast<double>(trace.max_live_bytes()));
+                    static_cast<double>(trace.max_live_bytes());
+                table.cell_double(frag);
+                // Trace replay is logical-thread deterministic, so
+                // Hoard's ratio is exactly reproducible and gateable.
+                report.add_metric(
+                    std::string("synthfrag/") + to_string(sizes) + "_" +
+                        to_string(lifetimes) + "/" +
+                        baselines::to_string(kind),
+                    frag, "ratio",
+                    kind == baselines::AllocatorKind::hoard
+                        ? metrics::Better::lower
+                        : metrics::Better::info);
             }
         }
     }
@@ -107,5 +122,7 @@ main(int argc, char** argv)
                  " the trace's live memory across every distribution"
                  " family; pure-private inflates under cross-thread"
                  " frees.\n";
+    if (!cli.json_path.empty() && !report.write_file(cli.json_path))
+        return 1;
     return 0;
 }

@@ -17,6 +17,8 @@
 #include <string>
 
 #include "baselines/factory.h"
+#include "bench/fig_common.h"
+#include "metrics/bench_report.h"
 #include "metrics/speedup.h"
 #include "metrics/table.h"
 #include "policy/native_policy.h"
@@ -38,9 +40,12 @@ verdict(bool ok, double value, const char* fmt)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     using baselines::AllocatorKind;
+    bench::FigCli cli = bench::parse_cli(argc, argv);
+    metrics::BenchReport report(cli.bench_name, cli.quick);
+    report.set_title("TBL-1: allocator taxonomy, measured");
     const std::vector<int> procs = {1, 8};
 
     // Simulated probes at P=8.
@@ -107,6 +112,29 @@ main()
         double growth = static_cast<double>(held[39]) /
                         static_cast<double>(held[9]);
         table.cell(verdict(growth < 1.5, growth, "x%.1f over rounds"));
+
+        // Hoard must hold every taxonomy column; the baselines' cells
+        // are the comparison evidence, not gated contracts.
+        const bool hoard = kind == AllocatorKind::hoard;
+        const std::string prefix =
+            std::string("taxonomy/") + baselines::to_string(kind);
+        report.add_metric(prefix + "/uni_cost_vs_serial", rel, "x",
+                          hoard ? metrics::Better::lower
+                                : metrics::Better::info);
+        report.add_metric(prefix + "/speedup_p8", sp, "x",
+                          hoard ? metrics::Better::higher
+                                : metrics::Better::info);
+        report.add_metric(prefix + "/active_fs_xfers_per_write", atr,
+                          "ratio",
+                          hoard ? metrics::Better::lower
+                                : metrics::Better::info);
+        report.add_metric(prefix + "/passive_fs_xfers_per_write",
+                          ptr_rate, "ratio",
+                          hoard ? metrics::Better::lower
+                                : metrics::Better::info);
+        report.add_metric(prefix + "/blowup_growth", growth, "x",
+                          hoard ? metrics::Better::lower
+                                : metrics::Better::info);
     }
     table.print(std::cout);
 
@@ -115,5 +143,7 @@ main()
                  " scale but blow up and passively share lines;"
                  " ownership bounds blowup at O(P); Hoard is yes on"
                  " every column.\n";
+    if (!cli.json_path.empty() && !report.write_file(cli.json_path))
+        return 1;
     return 0;
 }

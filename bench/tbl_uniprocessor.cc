@@ -10,11 +10,12 @@
  * (1.00 = identical cost).
  */
 
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench/fig_common.h"
+#include "metrics/bench_report.h"
 #include "metrics/speedup.h"
 #include "metrics/table.h"
 #include "workloads/sim_bodies.h"
@@ -34,7 +35,10 @@ struct NamedBody
 int
 main(int argc, char** argv)
 {
-    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    bench::FigCli cli = bench::parse_cli(argc, argv);
+    const bool quick = cli.quick;
+    metrics::BenchReport report(cli.bench_name, quick);
+    report.set_title("TBL-uni: uniprocessor cost vs serial");
 
     workloads::ThreadtestParams tt;
     tt.total_objects = quick ? 6000 : 16000;
@@ -80,9 +84,18 @@ main(int argc, char** argv)
         table.begin_row();
         table.cell(wl.name);
         for (std::size_t k = 0; k < baselines::kAllKinds.size(); ++k) {
-            table.cell_double(
+            const double cost =
                 static_cast<double>(result.cells[0][k].makespan) /
-                serial);
+                serial;
+            table.cell_double(cost);
+            report.add_metric(
+                "uni/" + wl.name + "/" +
+                    baselines::to_string(baselines::kAllKinds[k]),
+                cost, "x",
+                baselines::kAllKinds[k] ==
+                        baselines::AllocatorKind::hoard
+                    ? metrics::Better::lower
+                    : metrics::Better::info);
         }
     }
     table.print(std::cout);
@@ -90,5 +103,7 @@ main(int argc, char** argv)
     std::cout << "\n# Expected: the hoard column stays near 1.0 — the"
                  " per-processor heap machinery must not tax the"
                  " uniprocessor case (paper §'Speed').\n";
+    if (!cli.json_path.empty() && !report.write_file(cli.json_path))
+        return 1;
     return 0;
 }

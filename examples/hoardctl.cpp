@@ -9,6 +9,7 @@
  *   ./build/examples/hoardctl                         # human snapshot
  *   ./build/examples/hoardctl --trace /tmp/h.json     # chrome://tracing
  *   ./build/examples/hoardctl --prom /tmp/h.prom      # Prometheus text
+ *   ./build/examples/hoardctl --timeline /tmp/h.jsonl # gauge timeline
  *   ./build/examples/hoardctl --threads 8 --rounds 20000
  *
  * The exit status doubles as a health check: 0 only when the per-heap
@@ -40,8 +41,10 @@ struct Options
     int rounds = 5000;
     int epochs = 4;
     std::size_t ring_events = 4096;
+    std::uint64_t interval = 200000;  // ns between timeline samples
     std::string trace_path;
     std::string prom_path;
+    std::string timeline_path;
     std::string snapshot_path;  // empty: human dump to stdout
     bool quiet = false;
 };
@@ -60,6 +63,10 @@ usage(const char* argv0)
         "                 two (default 4096)\n"
         "  --trace FILE   write Chrome trace JSON (chrome://tracing)\n"
         "  --prom FILE    write Prometheus text exposition\n"
+        "  --timeline FILE  write the gauge timeline as JSONL\n"
+        "                 (schema hoard-timeline-v1)\n"
+        "  --interval N   nanoseconds between timeline samples\n"
+        "                 (default 200000)\n"
         "  --snapshot FILE  write the human-readable snapshot\n"
         "                 (default: stdout)\n"
         "  --quiet        verdicts only\n",
@@ -114,6 +121,13 @@ main(int argc, char** argv)
             opt.trace_path = need_value("--trace");
         } else if (std::strcmp(argv[i], "--prom") == 0) {
             opt.prom_path = need_value("--prom");
+        } else if (std::strcmp(argv[i], "--timeline") == 0) {
+            opt.timeline_path = need_value("--timeline");
+        } else if (std::strcmp(argv[i], "--interval") == 0) {
+            int n = 0;
+            if (!parse_int(need_value("--interval"), n))
+                return 2;
+            opt.interval = static_cast<std::uint64_t>(n);
         } else if (std::strcmp(argv[i], "--snapshot") == 0) {
             opt.snapshot_path = need_value("--snapshot");
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -136,6 +150,8 @@ main(int argc, char** argv)
     config.thread_cache_blocks = 8;
     config.observability = true;
     config.obs_ring_events = opt.ring_events;
+    if (!opt.timeline_path.empty())
+        config.obs_sample_interval = opt.interval;
     if ((opt.ring_events & (opt.ring_events - 1)) != 0 ||
         opt.ring_events < 2) {
         std::fprintf(stderr,
@@ -153,6 +169,7 @@ main(int argc, char** argv)
         workloads::larson_thread<NativePolicy>(allocator, params, tid);
     });
 
+    allocator.sample_now();  // flush the timeline with a final sample
     obs::AllocatorSnapshot snap = allocator.take_snapshot();
 
     if (!opt.quiet) {
@@ -170,9 +187,24 @@ main(int argc, char** argv)
         if (!opt.quiet)
             std::printf("prometheus: %s\n", opt.prom_path.c_str());
     }
+    if (!opt.timeline_path.empty() && allocator.sampler() != nullptr) {
+        std::ofstream os(opt.timeline_path);
+        obs::write_timeseries_jsonl(os, *allocator.sampler());
+        if (!opt.quiet) {
+            std::printf("timeline: %s (%llu samples, %llu "
+                        "overwritten)\n",
+                        opt.timeline_path.c_str(),
+                        static_cast<unsigned long long>(
+                            allocator.sampler()->total_samples()),
+                        static_cast<unsigned long long>(
+                            allocator.sampler()->dropped()));
+        }
+    }
     if (!opt.trace_path.empty()) {
         std::ofstream os(opt.trace_path);
-        obs::write_chrome_trace(os, *allocator.recorder());
+        obs::write_chrome_trace(os, *allocator.recorder(),
+                                /*ts_per_us=*/1000.0,
+                                allocator.sampler());
         if (!opt.quiet) {
             std::printf("chrome trace: %s (%llu events recorded, "
                         "%llu dropped)\n",

@@ -38,6 +38,10 @@ Config::validate() const
         HOARD_FATAL("obs_ring_events (%zu) must be a power of two >= 2",
                     obs_ring_events);
     }
+    if (!detail::is_pow2(obs_sample_slots) || obs_sample_slots < 2) {
+        HOARD_FATAL("obs_sample_slots (%zu) must be a power of two >= 2",
+                    obs_sample_slots);
+    }
 }
 
 }  // namespace hoard

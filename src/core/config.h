@@ -114,6 +114,22 @@ struct Config
      */
     std::size_t obs_ring_events = 1024;
 
+    /**
+     * Minimum policy-time gap between time-series samples
+     * (obs/timeseries.h): steady-clock nanoseconds under NativePolicy,
+     * virtual cycles under SimPolicy.  0 (the default) disables the
+     * sampler entirely — no ring is allocated and the allocation paths
+     * keep only the usual observability branch.  Takes effect only
+     * when observability is on.
+     */
+    std::uint64_t obs_sample_interval = 0;
+
+    /**
+     * Time-series samples retained (overwrite ring).  Power of two
+     * >= 2.  Each slot preallocates heap_count + 1 u_i/a_i pairs.
+     */
+    std::size_t obs_sample_slots = 256;
+
     /** Aborts with HOARD_FATAL on any out-of-range parameter. */
     void validate() const;
 };

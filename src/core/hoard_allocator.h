@@ -44,6 +44,7 @@
 #include "obs/event_ring.h"
 #include "obs/gating.h"
 #include "obs/snapshot.h"
+#include "obs/timeseries.h"
 #include "os/page_provider.h"
 #include "policy/cost_kind.h"
 
@@ -80,6 +81,11 @@ class HoardAllocator final : public Allocator
                     config_.obs_ring_events);
                 for (auto& heap : heaps_)
                     heap->mutex.set_profiled(true);
+                if (config_.obs_sample_interval > 0) {
+                    sampler_ = std::make_unique<obs::TimeSeriesSampler>(
+                        config_.obs_sample_slots, heaps_.size(),
+                        config_.obs_sample_interval);
+                }
             }
         }
     }
@@ -134,9 +140,11 @@ class HoardAllocator final : public Allocator
         }
         stats_.frees.add();
         stats_.in_use_bytes.sub(sb->block_bytes());
-        if (!caches_.empty() && cache_push(sb, p))
-            return;
-        free_block(sb, p);
+        if (caches_.empty() || !cache_push(sb, p))
+            free_block(sb, p);
+        // Tail position: no locks held here, so a due sample may take
+        // heap locks without self-deadlock risk.
+        maybe_sample();
     }
 
     std::size_t
@@ -454,6 +462,39 @@ class HoardAllocator final : public Allocator
     /** True when event tracing and lock profiling are active. */
     bool observability_enabled() const { return recorder_ != nullptr; }
 
+    /**
+     * The time-series sampler, or nullptr when sampling is off
+     * (observability disabled, obs_sample_interval == 0, or
+     * observability compiled out).
+     */
+    const obs::TimeSeriesSampler* sampler() const
+    {
+        return sampler_.get();
+    }
+
+    /**
+     * Forces one sample at the current policy time, ignoring the
+     * cadence.  For end-of-run timeline flushes and
+     * gauge-reconciliation tests; must not be called with any heap
+     * lock held.  Returns false only when sampling is off.  Under
+     * SimPolicy this must run inside a simulated thread, like
+     * take_snapshot(); a fresh checker machine's clock restarts at
+     * zero, so the sample is stamped no earlier than the last
+     * in-run sample (claim_flush clamps forward).
+     */
+    bool
+    sample_now()
+    {
+        if constexpr (Policy::kObsEnabled) {
+            if (sampler_ == nullptr)
+                return false;
+            take_sample(sampler_->claim_flush(Policy::timestamp()));
+            return true;
+        } else {
+            return false;
+        }
+    }
+
     /// @}
 
   private:
@@ -580,6 +621,69 @@ class HoardAllocator final : public Allocator
             (void)heap;
             (void)size_class;
             (void)bytes;
+        }
+    }
+
+    /// Frees between cadence checks.  The residue rides only on
+    /// deallocate() (one thread_local decrement per free, a clock read
+    /// every kSampleCheckPeriod frees) to stay inside the
+    /// micro_obs_overhead --check idle budget; frees track churn, and
+    /// alloc-only growth phases are covered by the sample_now() flush.
+    static constexpr unsigned kSampleCheckPeriod = 256;
+
+    /**
+     * Takes a time-series sample if one is due.  Called only at the
+     * tail of deallocate(), where no locks are held — take_sample()
+     * acquires each heap's lock one at a time, which would
+     * self-deadlock from inside a locked region in whole-process
+     * deployments (global_new.h).  Compiles to nothing when
+     * observability is off at build time; when sampling is off at run
+     * time the cost is one null check per free.
+     */
+    void
+    maybe_sample()
+    {
+        if constexpr (Policy::kObsEnabled) {
+            if (sampler_ == nullptr)
+                return;
+            thread_local unsigned countdown = kSampleCheckPeriod;
+            if (--countdown != 0)
+                return;
+            countdown = kSampleCheckPeriod;
+            std::uint64_t now = Policy::timestamp();
+            if (!sampler_->claim_due(now))
+                return;
+            take_sample(now);
+        }
+    }
+
+    /**
+     * Records one sample stamped @p now: global gauges and counters
+     * first, then every heap's u_i/a_i under its lock (one lock at a
+     * time; nothing here allocates, so this is safe in whole-process
+     * deployments).  A racing reader may see the sample half-filled —
+     * same relaxed-atomic contract as the event rings.
+     */
+    void
+    take_sample(std::uint64_t now)
+    {
+        if constexpr (Policy::kObsEnabled) {
+            obs::TimeSeriesSampler::Writer writer =
+                sampler_->begin_sample(now);
+            writer.set_gauges(stats_.in_use_bytes.current(),
+                              stats_.held_bytes.current(),
+                              stats_.os_bytes.current(),
+                              stats_.cached_bytes.current());
+            writer.set_counters(stats_.allocs.get(), stats_.frees.get(),
+                                stats_.superblock_transfers.get(),
+                                stats_.global_fetches.get());
+            for (std::size_t i = 0; i < heaps_.size(); ++i) {
+                Heap& heap = *heaps_[i];
+                std::lock_guard<typename Heap::Mutex> guard(heap.mutex);
+                writer.set_heap(i, heap.in_use, heap.held);
+            }
+        } else {
+            (void)now;
         }
     }
 
@@ -1054,6 +1158,9 @@ class HoardAllocator final : public Allocator
     detail::AllocatorStats stats_;
     /// Event rings; non-null only while tracing is enabled.
     std::unique_ptr<obs::EventRecorder> recorder_;
+    /// Gauge time series; non-null only when tracing is enabled and
+    /// Config::obs_sample_interval > 0.
+    std::unique_ptr<obs::TimeSeriesSampler> sampler_;
 };
 
 }  // namespace hoard

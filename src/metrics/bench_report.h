@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Machine-readable bench results: the performance-trajectory substrate.
+ *
+ * Every bench binary historically printed human tables only, so runs
+ * left no comparable artifact — no way to tell whether a change
+ * regressed threadtest speedup or blowup.  BenchReport turns one bench
+ * run into a schema-versioned JSON document:
+ *
+ *   {
+ *     "schema": "hoard-bench-report-v1",
+ *     "bench": "fig_speedup_threadtest",
+ *     "title": "...", "quick": true,
+ *     "environment": { compiler, pointer bits, HOARD_OBS compile and
+ *                      env state, hardware thread count },
+ *     "config": { superblock_bytes, empty_fraction, ... },
+ *     "metrics": [ {"key": "speedup/hoard/p8", "value": 7.97,
+ *                   "unit": "x", "better": "higher"}, ... ],
+ *     "cells": [ ... ]   // per-cell speedup detail, when applicable
+ *   }
+ *
+ * Metric keys are stable slash-paths; `better` declares the regression
+ * direction ("higher", "lower", or "info" for ungated context values)
+ * so the compare tool never has to guess.  bench/run_suite merges the
+ * per-bench documents into one BENCH_hoard.json
+ * ("hoard-bench-suite-v1") and bench/bench_compare diffs two suite
+ * files and gates on threshold — see docs/BENCHMARKING.md.
+ */
+
+#ifndef HOARD_METRICS_BENCH_REPORT_H_
+#define HOARD_METRICS_BENCH_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "metrics/json_value.h"
+
+namespace hoard {
+namespace metrics {
+
+struct SpeedupResult;  // speedup.h
+
+/** Regression direction of one metric. */
+enum class Better
+{
+    higher,  ///< larger is better (speedup, throughput)
+    lower,   ///< smaller is better (latency, blowup, fragmentation)
+    info     ///< context only; never gated
+};
+
+const char* to_string(Better better);
+
+/** One named scalar measurement. */
+struct MetricSample
+{
+    std::string key;    ///< stable slash-path, e.g. "speedup/hoard/p8"
+    double value = 0.0;
+    std::string unit;   ///< "x", "ns", "bytes", "cycles", ...
+    Better better = Better::info;
+};
+
+/** Builder for one bench's JSON document. */
+class BenchReport
+{
+  public:
+    static constexpr const char* kSchema = "hoard-bench-report-v1";
+    static constexpr const char* kSuiteSchema = "hoard-bench-suite-v1";
+
+    /** @param bench stable bench identifier (binary name). */
+    explicit BenchReport(std::string bench, bool quick = false);
+
+    void set_title(std::string title) { title_ = std::move(title); }
+
+    /** Echoes the allocator configuration the bench ran with. */
+    void set_config(const Config& config);
+
+    /** Adds one measurement (keys should be unique per report). */
+    void add_metric(const std::string& key, double value,
+                    const std::string& unit, Better better);
+
+    /**
+     * Records a full speedup experiment: per-cell makespan, speedup,
+     * contention/transfer diagnostics and observability counters under
+     * "cells", plus gateable "speedup/<allocator>/p<P>" metrics.
+     */
+    void add_speedup_result(const SpeedupResult& result);
+
+    const std::vector<MetricSample>& metrics() const { return metrics_; }
+
+    /** The report as a JSON document. */
+    JsonValue to_json() const;
+
+    /** Writes the document (pretty-printed) to @p os. */
+    void write(std::ostream& os) const;
+
+    /** Writes to @p path; returns false (with perror) on I/O failure. */
+    bool write_file(const std::string& path) const;
+
+    /**
+     * Build/run environment capture shared by reports and the suite
+     * merger: compiler, pointer width, HOARD_OBS compile-time state,
+     * HOARD_OBS environment override, hardware thread count.
+     */
+    static JsonValue environment_json();
+
+  private:
+    std::string bench_;
+    std::string title_;
+    bool quick_;
+    bool has_config_ = false;
+    Config config_;
+    std::vector<MetricSample> metrics_;
+    JsonValue cells_ = JsonValue::make_array();
+};
+
+/** One per-metric delta between two reports. */
+struct MetricDelta
+{
+    std::string key;        ///< "<bench>/<metric key>"
+    double base = 0.0;
+    double next = 0.0;
+    double change_pct = 0.0;  ///< signed (next-base)/|base| * 100
+    Better better = Better::info;
+    bool regression = false;  ///< past threshold in the worse direction
+};
+
+/** Outcome of comparing two suite (or report) documents. */
+struct CompareResult
+{
+    std::vector<MetricDelta> deltas;      ///< every gated metric pair
+    std::vector<std::string> missing;     ///< in base but not in next
+    int regressions = 0;
+
+    bool ok() const { return regressions == 0; }
+};
+
+/**
+ * Compares two parsed documents — either two suite files
+ * (hoard-bench-suite-v1) or two single reports — metric by metric.
+ * A metric regresses when it moves more than @p max_regress_pct in
+ * its declared worse direction; "info" metrics are never gated.
+ * Metrics present only in @p base are listed in `missing` (and are
+ * not regressions — benches come and go).
+ */
+CompareResult compare_reports(const JsonValue& base,
+                              const JsonValue& next,
+                              double max_regress_pct);
+
+}  // namespace metrics
+}  // namespace hoard
+
+#endif  // HOARD_METRICS_BENCH_REPORT_H_

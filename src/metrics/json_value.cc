@@ -1,0 +1,534 @@
+#include "metrics/json_value.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace hoard {
+namespace metrics {
+
+namespace {
+
+/** Shortest round-trip formatting for a finite double. */
+void
+put_number(std::ostream& os, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no NaN/Inf; emit null so the document stays valid.
+        os << "null";
+        return;
+    }
+    char buf[40];
+    // Try increasing precision until the text parses back exactly;
+    // %.17g always does, shorter usually suffices and diffs cleaner.
+    for (int precision = 15; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    os << buf;
+}
+
+/** Recursive-descent parser over a string; tracks one error message. */
+class Parser
+{
+  public:
+    Parser(const std::string& text, std::string* error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    parse_document(JsonValue& out)
+    {
+        skip_ws();
+        if (!parse_value(out))
+            return false;
+        skip_ws();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char* message)
+    {
+        if (error_ != nullptr && error_->empty()) {
+            std::ostringstream os;
+            os << message << " at offset " << pos_;
+            *error_ = os.str();
+        }
+        return false;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    parse_value(JsonValue& out)
+    {
+        skip_ws();
+        switch (peek()) {
+          case '{':
+            return parse_object(out);
+          case '[':
+            return parse_array(out);
+          case '"': {
+            std::string s;
+            if (!parse_string(s))
+                return false;
+            out = JsonValue::make_string(std::move(s));
+            return true;
+          }
+          case 't':
+            if (!literal("true"))
+                return false;
+            out = JsonValue::make_bool(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return false;
+            out = JsonValue::make_bool(false);
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return false;
+            out = JsonValue();
+            return true;
+          default:
+            return parse_number(out);
+        }
+    }
+
+    bool
+    literal(const char* word)
+    {
+        for (const char* c = word; *c != '\0'; ++c, ++pos_) {
+            if (pos_ >= text_.size() || text_[pos_] != *c)
+                return fail("bad literal");
+        }
+        return true;
+    }
+
+    bool
+    parse_object(JsonValue& out)
+    {
+        ++pos_;  // '{'
+        out = JsonValue::make_object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skip_ws();
+            std::string key;
+            if (!parse_string(key))
+                return fail("expected object key");
+            skip_ws();
+            if (peek() != ':')
+                return fail("expected ':'");
+            ++pos_;
+            JsonValue value;
+            if (!parse_value(value))
+                return false;
+            out.set(key, std::move(value));
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parse_array(JsonValue& out)
+    {
+        ++pos_;  // '['
+        out = JsonValue::make_array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            JsonValue value;
+            if (!parse_value(value))
+                return false;
+            out.append(std::move(value));
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parse_string(std::string& out)
+    {
+        if (peek() != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= text_.size())
+                return fail("truncated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':  out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/':  out.push_back('/'); break;
+              case 'b':  out.push_back('\b'); break;
+              case 'f':  out.push_back('\f'); break;
+              case 'n':  out.push_back('\n'); break;
+              case 'r':  out.push_back('\r'); break;
+              case 't':  out.push_back('\t'); break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    if (pos_ >= text_.size() ||
+                        !std::isxdigit(static_cast<unsigned char>(
+                            text_[pos_])))
+                        return fail("bad \\u escape");
+                    char h = text_[pos_++];
+                    code = code * 16 +
+                           static_cast<unsigned>(
+                               h <= '9'   ? h - '0'
+                               : h <= 'F' ? h - 'A' + 10
+                                          : h - 'a' + 10);
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs in
+                // metric documents do not occur; keep them as-is
+                // bytes would be wrong, so encode each half directly).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parse_number(JsonValue& out)
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("expected value");
+        if (peek() == '0') {
+            ++pos_;
+        } else {
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("digit must follow '.'");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("digit must follow exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        out = JsonValue::make_number(
+            std::strtod(text_.c_str() + start, nullptr));
+        return true;
+    }
+
+    const std::string& text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue
+JsonValue::make_bool(bool v)
+{
+    JsonValue j;
+    j.kind_ = Kind::boolean;
+    j.bool_ = v;
+    return j;
+}
+
+JsonValue
+JsonValue::make_number(double v)
+{
+    JsonValue j;
+    j.kind_ = Kind::number;
+    j.number_ = v;
+    return j;
+}
+
+JsonValue
+JsonValue::make_string(std::string v)
+{
+    JsonValue j;
+    j.kind_ = Kind::string;
+    j.string_ = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::make_array()
+{
+    JsonValue j;
+    j.kind_ = Kind::array;
+    return j;
+}
+
+JsonValue
+JsonValue::make_object()
+{
+    JsonValue j;
+    j.kind_ = Kind::object;
+    return j;
+}
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    for (const auto& member : members_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+JsonValue*
+JsonValue::find(const std::string& key)
+{
+    for (auto& member : members_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+void
+JsonValue::set(const std::string& key, JsonValue value)
+{
+    if (kind_ != Kind::object)
+        return;
+    if (JsonValue* existing = find(key)) {
+        *existing = std::move(value);
+        return;
+    }
+    members_.emplace_back(key, std::move(value));
+}
+
+void
+JsonValue::append(JsonValue value)
+{
+    if (kind_ != Kind::array)
+        return;
+    items_.push_back(std::move(value));
+}
+
+double
+JsonValue::number_or(const std::string& key, double fallback) const
+{
+    const JsonValue* v = find(key);
+    return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string
+JsonValue::string_or(const std::string& key,
+                     const std::string& fallback) const
+{
+    const JsonValue* v = find(key);
+    return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+void
+write_json_string(std::ostream& os, const std::string& text)
+{
+    os << '"';
+    for (char c : text) {
+        switch (c) {
+          case '"':  os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+JsonValue::write_indented(std::ostream& os, int indent, int depth) const
+{
+    auto newline_pad = [&](int d) {
+        if (indent < 0)
+            return;
+        os << '\n';
+        for (int i = 0; i < indent * d; ++i)
+            os << ' ';
+    };
+
+    switch (kind_) {
+      case Kind::null:
+        os << "null";
+        break;
+      case Kind::boolean:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::number:
+        put_number(os, number_);
+        break;
+      case Kind::string:
+        write_json_string(os, string_);
+        break;
+      case Kind::array:
+        if (items_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i != 0)
+                os << ',';
+            newline_pad(depth + 1);
+            items_[i].write_indented(os, indent, depth + 1);
+        }
+        newline_pad(depth);
+        os << ']';
+        break;
+      case Kind::object:
+        if (members_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i != 0)
+                os << ',';
+            newline_pad(depth + 1);
+            write_json_string(os, members_[i].first);
+            os << (indent < 0 ? ":" : ": ");
+            members_[i].second.write_indented(os, indent, depth + 1);
+        }
+        newline_pad(depth);
+        os << '}';
+        break;
+    }
+}
+
+void
+JsonValue::write(std::ostream& os, int indent) const
+{
+    write_indented(os, indent, 0);
+    if (indent >= 0)
+        os << '\n';
+}
+
+std::string
+JsonValue::to_string(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+JsonValue
+JsonValue::parse(const std::string& text, std::string* error)
+{
+    if (error != nullptr)
+        error->clear();
+    JsonValue out;
+    Parser parser(text, error);
+    if (!parser.parse_document(out)) {
+        if (error != nullptr && error->empty())
+            *error = "parse error";
+        return JsonValue();
+    }
+    return out;
+}
+
+bool
+JsonValue::parse_ok(const std::string& text, std::string* error)
+{
+    if (error != nullptr)
+        error->clear();
+    std::string local;
+    JsonValue out;
+    Parser parser(text, error != nullptr ? error : &local);
+    return parser.parse_document(out);
+}
+
+}  // namespace metrics
+}  // namespace hoard

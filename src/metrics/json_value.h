@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Minimal JSON document model for the bench tooling.
+ *
+ * The bench harness writes machine-readable reports (bench_report.h)
+ * and the suite tools (bench/run_suite, bench/bench_compare) must read
+ * them back: merge per-bench documents into one suite file and diff
+ * two suite files metric by metric.  That needs an actual DOM, not the
+ * validate-only checker the tests use — so this is a small
+ * recursive-descent parser into a tagged value tree plus a serializer
+ * that round-trips it.
+ *
+ * Scope is deliberately RFC 8259 JSON and nothing more: no comments,
+ * no NaN/Inf, numbers held as double (every metric this repo emits
+ * fits), object keys kept in insertion order so merged documents diff
+ * stably.
+ */
+
+#ifndef HOARD_METRICS_JSON_VALUE_H_
+#define HOARD_METRICS_JSON_VALUE_H_
+
+#include <cstddef>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hoard {
+namespace metrics {
+
+/** One JSON value; objects preserve key insertion order. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        null,
+        boolean,
+        number,
+        string,
+        array,
+        object
+    };
+
+    JsonValue() : kind_(Kind::null) {}
+
+    static JsonValue make_bool(bool v);
+    static JsonValue make_number(double v);
+    static JsonValue make_string(std::string v);
+    static JsonValue make_array();
+    static JsonValue make_object();
+
+    Kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == Kind::null; }
+    bool is_object() const { return kind_ == Kind::object; }
+    bool is_array() const { return kind_ == Kind::array; }
+    bool is_number() const { return kind_ == Kind::number; }
+    bool is_string() const { return kind_ == Kind::string; }
+    bool is_bool() const { return kind_ == Kind::boolean; }
+
+    /** Value accessors; only meaningful for the matching kind. */
+    bool as_bool() const { return bool_; }
+    double as_number() const { return number_; }
+    const std::string& as_string() const { return string_; }
+
+    /** Array elements (empty unless is_array()). */
+    const std::vector<JsonValue>& items() const { return items_; }
+    std::vector<JsonValue>& items() { return items_; }
+
+    /** Object members in insertion order (empty unless is_object()). */
+    const std::vector<std::pair<std::string, JsonValue>>&
+    members() const
+    {
+        return members_;
+    }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue* find(const std::string& key) const;
+    JsonValue* find(const std::string& key);
+
+    /** Sets (replacing) an object member; no-op unless is_object(). */
+    void set(const std::string& key, JsonValue value);
+
+    /** Appends an array element; no-op unless is_array(). */
+    void append(JsonValue value);
+
+    /**
+     * Convenience chains for schema walking: number at @p key, or
+     * @p fallback when absent / wrong kind.
+     */
+    double number_or(const std::string& key, double fallback) const;
+    std::string string_or(const std::string& key,
+                          const std::string& fallback) const;
+
+    /**
+     * Serializes as compact JSON (indent < 0) or pretty-printed with
+     * @p indent spaces per level.  Numbers print with up to 17
+     * significant digits, trimmed, so parse(write(v)) == v.
+     */
+    void write(std::ostream& os, int indent = 2) const;
+    std::string to_string(int indent = 2) const;
+
+    /**
+     * Parses @p text as exactly one JSON document.  On failure returns
+     * a null value and, when @p error is non-null, stores a message
+     * with the byte offset of the failure.
+     */
+    static JsonValue parse(const std::string& text,
+                           std::string* error = nullptr);
+
+    /** True when the parse consumed the document (distinguishes a
+     *  parsed `null` literal from a parse failure). */
+    static bool parse_ok(const std::string& text,
+                         std::string* error = nullptr);
+
+  private:
+    void write_indented(std::ostream& os, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/** Writes @p text with JSON string escaping, including the quotes. */
+void write_json_string(std::ostream& os, const std::string& text);
+
+}  // namespace metrics
+}  // namespace hoard
+
+#endif  // HOARD_METRICS_JSON_VALUE_H_

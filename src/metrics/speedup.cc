@@ -31,9 +31,14 @@ harvest_observability(Allocator& allocator, const SpeedupOptions& options,
     if (hoard_alloc == nullptr || !hoard_alloc->observability_enabled())
         return;
 
+    // One machine run does both the final forced sample and the
+    // snapshot: the workload machine has retired, so the allocator is
+    // quiesced and the sample's gauges must reconcile exactly with the
+    // snapshot's.
     obs::AllocatorSnapshot snap;
     sim::Machine checker(1);
     checker.spawn(0, 0, [hoard_alloc, &snap] {
+        hoard_alloc->sample_now();
         snap = hoard_alloc->take_snapshot();
     });
     checker.run();
@@ -44,16 +49,41 @@ harvest_observability(Allocator& allocator, const SpeedupOptions& options,
     }
     cell.trace_events = hoard_alloc->recorder()->total_recorded();
 
+    const obs::TimeSeriesSampler* sampler = hoard_alloc->sampler();
+    if (sampler != nullptr) {
+        cell.timeline_samples = sampler->total_samples();
+        std::vector<obs::TimeSample> samples = sampler->collect();
+        if (!samples.empty()) {
+            // The forced sample above ran quiesced, so it must agree
+            // with the snapshot gauges exactly.
+            const obs::TimeSample& last = samples.back();
+            HOARD_CHECK(last.in_use == snap.stats.in_use_bytes);
+            HOARD_CHECK(last.held == snap.stats.held_bytes);
+            for (std::size_t t = 1; t < samples.size(); ++t) {
+                HOARD_CHECK(samples[t].timestamp >=
+                            samples[t - 1].timestamp);
+            }
+        }
+    }
+
+    const std::string stem = options.slug + baselines::to_string(kind) +
+                             "_p" + std::to_string(procs);
     if (!options.trace_dir.empty()) {
-        std::string path = options.trace_dir + "/" +
-                           baselines::to_string(kind) + "_p" +
-                           std::to_string(procs) + ".trace.json";
+        std::string path =
+            options.trace_dir + "/" + stem + ".trace.json";
         std::ofstream os(path);
         if (os) {
             // Virtual cycles as-is: no wall-clock unit to scale to.
             obs::write_chrome_trace(os, *hoard_alloc->recorder(),
-                                    /*ts_per_us=*/1.0);
+                                    /*ts_per_us=*/1.0, sampler);
         }
+    }
+    if (!options.timeline_dir.empty() && sampler != nullptr) {
+        std::string path =
+            options.timeline_dir + "/" + stem + ".timeline.jsonl";
+        std::ofstream os(path);
+        if (os)
+            obs::write_timeseries_jsonl(os, *sampler);
     }
 }
 
@@ -78,8 +108,11 @@ run_speedup_experiment(const std::string& title,
             const int procs = options.procs[pi];
             Config config = options.base_config;
             config.heap_count = procs;
-            if (options.observability || !options.trace_dir.empty())
+            if (options.observability || !options.trace_dir.empty() ||
+                !options.timeline_dir.empty())
                 config.observability = true;
+            if (!options.timeline_dir.empty())
+                config.obs_sample_interval = options.sample_interval;
 
             auto allocator = baselines::make_allocator<SimPolicy>(
                 options.kinds[ki], config);

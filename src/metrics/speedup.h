@@ -60,10 +60,28 @@ struct SpeedupOptions
 
     /**
      * When non-empty, each Hoard cell dumps its retained event window
-     * to <trace_dir>/<allocator>_p<P>.trace.json (Chrome trace format,
-     * timestamps in virtual cycles).  Implies observability.
+     * to <trace_dir>/<slug><allocator>_p<P>.trace.json (Chrome trace
+     * format, timestamps in virtual cycles).  Implies observability.
      */
     std::string trace_dir;
+
+    /**
+     * When non-empty, each Hoard cell also writes its gauge timeline
+     * to <timeline_dir>/<slug><allocator>_p<P>.timeline.jsonl (see
+     * obs/trace_export.h).  Implies observability; the cell's config
+     * gets obs_sample_interval = sample_interval.
+     */
+    std::string timeline_dir;
+
+    /**
+     * Virtual cycles between timeline samples when timeline_dir is
+     * set.  The paper benches run ~10^7-10^8 cycles, so the default
+     * yields hundreds of samples against the 256-slot ring.
+     */
+    std::uint64_t sample_interval = 1 << 18;
+
+    /** Filename prefix for trace/timeline artifacts, e.g. "larson_". */
+    std::string slug;
 };
 
 /** One measured cell. */
@@ -80,6 +98,7 @@ struct SpeedupCell
     std::uint64_t heap_lock_acquires = 0;
     std::uint64_t heap_lock_contended = 0;
     std::uint64_t trace_events = 0;
+    std::uint64_t timeline_samples = 0;
     /// @}
 };
 

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Time-series sampling of the allocator's gauges: the film to
+ * snapshot.h's single frames.
+ *
+ * Fragmentation and blowup are time-series properties — a point sample
+ * can miss a footprint excursion entirely — so this module records the
+ * global gauges plus every heap's u_i/a_i into a fixed-size overwrite
+ * ring at a configurable policy-time cadence (steady-clock nanoseconds
+ * under NativePolicy, virtual cycles under SimPolicy, so native and
+ * simulated runs produce the same shape of timeline).
+ *
+ * Design constraints mirror event_ring.h:
+ *  - the per-operation cadence check must be branch-cheap (the
+ *    micro_obs_overhead --check budget covers it);
+ *  - sampling must never allocate (slots are fully preallocated at
+ *    construction) and never hold a sampler lock across a heap lock
+ *    (SimPolicy fibers may yield inside heap mutexes);
+ *  - a slow reader must never stall writers: every slot word is a
+ *    relaxed atomic, rings overwrite, racing readers can at worst see
+ *    a mixed sample, never UB.  Quiesced reads are exact.
+ *
+ * The sampler is gated like the rest of src/obs/: compiled out with
+ * Policy::kObsEnabled, created at runtime only when observability is
+ * on and Config::obs_sample_interval > 0.
+ */
+
+#ifndef HOARD_OBS_TIMESERIES_H_
+#define HOARD_OBS_TIMESERIES_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/failure.h"
+#include "common/mathutil.h"
+
+namespace hoard {
+namespace obs {
+
+/** One heap's footprint at a sample instant. */
+struct HeapPoint
+{
+    std::uint64_t in_use = 0;  ///< u_i
+    std::uint64_t held = 0;    ///< a_i
+};
+
+/** One decoded sample; timestamps are policy time. */
+struct TimeSample
+{
+    std::uint64_t timestamp = 0;
+    std::uint64_t in_use = 0;        ///< global gauge U
+    std::uint64_t held = 0;          ///< global gauge A
+    std::uint64_t os_bytes = 0;
+    std::uint64_t cached_bytes = 0;
+    std::uint64_t allocs = 0;        ///< cumulative counters
+    std::uint64_t frees = 0;
+    std::uint64_t transfers = 0;     ///< superblock transfers to global
+    std::uint64_t global_fetches = 0;
+    std::vector<HeapPoint> heaps;    ///< [0] is the global heap
+
+    /** A/U blowup at this instant (0 when nothing is live). */
+    double
+    blowup() const
+    {
+        return in_use == 0 ? 0.0
+                           : static_cast<double>(held) /
+                                 static_cast<double>(in_use);
+    }
+};
+
+/**
+ * Fixed-capacity overwrite ring of samples.  Writers claim a slot with
+ * one fetch_add and fill it with relaxed stores; the interval cadence
+ * is enforced by claim_due(), a CAS on the last sample time, so at
+ * most one thread samples per interval window.
+ */
+class TimeSeriesSampler
+{
+  public:
+    /**
+     * @param slots     samples retained; power of two >= 2
+     * @param heaps     heap entries per sample (heap_count + 1)
+     * @param interval  minimum policy-time gap between samples
+     */
+    TimeSeriesSampler(std::size_t slots, std::size_t heaps,
+                      std::uint64_t interval)
+        : capacity_(slots),
+          mask_(slots - 1),
+          heap_slots_(heaps),
+          interval_(interval),
+          slots_(new Slot[slots])
+    {
+        HOARD_CHECK(detail::is_pow2(slots) && slots >= 2);
+        for (std::size_t i = 0; i < slots; ++i) {
+            slots_[i].heap_words.reset(
+                new std::atomic<std::uint64_t>[heaps * 2]());
+        }
+    }
+
+    TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+    TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+    std::uint64_t interval() const { return interval_; }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t heap_slots() const { return heap_slots_; }
+
+    /**
+     * Claims the right to take one sample stamped @p now.  Returns
+     * false when the interval has not elapsed, when @p now is behind
+     * the last claimed time (another thread's clock may be ahead —
+     * losing claims keeps retained timestamps monotone), or when a
+     * racing thread claimed this window first.
+     */
+    bool
+    claim_due(std::uint64_t now)
+    {
+        std::uint64_t last = last_claim_.load(std::memory_order_relaxed);
+        if (now < last + interval_)
+            return false;
+        return last_claim_.compare_exchange_strong(
+            last, now, std::memory_order_relaxed);
+    }
+
+    /**
+     * Forces a claim regardless of the interval, for end-of-run
+     * flushes.  Never fails: when @p now is behind the last claimed
+     * time the stamp is clamped forward to it, so retained timestamps
+     * stay monotone even when the flushing clock restarted (a fresh
+     * checker Machine's virtual clock begins at zero).  Returns the
+     * timestamp to stamp the sample with.
+     */
+    std::uint64_t
+    claim_flush(std::uint64_t now)
+    {
+        std::uint64_t last = last_claim_.load(std::memory_order_relaxed);
+        for (;;) {
+            const std::uint64_t stamp = now > last ? now : last;
+            if (last_claim_.compare_exchange_weak(
+                    last, stamp, std::memory_order_relaxed))
+                return stamp;
+        }
+    }
+
+  private:
+    struct Slot;
+
+  public:
+    /**
+     * Writer interface: claim a slot, store fields, then store heap
+     * points.  The caller (the allocator) fills heap points one heap
+     * lock at a time; no sampler-side lock is held anywhere.
+     */
+    class Writer
+    {
+      public:
+        void
+        set_gauges(std::uint64_t in_use, std::uint64_t held,
+                   std::uint64_t os_bytes, std::uint64_t cached)
+        {
+            slot_->in_use.store(in_use, std::memory_order_relaxed);
+            slot_->held.store(held, std::memory_order_relaxed);
+            slot_->os_bytes.store(os_bytes, std::memory_order_relaxed);
+            slot_->cached.store(cached, std::memory_order_relaxed);
+        }
+
+        void
+        set_counters(std::uint64_t allocs, std::uint64_t frees,
+                     std::uint64_t transfers, std::uint64_t fetches)
+        {
+            slot_->allocs.store(allocs, std::memory_order_relaxed);
+            slot_->frees.store(frees, std::memory_order_relaxed);
+            slot_->transfers.store(transfers,
+                                   std::memory_order_relaxed);
+            slot_->fetches.store(fetches, std::memory_order_relaxed);
+        }
+
+        void
+        set_heap(std::size_t index, std::uint64_t in_use,
+                 std::uint64_t held)
+        {
+            if (index >= heap_slots_)
+                return;
+            slot_->heap_words[index * 2].store(
+                in_use, std::memory_order_relaxed);
+            slot_->heap_words[index * 2 + 1].store(
+                held, std::memory_order_relaxed);
+        }
+
+      private:
+        friend class TimeSeriesSampler;
+        Writer(Slot* slot, std::size_t heap_slots)
+            : slot_(slot), heap_slots_(heap_slots)
+        {}
+        Slot* slot_;
+        std::size_t heap_slots_;
+    };
+
+    /** Claims the next ring slot for a sample stamped @p now. */
+    Writer
+    begin_sample(std::uint64_t now)
+    {
+        std::uint64_t i = head_.fetch_add(1, std::memory_order_relaxed);
+        Slot& slot = slots_[i & mask_];
+        slot.timestamp.store(now, std::memory_order_relaxed);
+        return Writer(&slot, heap_slots_);
+    }
+
+    /** Samples ever taken (including overwritten ones). */
+    std::uint64_t
+    total_samples() const
+    {
+        return head_.load(std::memory_order_relaxed);
+    }
+
+    /** Samples lost to overwrite so far. */
+    std::uint64_t
+    dropped() const
+    {
+        std::uint64_t n = total_samples();
+        return n > capacity_ ? n - capacity_ : 0;
+    }
+
+    /**
+     * Returns the retained samples, oldest first.  Intended for
+     * quiesced readers; racing a writer is memory-safe but may yield
+     * mixed samples (same contract as EventRing::collect).
+     */
+    std::vector<TimeSample>
+    collect() const
+    {
+        std::uint64_t head = head_.load(std::memory_order_relaxed);
+        std::uint64_t n =
+            head < capacity_ ? head : static_cast<std::uint64_t>(
+                                          capacity_);
+        std::vector<TimeSample> out;
+        out.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = head - n; i != head; ++i) {
+            const Slot& slot = slots_[i & mask_];
+            TimeSample sample;
+            sample.timestamp =
+                slot.timestamp.load(std::memory_order_relaxed);
+            sample.in_use = slot.in_use.load(std::memory_order_relaxed);
+            sample.held = slot.held.load(std::memory_order_relaxed);
+            sample.os_bytes =
+                slot.os_bytes.load(std::memory_order_relaxed);
+            sample.cached_bytes =
+                slot.cached.load(std::memory_order_relaxed);
+            sample.allocs = slot.allocs.load(std::memory_order_relaxed);
+            sample.frees = slot.frees.load(std::memory_order_relaxed);
+            sample.transfers =
+                slot.transfers.load(std::memory_order_relaxed);
+            sample.global_fetches =
+                slot.fetches.load(std::memory_order_relaxed);
+            sample.heaps.resize(heap_slots_);
+            for (std::size_t h = 0; h < heap_slots_; ++h) {
+                sample.heaps[h].in_use = slot.heap_words[h * 2].load(
+                    std::memory_order_relaxed);
+                sample.heaps[h].held = slot.heap_words[h * 2 + 1].load(
+                    std::memory_order_relaxed);
+            }
+            out.push_back(std::move(sample));
+        }
+        return out;
+    }
+
+  private:
+    struct Slot
+    {
+        std::atomic<std::uint64_t> timestamp{0};
+        std::atomic<std::uint64_t> in_use{0};
+        std::atomic<std::uint64_t> held{0};
+        std::atomic<std::uint64_t> os_bytes{0};
+        std::atomic<std::uint64_t> cached{0};
+        std::atomic<std::uint64_t> allocs{0};
+        std::atomic<std::uint64_t> frees{0};
+        std::atomic<std::uint64_t> transfers{0};
+        std::atomic<std::uint64_t> fetches{0};
+        /// u/a pairs, heap_slots entries of two words each.
+        std::unique_ptr<std::atomic<std::uint64_t>[]> heap_words;
+    };
+
+    const std::size_t capacity_;
+    const std::uint64_t mask_;
+    const std::size_t heap_slots_;
+    const std::uint64_t interval_;
+    std::unique_ptr<Slot[]> slots_;
+    std::atomic<std::uint64_t> head_{0};
+    std::atomic<std::uint64_t> last_claim_{0};
+};
+
+}  // namespace obs
+}  // namespace hoard
+
+#endif  // HOARD_OBS_TIMESERIES_H_

@@ -30,7 +30,7 @@ prom_header(std::ostream& os, const char* name, const char* type,
 
 void
 write_chrome_trace(std::ostream& os, const EventRecorder& recorder,
-                   double ts_per_us)
+                   double ts_per_us, const TimeSeriesSampler* sampler)
 {
     os << "{\"traceEvents\":[";
     bool first = true;
@@ -46,9 +46,59 @@ write_chrome_trace(std::ostream& os, const EventRecorder& recorder,
            << ",\"size_class\":" << ev.size_class
            << ",\"bytes\":" << ev.bytes << "}}";
     }
+    if (sampler != nullptr) {
+        for (const TimeSample& s : sampler->collect()) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "\n{\"name\":\"hoard_bytes\",\"ph\":\"C\",\"pid\":1"
+               << ",\"ts\":";
+            put_double(os,
+                       static_cast<double>(s.timestamp) / ts_per_us);
+            os << ",\"args\":{\"in_use\":" << s.in_use
+               << ",\"held\":" << s.held << ",\"os\":" << s.os_bytes
+               << ",\"cached\":" << s.cached_bytes << "}},"
+               << "\n{\"name\":\"hoard_blowup\",\"ph\":\"C\",\"pid\":1"
+               << ",\"ts\":";
+            put_double(os,
+                       static_cast<double>(s.timestamp) / ts_per_us);
+            os << ",\"args\":{\"blowup\":";
+            put_double(os, s.blowup());
+            os << "}}";
+        }
+    }
     os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
        << "\"recorded\":" << recorder.total_recorded()
-       << ",\"dropped\":" << recorder.dropped() << "}}\n";
+       << ",\"dropped\":" << recorder.dropped();
+    if (sampler != nullptr) {
+        os << ",\"samples\":" << sampler->total_samples()
+           << ",\"samples_dropped\":" << sampler->dropped();
+    }
+    os << "}}\n";
+    os.flush();
+}
+
+void
+write_timeseries_jsonl(std::ostream& os, const TimeSeriesSampler& sampler)
+{
+    for (const TimeSample& s : sampler.collect()) {
+        os << "{\"schema\":\"hoard-timeline-v1\",\"ts\":" << s.timestamp
+           << ",\"in_use\":" << s.in_use << ",\"held\":" << s.held
+           << ",\"os\":" << s.os_bytes << ",\"cached\":" << s.cached_bytes
+           << ",\"allocs\":" << s.allocs << ",\"frees\":" << s.frees
+           << ",\"transfers\":" << s.transfers
+           << ",\"global_fetches\":" << s.global_fetches
+           << ",\"blowup\":";
+        put_double(os, s.blowup());
+        os << ",\"heaps\":[";
+        for (std::size_t h = 0; h < s.heaps.size(); ++h) {
+            if (h != 0)
+                os << ',';
+            os << "{\"u\":" << s.heaps[h].in_use
+               << ",\"a\":" << s.heaps[h].held << '}';
+        }
+        os << "]}\n";
+    }
     os.flush();
 }
 

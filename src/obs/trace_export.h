@@ -8,7 +8,10 @@
  *    its recording thread's track;
  *  - Prometheus text exposition for snapshots — per-heap gauges with
  *    heap/size-class labels, ready for a scrape endpoint;
- *  - a human-readable dump for operators and test logs.
+ *  - a human-readable dump for operators and test logs;
+ *  - JSONL for time-series samples (obs/timeseries.h) — one JSON
+ *    object per line, stream-appendable and trivially loadable into
+ *    pandas/jq, plus Chrome counter tracks riding along in the trace.
  */
 
 #ifndef HOARD_OBS_TRACE_EXPORT_H_
@@ -18,6 +21,7 @@
 
 #include "obs/event_ring.h"
 #include "obs/snapshot.h"
+#include "obs/timeseries.h"
 
 namespace hoard {
 namespace obs {
@@ -26,10 +30,24 @@ namespace obs {
  * Writes the recorder's retained events as Chrome trace JSON
  * ({"traceEvents":[...]}).  @p ts_per_us converts recorded timestamps
  * to the format's microseconds: 1000 for NativePolicy nanoseconds, 1
- * to map one virtual cycle to 1 us for SimPolicy traces.
+ * to map one virtual cycle to 1 us for SimPolicy traces.  When
+ * @p sampler is non-null its retained samples are added as Chrome
+ * counter tracks ("ph":"C": in-use/held/os/cached bytes and blowup),
+ * drawn above the instant events in chrome://tracing.
  */
 void write_chrome_trace(std::ostream& os, const EventRecorder& recorder,
-                        double ts_per_us = 1000.0);
+                        double ts_per_us = 1000.0,
+                        const TimeSeriesSampler* sampler = nullptr);
+
+/**
+ * Writes the sampler's retained samples as JSONL, one
+ * {"schema":"hoard-timeline-v1", ...} object per line, oldest first:
+ * policy-time timestamp, the global gauges and counters, blowup, and
+ * a "heaps" array of per-heap {"u":..,"a":..} points (index 0 is the
+ * global heap).
+ */
+void write_timeseries_jsonl(std::ostream& os,
+                            const TimeSeriesSampler& sampler);
 
 /** Writes a snapshot as Prometheus text exposition (version 0.0.4). */
 void write_prometheus(std::ostream& os, const AllocatorSnapshot& snap);

@@ -10,8 +10,8 @@
  * checks for content assertions.
  */
 
-#ifndef HOARD_TESTS_OBS_JSON_CHECK_H_
-#define HOARD_TESTS_OBS_JSON_CHECK_H_
+#ifndef HOARD_TESTS_COMMON_JSON_CHECK_H_
+#define HOARD_TESTS_COMMON_JSON_CHECK_H_
 
 #include <cctype>
 #include <string>
@@ -233,4 +233,4 @@ json_valid(const std::string& text)
 }  // namespace testutil
 }  // namespace hoard
 
-#endif  // HOARD_TESTS_OBS_JSON_CHECK_H_
+#endif  // HOARD_TESTS_COMMON_JSON_CHECK_H_

@@ -24,7 +24,7 @@
 #include "policy/native_policy.h"
 #include "policy/sim_policy.h"
 #include "sim/machine.h"
-#include "tests/obs/json_check.h"
+#include "tests/common/json_check.h"
 #include "workloads/larson.h"
 #include "workloads/runners.h"
 

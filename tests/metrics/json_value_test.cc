@@ -1,0 +1,121 @@
+/** @file Unit tests for the JSON document model (parse + serialize). */
+
+#include "metrics/json_value.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "tests/common/json_check.h"
+
+namespace hoard {
+namespace metrics {
+namespace {
+
+TEST(JsonValue, BuildsAndAccessesObjects)
+{
+    JsonValue doc = JsonValue::make_object();
+    doc.set("name", JsonValue::make_string("hoard"));
+    doc.set("speedup", JsonValue::make_number(7.5));
+    doc.set("ok", JsonValue::make_bool(true));
+
+    EXPECT_TRUE(doc.is_object());
+    ASSERT_NE(doc.find("name"), nullptr);
+    EXPECT_EQ(doc.find("name")->as_string(), "hoard");
+    EXPECT_DOUBLE_EQ(doc.number_or("speedup", 0.0), 7.5);
+    EXPECT_EQ(doc.number_or("absent", -1.0), -1.0);
+    EXPECT_EQ(doc.string_or("name", ""), "hoard");
+    EXPECT_EQ(doc.find("missing"), nullptr);
+
+    // set() replaces in place, preserving insertion order.
+    doc.set("speedup", JsonValue::make_number(8.0));
+    EXPECT_DOUBLE_EQ(doc.number_or("speedup", 0.0), 8.0);
+    ASSERT_EQ(doc.members().size(), 3u);
+    EXPECT_EQ(doc.members()[1].first, "speedup");
+}
+
+TEST(JsonValue, SerializedFormIsValidJson)
+{
+    JsonValue doc = JsonValue::make_object();
+    doc.set("text", JsonValue::make_string("line\nbreak \"quoted\""));
+    JsonValue arr = JsonValue::make_array();
+    arr.append(JsonValue::make_number(1));
+    arr.append(JsonValue());
+    arr.append(JsonValue::make_bool(false));
+    doc.set("items", std::move(arr));
+
+    for (int indent : {-1, 0, 2}) {
+        std::string text = doc.to_string(indent);
+        EXPECT_TRUE(testutil::json_valid(text))
+            << "indent=" << indent << ":\n" << text;
+    }
+}
+
+TEST(JsonValue, ParseRoundTripsDocument)
+{
+    const std::string text =
+        "{\"a\": [1, 2.5, -3e2], \"b\": {\"nested\": true},"
+        " \"s\": \"\\u0041\\n\", \"n\": null}";
+    std::string error;
+    JsonValue doc = JsonValue::parse(text, &error);
+    ASSERT_TRUE(doc.is_object()) << error;
+
+    const JsonValue* a = doc.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->items()[1].as_number(), 2.5);
+    EXPECT_DOUBLE_EQ(a->items()[2].as_number(), -300.0);
+    EXPECT_TRUE(doc.find("b")->find("nested")->as_bool());
+    EXPECT_EQ(doc.find("s")->as_string(), "A\n");
+    EXPECT_TRUE(doc.find("n")->is_null());
+
+    // write(parse(text)) parses back to the same document.
+    JsonValue again = JsonValue::parse(doc.to_string(), &error);
+    ASSERT_TRUE(again.is_object()) << error;
+    EXPECT_EQ(again.to_string(), doc.to_string());
+}
+
+TEST(JsonValue, NumbersRoundTripExactly)
+{
+    for (double v : {0.0, -0.0, 1.0 / 3.0, 1e-300, 123456789.123456789,
+                     9007199254740993.0}) {
+        JsonValue n = JsonValue::make_number(v);
+        JsonValue parsed = JsonValue::parse(n.to_string(-1));
+        ASSERT_TRUE(parsed.is_number());
+        EXPECT_EQ(parsed.as_number(), v);
+    }
+    // Non-finite values degrade to null, keeping documents valid.
+    EXPECT_EQ(JsonValue::make_number(NAN).to_string(-1), "null");
+}
+
+TEST(JsonValue, RejectsMalformedDocuments)
+{
+    for (const char* bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "01",
+          "\"unterminated", "{\"a\":1} trailing", "[1 2]",
+          "\"bad\\q\"", "\"\\u12\"", "1.", "-"}) {
+        std::string error;
+        EXPECT_FALSE(JsonValue::parse_ok(bad, &error)) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+}
+
+TEST(JsonValue, ParseOkDistinguishesNullLiteral)
+{
+    EXPECT_TRUE(JsonValue::parse_ok("null"));
+    EXPECT_TRUE(JsonValue::parse("null").is_null());
+    EXPECT_FALSE(JsonValue::parse_ok("nul"));
+}
+
+TEST(JsonValue, WriteJsonStringEscapesControls)
+{
+    std::ostringstream os;
+    write_json_string(os, std::string("a\001b\t"));
+    EXPECT_EQ(os.str(), "\"a\\u0001b\\t\"");
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace hoard

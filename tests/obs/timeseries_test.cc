@@ -1,0 +1,141 @@
+/** @file Unit tests for the gauge time-series sampler ring. */
+
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hoard {
+namespace obs {
+namespace {
+
+void
+write_sample(TimeSeriesSampler& sampler, std::uint64_t ts)
+{
+    TimeSeriesSampler::Writer w = sampler.begin_sample(ts);
+    w.set_gauges(ts * 10, ts * 20, ts * 30, ts * 40);
+    w.set_counters(ts + 1, ts + 2, ts + 3, ts + 4);
+    for (std::size_t h = 0; h < sampler.heap_slots(); ++h)
+        w.set_heap(h, ts * 100 + h, ts * 200 + h);
+}
+
+TEST(TimeSeriesSampler, RoundTripsAllFields)
+{
+    TimeSeriesSampler sampler(8, 3, 10);
+    write_sample(sampler, 7);
+
+    std::vector<TimeSample> out = sampler.collect();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].timestamp, 7u);
+    EXPECT_EQ(out[0].in_use, 70u);
+    EXPECT_EQ(out[0].held, 140u);
+    EXPECT_EQ(out[0].os_bytes, 210u);
+    EXPECT_EQ(out[0].cached_bytes, 280u);
+    EXPECT_EQ(out[0].allocs, 8u);
+    EXPECT_EQ(out[0].frees, 9u);
+    EXPECT_EQ(out[0].transfers, 10u);
+    EXPECT_EQ(out[0].global_fetches, 11u);
+    ASSERT_EQ(out[0].heaps.size(), 3u);
+    for (std::size_t h = 0; h < 3; ++h) {
+        EXPECT_EQ(out[0].heaps[h].in_use, 700u + h);
+        EXPECT_EQ(out[0].heaps[h].held, 1400u + h);
+    }
+}
+
+TEST(TimeSeriesSampler, OverwritesOldestAndCountsDrops)
+{
+    TimeSeriesSampler sampler(4, 1, 1);
+    for (std::uint64_t ts = 1; ts <= 10; ++ts)
+        write_sample(sampler, ts);
+
+    EXPECT_EQ(sampler.total_samples(), 10u);
+    EXPECT_EQ(sampler.dropped(), 6u);
+
+    std::vector<TimeSample> out = sampler.collect();
+    ASSERT_EQ(out.size(), 4u);
+    // Oldest retained first: 7, 8, 9, 10.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(out[i].timestamp, 7u + i);
+}
+
+TEST(TimeSeriesSampler, ClaimDueEnforcesInterval)
+{
+    TimeSeriesSampler sampler(8, 1, 100);
+    EXPECT_TRUE(sampler.claim_due(100));   // 100 >= 0 + 100
+    EXPECT_FALSE(sampler.claim_due(150));  // 150 < 100 + 100
+    EXPECT_FALSE(sampler.claim_due(199));
+    EXPECT_TRUE(sampler.claim_due(200));
+    EXPECT_TRUE(sampler.claim_due(1000));
+}
+
+TEST(TimeSeriesSampler, ClaimRejectsRegressedTime)
+{
+    TimeSeriesSampler sampler(8, 1, 10);
+    EXPECT_TRUE(sampler.claim_due(500));
+    // Another thread's clock reading behind the last claim loses: the
+    // retained timeline stays monotone nondecreasing.
+    EXPECT_FALSE(sampler.claim_due(400));
+}
+
+TEST(TimeSeriesSampler, ClaimFlushIgnoresIntervalAndClampsForward)
+{
+    TimeSeriesSampler sampler(8, 1, 1000000);
+    EXPECT_EQ(sampler.claim_flush(5), 5u);
+    EXPECT_EQ(sampler.claim_flush(6), 6u);  // interval never consulted
+    // A flush from a clock that restarted (fresh checker machine)
+    // stamps at the last claimed time instead of going backwards.
+    EXPECT_EQ(sampler.claim_flush(2), 6u);
+    EXPECT_TRUE(sampler.claim_due(1000006));
+    EXPECT_EQ(sampler.claim_flush(0), 1000006u);
+}
+
+TEST(TimeSeriesSampler, WriterIgnoresOutOfRangeHeap)
+{
+    TimeSeriesSampler sampler(4, 2, 1);
+    TimeSeriesSampler::Writer w = sampler.begin_sample(1);
+    w.set_heap(0, 1, 2);
+    w.set_heap(5, 99, 99);  // silently dropped, no overrun
+    std::vector<TimeSample> out = sampler.collect();
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_EQ(out[0].heaps.size(), 2u);
+    EXPECT_EQ(out[0].heaps[0].in_use, 1u);
+    EXPECT_EQ(out[0].heaps[1].in_use, 0u);
+}
+
+TEST(TimeSeriesSampler, BlowupComputedPerSample)
+{
+    TimeSeriesSampler sampler(4, 1, 1);
+    TimeSeriesSampler::Writer w = sampler.begin_sample(1);
+    w.set_gauges(100, 250, 0, 0);
+    std::vector<TimeSample> out = sampler.collect();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_DOUBLE_EQ(out[0].blowup(), 2.5);
+
+    TimeSample empty;
+    EXPECT_DOUBLE_EQ(empty.blowup(), 0.0);  // nothing live
+}
+
+TEST(TimeSeriesSampler, ConcurrentClaimsYieldOnePerWindow)
+{
+    TimeSeriesSampler sampler(64, 1, 10);
+    constexpr int kThreads = 8;
+    std::atomic<int> claims{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            // All threads contend for the same window at ts=10.
+            if (sampler.claim_due(10))
+                claims.fetch_add(1);
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(claims.load(), 1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hoard

@@ -9,7 +9,7 @@
 
 #include "obs/event_ring.h"
 #include "obs/snapshot.h"
-#include "tests/obs/json_check.h"
+#include "tests/common/json_check.h"
 
 namespace hoard {
 namespace obs {
