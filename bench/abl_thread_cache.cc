@@ -76,5 +76,58 @@ main()
     std::cout << "\n# Expected: contended locks and makespans fall as"
                  " the cache absorbs the hot alloc/free pairs; the"
                  " retained-memory cost is bounded by cache size.\n";
+
+    // Second axis: the refill/spill batch size N at a fixed cache cap.
+    // Each magazine refill carves N blocks under one heap-lock
+    // acquisition and each spill returns N the same way, so larger N
+    // trades heap-lock traffic against batch-carve latency and a
+    // bigger partial batch parked per thread.  batch 0 = the default
+    // (cap / 2).
+    const std::uint32_t fixed_cache = 64;
+    const std::vector<std::uint32_t> batch_sizes = {0, 1, 4, 16, 32};
+
+    std::cout << "\n# ABL-cache-batch: refill/spill batch sweep at cache"
+              << " blocks = " << fixed_cache << "\n";
+    metrics::Table batch_table(
+        {"batch blocks", "threadtest P=8 makespan",
+         "larson P=8 makespan", "larson contended locks",
+         "batch refills (native larson)", "cached peak"});
+
+    for (std::uint32_t batch : batch_sizes) {
+        Config config;
+        config.thread_cache_blocks = fixed_cache;
+        config.thread_cache_batch = batch;
+        config.heap_count = nthreads;
+
+        metrics::SpeedupOptions opt;
+        opt.procs = {1, 8};
+        opt.base_config = config;
+        opt.kinds = {baselines::AllocatorKind::hoard};
+        auto tt_sim = metrics::run_speedup_experiment(
+            "abl-cache-batch", opt, workloads::threadtest_body(tt));
+        auto la_sim = metrics::run_speedup_experiment(
+            "abl-cache-batch", opt, workloads::larson_body(la));
+
+        HoardAllocator<NativePolicy> allocator(config);
+        auto body = workloads::native_larson_body(la);
+        workloads::native_run(nthreads, [&](int tid) {
+            body(allocator, tid, nthreads);
+        });
+        allocator.flush_thread_caches();
+
+        batch_table.begin_row();
+        batch_table.cell_u64(batch);
+        batch_table.cell_u64(tt_sim.cells[1][0].makespan);
+        batch_table.cell_u64(la_sim.cells[1][0].makespan);
+        batch_table.cell_u64(la_sim.cells[1][0].lock_contentions);
+        batch_table.cell_u64(allocator.stats().batch_refills.get());
+        batch_table.cell(metrics::format_bytes(
+            allocator.stats().cached_bytes.peak()));
+    }
+    batch_table.print(std::cout);
+
+    std::cout << "\n# Expected: heap-lock contention falls as the batch"
+                 " grows (fewer, larger lock visits) until batches"
+                 " overshoot what the workload recycles per thread.\n";
     return 0;
 }

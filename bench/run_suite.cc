@@ -40,7 +40,7 @@ const char* const kBenches[] = {
     "fig_speedup_bemsim",     "tbl_blowup",
     "tbl_latency",            "tbl_fragmentation",
     "tbl_taxonomy",           "tbl_uniprocessor",
-    "tbl_synthetic_frag",
+    "tbl_synthetic_frag",     "micro_remote_free",
 };
 
 std::string

@@ -99,6 +99,10 @@ struct AllocatorStats
     Counter huge_allocs;         ///< allocations > S/2 served directly
     Counter oom_reclaims;        ///< map failures answered by reclaiming
     Counter oom_failures;        ///< allocations that failed even after reclaim
+    Counter remote_frees;        ///< frees pushed to a busy owner's queue
+    Counter remote_drains;       ///< blocks drained from remote queues
+    Counter batch_refills;       ///< magazine refills (one lock each)
+    Counter batch_flushes;       ///< magazine spills/flushes (batched)
 
     /**
      * Fragmentation as the paper reports it: maximum memory held by the

@@ -34,6 +34,12 @@ Config::validate() const
         HOARD_FATAL("min_block_bytes (%zu) too large for superblock (%zu)",
                     min_block_bytes, superblock_bytes);
     }
+    if (thread_cache_batch > 0 &&
+        thread_cache_batch > thread_cache_blocks) {
+        HOARD_FATAL("thread_cache_batch (%u) must not exceed"
+                    " thread_cache_blocks (%u)",
+                    thread_cache_batch, thread_cache_blocks);
+    }
     if (!detail::is_pow2(obs_ring_events) || obs_ring_events < 2) {
         HOARD_FATAL("obs_ring_events (%zu) must be a power of two >= 2",
                     obs_ring_events);

@@ -97,6 +97,19 @@ struct Config
     std::uint32_t thread_cache_blocks = 0;
 
     /**
+     * Blocks moved per magazine refill/flush transfer (the N of the
+     * batched fast path): a refill carves up to this many blocks under
+     * one heap-lock acquisition, and an overflowing magazine returns
+     * this many in one pass.  0 (the default) derives the batch as
+     * max(1, thread_cache_blocks / 2) — half the cap, so a thread
+     * alternating between allocation-heavy and free-heavy phases keeps
+     * headroom in both directions.  Must not exceed
+     * thread_cache_blocks; meaningless (and ignored) when caching is
+     * off.  ABL-cache sweeps this axis.
+     */
+    std::uint32_t thread_cache_batch = 0;
+
+    /**
      * Runtime switch for the observability layer (src/obs/): event
      * tracing into per-thread rings plus heap-lock contention
      * profiling.  OR-ed with the HOARD_OBS environment variable, so a

@@ -12,6 +12,7 @@
 #ifndef HOARD_CORE_HEAP_H_
 #define HOARD_CORE_HEAP_H_
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -62,6 +63,48 @@ struct HoardHeap
 
     /** Completely-empty superblocks (global heap only). */
     SuperblockList empty_list;
+
+    /**
+     * MPSC remote-free stack (Treiber, push-only): a thread freeing a
+     * block owned by this heap while its lock is busy pushes here
+     * instead of blocking; the owner splices the whole chain off with
+     * one exchange at its next lock acquisition and settles the frees
+     * under the lock it already holds.  Blocks link through their first
+     * words — the magazine/bulk-carve chain format.  No individual pop
+     * ever happens, so the classic Treiber ABA hazard cannot arise; the
+     * release/acquire pair on the head is what publishes each block's
+     * next-pointer write to the draining owner.
+     */
+    std::atomic<void*> remote_head{nullptr};
+
+    /** Cheap empty test so the drain's exchange is skipped when idle. */
+    bool
+    remote_pending() const
+    {
+        return remote_head.load(std::memory_order_relaxed) != nullptr;
+    }
+
+    /** Lock-free push of a (whole, free) block. Any thread, no lock. */
+    void
+    remote_push(void* block)
+    {
+        void* old = remote_head.load(std::memory_order_relaxed);
+        do {
+            *static_cast<void**>(block) = old;
+        } while (!remote_head.compare_exchange_weak(
+            old, block, std::memory_order_release,
+            std::memory_order_relaxed));
+    }
+
+    /**
+     * Detaches the whole pending chain (nullptr when empty).  Caller
+     * holds the lock and owns every block on the returned chain.
+     */
+    void*
+    remote_drain()
+    {
+        return remote_head.exchange(nullptr, std::memory_order_acquire);
+    }
 
     /**
      * Finds a superblock of @p cls with a free block, preferring the

@@ -17,6 +17,17 @@
  * The class is templated on an execution policy (NativePolicy /
  * SimPolicy) so the identical algorithm runs under real threads and on
  * the virtual-time multiprocessor that regenerates the paper's figures.
+ *
+ * Fast path (extension over the paper, see docs/ARCHITECTURE.md): with
+ * Config::thread_cache_blocks > 0 each logical thread keeps per-class
+ * *magazines* of free blocks (magazine.h).  malloc/free on a warm
+ * magazine is lock-free and touches no shared statistics; magazines
+ * refill and spill in batches of Config::thread_cache_batch blocks
+ * under a single heap-lock acquisition, and the cached-bytes gauge is
+ * synced once per batch.  Each heap additionally owns a lock-free MPSC
+ * remote-free queue: a free whose owning heap's lock is busy is pushed
+ * there instead of blocking, and the owner settles the whole chain
+ * with one exchange the next time it holds its lock.
  */
 
 #ifndef HOARD_CORE_HOARD_ALLOCATOR_H_
@@ -39,6 +50,7 @@
 #include "core/allocator.h"
 #include "core/config.h"
 #include "core/heap.h"
+#include "core/magazine.h"
 #include "core/size_classes.h"
 #include "core/superblock.h"
 #include "obs/event_ring.h"
@@ -69,11 +81,14 @@ class HoardAllocator final : public Allocator
         for (int i = 0; i <= config_.heap_count; ++i)
             heaps_.push_back(std::make_unique<Heap>(i, classes_.count()));
         if (config_.thread_cache_blocks > 0) {
-            std::size_t slots =
-                static_cast<std::size_t>(config_.heap_count) * 2;
-            for (std::size_t i = 0; i < slots; ++i)
-                caches_.push_back(std::make_unique<ThreadCacheSlot>(
-                    static_cast<std::size_t>(classes_.count())));
+            batch_blocks_ =
+                config_.thread_cache_batch != 0
+                    ? config_.thread_cache_batch
+                    : std::max(1u, config_.thread_cache_blocks / 2);
+            magazine_id_ = detail::magazine_register_allocator();
+            if (magazine_id_ != 0)
+                Policy::set_thread_exit_hook(
+                    &detail::magazine_thread_exit);
         }
         if constexpr (Policy::kObsEnabled) {
             if (config_.observability || obs::env_enabled()) {
@@ -90,7 +105,15 @@ class HoardAllocator final : public Allocator
         }
     }
 
-    ~HoardAllocator() override { release_everything(); }
+    ~HoardAllocator() override
+    {
+        // Unregister first: it blocks until any in-flight thread-exit
+        // flush drains, and afterwards no exit hook will call back
+        // into this allocator.  Surviving threads' stale nodes are
+        // freed by their own exit hooks (the dead id skips the flush).
+        detail::magazine_unregister_allocator(magazine_id_);
+        release_everything();
+    }
 
     HoardAllocator(const HoardAllocator&) = delete;
     HoardAllocator& operator=(const HoardAllocator&) = delete;
@@ -106,16 +129,8 @@ class HoardAllocator final : public Allocator
         if (cls == SizeClasses::kHuge)
             return allocate_huge(size, /*align=*/16);
         void* block = nullptr;
-        if (!caches_.empty()) {
-            block = cache_pop(cls);
-            if (tracing()) {
-                record_event(block != nullptr
-                                 ? obs::EventKind::cache_hit
-                                 : obs::EventKind::cache_miss,
-                             my_heap_index(), cls,
-                             classes_.block_size(cls));
-            }
-        }
+        if (detail::MagazineNode* node = my_magazines())
+            block = magazine_pop(node, cls);
         if (block == nullptr)
             block = allocate_from_class(cls);
         if (block == nullptr)
@@ -140,7 +155,9 @@ class HoardAllocator final : public Allocator
         }
         stats_.frees.add();
         stats_.in_use_bytes.sub(sb->block_bytes());
-        if (caches_.empty() || !cache_push(sb, p))
+        if (detail::MagazineNode* node = my_magazines())
+            magazine_push(node, sb, p);
+        else
             free_block(sb, p);
         // Tail position: no locks held here, so a due sample may take
         // heap locks without self-deadlock risk.
@@ -207,19 +224,26 @@ class HoardAllocator final : public Allocator
     int heap_count() const { return config_.heap_count; }
 
     /**
-     * Best-effort memory release back to the OS: drains every thread
-     * cache to the heaps, then unmaps every completely-empty superblock
-     * from every heap (including the global heap's empty cache).
-     * Returns the bytes unmapped.  This is the reclaim step of the
-     * OOM retry path and doubles as a malloc_trim-style API for
-     * long-running servers reacting to memory pressure.  Takes no lock
-     * on entry; heap locks are taken one at a time, so concurrent
-     * allocation stays safe (and may legitimately race fresh memory in).
+     * Best-effort memory release back to the OS: flushes the calling
+     * thread's own magazines, settles every remote-free queue, then
+     * unmaps every completely-empty superblock from every heap
+     * (including the global heap's empty cache).  Returns the bytes
+     * unmapped.  This is the reclaim step of the OOM retry path and
+     * doubles as a malloc_trim-style API for long-running servers
+     * reacting to memory pressure.  Takes no lock on entry; heap locks
+     * are taken one at a time, so concurrent allocation stays safe
+     * (and may legitimately race fresh memory in).  Foreign threads'
+     * magazines stay parked — emptying them would race their owners'
+     * lock-free fast paths; use flush_thread_caches() when quiesced.
      */
     std::size_t
     release_free_memory()
     {
-        flush_thread_caches();
+        if (detail::MagazineNode* node = my_magazines()) {
+            std::lock_guard<typename Policy::Mutex> guard(cache_mutex_);
+            flush_node_locked(node);
+        }
+        drain_all_remote();
         std::size_t released = 0;
         for (auto& heap_ptr : heaps_) {
             Heap& heap = *heap_ptr;
@@ -247,28 +271,27 @@ class HoardAllocator final : public Allocator
     }
 
     /**
-     * Drains every thread cache back to the owning heaps (no-op when
-     * thread caching is disabled).  Call when quiescing — e.g. before
-     * reading footprint gauges or asserting leak-freedom in tests.
+     * Drains every thread's magazines back to the owning heaps and
+     * settles every remote-free queue (no-op when thread caching is
+     * disabled and no remote frees are pending).  Call when quiescing
+     * — e.g. before reading footprint gauges or asserting leak-freedom
+     * in tests.  Must not race the owning threads' fast paths: a
+     * magazine is lock-free for its owner, so emptying a node under
+     * cache_mutex_ is only safe once that owner has stopped mutating
+     * (joined, or provably idle).
      */
     void
     flush_thread_caches()
     {
-        for (auto& slot : caches_) {
-            std::lock_guard<typename Policy::Mutex> guard(slot->mutex);
-            for (auto& list : slot->lists) {
-                while (list.head != nullptr) {
-                    void* block = list.head;
-                    list.head = *static_cast<void**>(block);
-                    --list.count;
-                    Superblock* sb = Superblock::from_pointer(
-                        block, config_.superblock_bytes);
-                    stats_.cached_bytes.sub(sb->block_bytes());
-                    free_block(sb, block);
-                }
-                HOARD_DCHECK(list.count == 0);
-            }
+        if (magazine_id_ != 0) {
+            std::lock_guard<typename Policy::Mutex> guard(cache_mutex_);
+            for (detail::MagazineNode* node = cache_nodes_;
+                 node != nullptr; node = node->next_in_set)
+                flush_node_locked(node);
         }
+        // The flush itself can remote-push (a busy owner lock); settle
+        // the queues after the magazines so nothing stays in flight.
+        drain_all_remote();
     }
 
     /// @name Introspection for tests and tables.
@@ -316,16 +339,23 @@ class HoardAllocator final : public Allocator
                 os << "]\n";
             }
         }
-        if (!caches_.empty()) {
+        if (magazine_id_ != 0) {
             std::size_t cached_blocks = 0;
-            for (auto& slot : caches_) {
+            std::size_t cached_bytes = 0;
+            {
                 std::lock_guard<typename Policy::Mutex> guard(
-                    slot->mutex);
-                for (auto& list : slot->lists)
-                    cached_blocks += list.count;
+                    cache_mutex_);
+                for (detail::MagazineNode* node = cache_nodes_;
+                     node != nullptr; node = node->next_in_set) {
+                    for (std::uint32_t c = 0; c < node->num_classes;
+                         ++c)
+                        cached_blocks += node->mags[c].count;
+                    cached_bytes += node->occupancy_bytes.load(
+                        std::memory_order_relaxed);
+                }
             }
             os << "  thread caches: " << cached_blocks << " block(s), "
-               << stats_.cached_bytes.current() << " B\n";
+               << cached_bytes << " B\n";
         }
         os.flush();
     }
@@ -364,6 +394,10 @@ class HoardAllocator final : public Allocator
     bool
     check_invariants()
     {
+        // Settle pending remote frees first: they have left the in_use
+        // gauge but not yet the owning heap's u_i, and the emptiness
+        // invariant is only enforced when the owner visits its lock.
+        drain_all_remote();
         for (auto& heap : heaps_)
             check_heap(*heap);
         return true;
@@ -411,8 +445,26 @@ class HoardAllocator final : public Allocator
             }
         }
 
-        // Phase 2: copy the gauges, then walk — allocation-free.
-        snap.cached_bytes = stats_.cached_bytes.current();
+        // Phase 2a: settle the remote-free queues (drain-and-
+        // attribute).  Those frees already left the in_use gauge at
+        // deallocate() time but not yet the owning heap's u_i;
+        // draining before the gauge copy is what keeps quiesced
+        // reconciliation byte-exact with remote queues in play.
+        snap.remote_drained_blocks = drain_all_remote();
+
+        // Phase 2b: thread-cache occupancy, summed from the magazine
+        // nodes themselves.  The global cached-bytes gauge is synced
+        // only at batch boundaries and may lag by a partial batch; the
+        // per-node occupancy is exact whenever the owners are idle.
+        if (magazine_id_ != 0) {
+            std::lock_guard<typename Policy::Mutex> guard(cache_mutex_);
+            for (detail::MagazineNode* node = cache_nodes_;
+                 node != nullptr; node = node->next_in_set)
+                snap.cached_bytes += node->occupancy_bytes.load(
+                    std::memory_order_relaxed);
+        }
+
+        // Phase 2c: copy the gauges, then walk — allocation-free.
         snap.stats.allocs = stats_.allocs.get();
         snap.stats.frees = stats_.frees.get();
         snap.stats.in_use_bytes = stats_.in_use_bytes.current();
@@ -426,6 +478,10 @@ class HoardAllocator final : public Allocator
         snap.stats.huge_allocs = stats_.huge_allocs.get();
         snap.stats.oom_reclaims = stats_.oom_reclaims.get();
         snap.stats.oom_failures = stats_.oom_failures.get();
+        snap.stats.remote_frees = stats_.remote_frees.get();
+        snap.stats.remote_drains = stats_.remote_drains.get();
+        snap.stats.batch_refills = stats_.batch_refills.get();
+        snap.stats.batch_flushes = stats_.batch_flushes.get();
         for (std::size_t i = 0; i < heaps_.size(); ++i)
             fill_heap_snapshot(*heaps_[i], snap.heaps[i]);
         {
@@ -498,26 +554,6 @@ class HoardAllocator final : public Allocator
     /// @}
 
   private:
-    /** One per-thread-slot block cache (extension, see Config). */
-    struct ThreadCacheSlot
-    {
-        explicit ThreadCacheSlot(std::size_t num_classes)
-            : lists(num_classes)
-        {}
-
-        struct ClassList
-        {
-            void* head = nullptr;     ///< LIFO threaded through blocks
-            std::uint32_t count = 0;
-        };
-
-        typename Policy::Mutex mutex;
-        std::vector<ClassList> lists;
-        /// Slots are written by one thread at a time; keep them off
-        /// each other's cache lines.
-        char pad[detail::kCacheLineBytes] = {};
-    };
-
     static const Config&
     validated(const Config& config)
     {
@@ -525,66 +561,446 @@ class HoardAllocator final : public Allocator
         return config;
     }
 
-    ThreadCacheSlot&
-    my_cache()
+    /// @name Thread-local magazines (extension; layout in magazine.h).
+    /// @{
+
+    /**
+     * The calling logical thread's magazine node for this allocator,
+     * or nullptr when caching is disabled or malloc refused the
+     * metadata (the caller then falls through to the locked path).
+     * The fast path is one TLS-slot read plus a short chain walk kept
+     * effectively O(1) by move-to-front: a thread touching one
+     * allocator — the common case — matches on the first node.
+     */
+    detail::MagazineNode*
+    my_magazines()
     {
-        auto idx = static_cast<std::size_t>(Policy::thread_index()) %
-                   caches_.size();
-        return *caches_[idx];
+        if (magazine_id_ == 0)
+            return nullptr;
+        void*& slot = Policy::thread_cache_slot();
+        auto* root = static_cast<detail::MagazineRoot*>(slot);
+        if (root == nullptr) {
+            root = detail::magazine_root_new();
+            if (root == nullptr)
+                return nullptr;
+            slot = root;
+        }
+        detail::MagazineNode* prev = nullptr;
+        for (detail::MagazineNode* node = root->nodes; node != nullptr;
+             prev = node, node = node->next_in_thread) {
+            if (node->allocator_id != magazine_id_)
+                continue;
+            if (prev != nullptr) {  // move-to-front
+                prev->next_in_thread = node->next_in_thread;
+                node->next_in_thread = root->nodes;
+                root->nodes = node;
+            }
+            return node;
+        }
+        return register_thread_node(root);
     }
 
-    /** Pops a cached block of @p cls, or nullptr. */
-    void*
-    cache_pop(int cls)
+    /** Cold path of my_magazines(): creates and links this thread's
+        node for this allocator (thread chain + allocator set). */
+    detail::MagazineNode*
+    register_thread_node(detail::MagazineRoot* root)
     {
-        ThreadCacheSlot& slot = my_cache();
-        std::lock_guard<typename Policy::Mutex> guard(slot.mutex);
-        auto& list = slot.lists[static_cast<std::size_t>(cls)];
-        if (list.head == nullptr)
+        detail::MagazineNode* node = detail::magazine_node_new(
+            static_cast<std::uint32_t>(classes_.count()));
+        if (node == nullptr)
             return nullptr;
-        void* block = list.head;
+        node->allocator = this;
+        node->allocator_id = magazine_id_;
+        node->flush_fn = &HoardAllocator::exit_flush_node;
+        node->next_in_thread = root->nodes;
+        root->nodes = node;
+        {
+            std::lock_guard<typename Policy::Mutex> guard(cache_mutex_);
+            node->next_in_set = cache_nodes_;
+            cache_nodes_ = node;
+        }
+        return node;
+    }
+
+    /** node->flush_fn target: a thread's exit hook flushing its node
+        back into this (registry-pinned, still live) allocator. */
+    static void
+    exit_flush_node(void* allocator, detail::MagazineNode* node)
+    {
+        auto* self = static_cast<HoardAllocator*>(allocator);
+        std::lock_guard<typename Policy::Mutex> guard(
+            self->cache_mutex_);
+        self->unlink_node_locked(node);
+        self->flush_node_locked(node);
+    }
+
+    /**
+     * Pops a block from the calling thread's magazine: two pointer
+     * moves and one relaxed occupancy update — no lock, no shared-
+     * gauge write.  An empty magazine refills one batch under a single
+     * heap-lock acquisition; nullptr means the OS refused memory and
+     * the caller takes the reclaiming slow path.
+     */
+    void*
+    magazine_pop(detail::MagazineNode* node, int cls)
+    {
+        auto& mag = node->mags[static_cast<std::size_t>(cls)];
+        if (mag.head != nullptr) {
+            if (tracing()) {
+                record_event(obs::EventKind::cache_hit,
+                             my_heap_index(), cls,
+                             classes_.block_size(cls));
+            }
+        } else {
+            if (tracing()) {
+                record_event(obs::EventKind::cache_miss,
+                             my_heap_index(), cls,
+                             classes_.block_size(cls));
+            }
+            if (refill_magazine(node, cls) == 0)
+                return nullptr;
+        }
+        void* block = mag.head;
         Policy::touch(block, sizeof(void*), false);
-        list.head = *static_cast<void**>(block);
-        --list.count;
-        stats_.cached_bytes.sub(classes_.block_size(cls));
+        mag.head = *static_cast<void**>(block);
+        --mag.count;
+        node->occupancy_bytes.fetch_sub(classes_.block_size(cls),
+                                        std::memory_order_relaxed);
         return block;
     }
 
     /**
-     * Parks the (whole, free) block containing @p p in the caller's
-     * cache; on overflow, spills half the class list to the heaps.
-     * Returns false when caching is a loss (never, currently).
+     * Parks the (whole, free) block containing @p p in the calling
+     * thread's magazine; a full magazine first spills one batch back
+     * to the owning heaps through the bulk-return path.
      */
-    bool
-    cache_push(Superblock* sb, void* p)
+    void
+    magazine_push(detail::MagazineNode* node, Superblock* sb, void* p)
     {
         void* block = sb->block_start(p);
         int cls = sb->size_class();
-        const std::size_t block_bytes = sb->block_bytes();
+        auto& mag = node->mags[static_cast<std::size_t>(cls)];
+        if (mag.count >= config_.thread_cache_blocks)
+            spill_magazine(node, cls);
+        Policy::touch(block, sizeof(void*), true);
+        *static_cast<void**>(block) = mag.head;
+        mag.head = block;
+        ++mag.count;
+        node->occupancy_bytes.fetch_add(sb->block_bytes(),
+                                        std::memory_order_relaxed);
+    }
 
-        ThreadCacheSlot& slot = my_cache();
-        std::lock_guard<typename Policy::Mutex> guard(slot.mutex);
-        auto& list = slot.lists[static_cast<std::size_t>(cls)];
-        if (list.count >= config_.thread_cache_blocks) {
-            // Spill the older half back to the owning heaps.
-            std::uint32_t spill = list.count / 2 + 1;
-            for (std::uint32_t i = 0; i < spill; ++i) {
-                void* victim = list.head;
-                list.head = *static_cast<void**>(victim);
-                --list.count;
-                Superblock* vsb = Superblock::from_pointer(
-                    victim, config_.superblock_bytes);
-                stats_.cached_bytes.sub(vsb->block_bytes());
-                free_block(vsb, victim);
+    /**
+     * Refills @p node's magazine of @p cls with one batch carved under
+     * a single acquisition of the caller's heap lock — N blocks per
+     * lock round trip instead of one.  Pending remote frees are
+     * settled first (the owner is visiting its lock anyway, so the
+     * drain costs no extra acquisition); the emptiness invariant is
+     * enforced after the carve if the drain moved anything.  Returns
+     * the number of blocks parked; 0 means the OS refused memory.
+     */
+    std::uint32_t
+    refill_magazine(detail::MagazineNode* node, int cls)
+    {
+        const std::size_t block_bytes = classes_.block_size(cls);
+        Heap& heap = my_heap();
+        heap.mutex.lock();
+        std::size_t drained = drain_remote_locked(heap);
+        void* chain = nullptr;
+        std::uint32_t got = 0;
+        while (got < batch_blocks_) {
+            int probes = 0;
+            Superblock* sb = heap.find_allocatable(cls, &probes);
+            for (int i = 0; i < probes; ++i)
+                Policy::work(CostKind::list_op);
+            if (sb == nullptr) {
+                sb = fetch_from_global(cls, heap);
+                if (sb == nullptr) {
+                    if (got > 0)
+                        break;  // have blocks; don't map just to top up
+                    sb = fresh_superblock(cls);
+                    if (sb == nullptr)
+                        break;  // OS exhausted; caller reclaims
+                    adopt(heap, sb);
+                    record_event(obs::EventKind::class_refill,
+                                 heap.index, cls, sb->span_bytes());
+                }
+            }
+            int old_group = sb->fullness_group();
+            Policy::touch(sb, sizeof(Superblock), true);
+            std::uint32_t n =
+                sb->allocate_batch(batch_blocks_ - got, &chain);
+            heap.relink(sb, old_group);
+            for (std::uint32_t i = 0; i < n; ++i)
+                Policy::work(CostKind::list_op);
+            got += n;
+        }
+        heap.in_use += static_cast<std::size_t>(got) * block_bytes;
+        if (drained > 0)
+            maybe_release_superblock(heap);
+        heap.mutex.unlock();
+        if (got == 0)
+            return 0;
+        auto& mag = node->mags[static_cast<std::size_t>(cls)];
+        HOARD_DCHECK(mag.head == nullptr && mag.count == 0);
+        mag.head = chain;
+        mag.count = got;
+        node->occupancy_bytes.fetch_add(
+            static_cast<std::size_t>(got) * block_bytes,
+            std::memory_order_relaxed);
+        sync_node_gauge(node);
+        stats_.batch_refills.add();
+        record_event(obs::EventKind::batch_refill, heap.index, cls,
+                     static_cast<std::uint64_t>(got) * block_bytes);
+        return got;
+    }
+
+    /**
+     * Spills one batch (the most recently freed blocks) from @p
+     * node's magazine of @p cls back to the owning heaps via the
+     * bulk-return path: one gauge sync and one stats bump for the
+     * whole batch.
+     */
+    void
+    spill_magazine(detail::MagazineNode* node, int cls)
+    {
+        auto& mag = node->mags[static_cast<std::size_t>(cls)];
+        std::uint32_t n = std::min(batch_blocks_, mag.count);
+        if (n == 0)
+            return;
+        void* chain = mag.head;
+        void* tail = chain;
+        for (std::uint32_t i = 1; i < n; ++i) {
+            Policy::touch(tail, sizeof(void*), false);
+            tail = *static_cast<void**>(tail);
+        }
+        mag.head = *static_cast<void**>(tail);
+        *static_cast<void**>(tail) = nullptr;
+        mag.count -= n;
+        node->occupancy_bytes.fetch_sub(
+            static_cast<std::size_t>(n) * classes_.block_size(cls),
+            std::memory_order_relaxed);
+        sync_node_gauge(node);
+        stats_.batch_flushes.add();
+        record_event(obs::EventKind::batch_flush, my_heap_index(), cls,
+                     static_cast<std::uint64_t>(n) *
+                         classes_.block_size(cls));
+        return_chain(chain);
+    }
+
+    /**
+     * Empties every magazine of @p node back to the owning heaps and
+     * settles the node's share of the cached-bytes gauge.  Caller
+     * holds cache_mutex_ and guarantees the node's owner is not
+     * concurrently on its fast path (exit hook, quiesced flush, or
+     * the owner itself).
+     */
+    void
+    flush_node_locked(detail::MagazineNode* node)
+    {
+        void* chain = nullptr;
+        std::uint64_t blocks = 0;
+        std::size_t bytes = 0;
+        for (std::uint32_t cls = 0; cls < node->num_classes; ++cls) {
+            auto& mag = node->mags[cls];
+            blocks += mag.count;
+            bytes += static_cast<std::size_t>(mag.count) *
+                     classes_.block_size(static_cast<int>(cls));
+            while (mag.head != nullptr) {
+                void* block = mag.head;
+                mag.head = *static_cast<void**>(block);
+                *static_cast<void**>(block) = chain;
+                chain = block;
+            }
+            mag.count = 0;
+        }
+        node->occupancy_bytes.fetch_sub(bytes,
+                                        std::memory_order_relaxed);
+        sync_node_gauge(node);
+        if (blocks != 0) {
+            stats_.batch_flushes.add();
+            record_event(obs::EventKind::batch_flush, 0, -1, bytes);
+            return_chain(chain);
+        }
+    }
+
+    /** Removes @p node from this allocator's set list.  Caller holds
+        cache_mutex_. */
+    void
+    unlink_node_locked(detail::MagazineNode* node)
+    {
+        for (detail::MagazineNode** p = &cache_nodes_; *p != nullptr;
+             p = &(*p)->next_in_set) {
+            if (*p == node) {
+                *p = node->next_in_set;
+                node->next_in_set = nullptr;
+                return;
             }
         }
-        Policy::touch(block, sizeof(void*), true);
-        *static_cast<void**>(block) = list.head;
-        list.head = block;
-        ++list.count;
-        stats_.cached_bytes.add(block_bytes);
-        return true;
     }
+
+    /**
+     * Brings the global cached-bytes gauge in line with @p node's
+     * exact occupancy — the only place the gauge is written, so batch
+     * boundaries are the only fast-path writes to shared statistics.
+     * Caller is the node's owner at a batch boundary, or a flusher
+     * holding cache_mutex_ with the owner quiesced.
+     */
+    void
+    sync_node_gauge(detail::MagazineNode* node)
+    {
+        std::size_t occ =
+            node->occupancy_bytes.load(std::memory_order_relaxed);
+        if (occ > node->synced_bytes)
+            stats_.cached_bytes.add(occ - node->synced_bytes);
+        else if (occ < node->synced_bytes)
+            stats_.cached_bytes.sub(node->synced_bytes - occ);
+        node->synced_bytes = occ;
+    }
+
+    /// @}
+
+    /// @name Remote-free queues and bulk block return.
+    /// @{
+
+    /**
+     * Returns a chain of free blocks (threaded through first words,
+     * any mix of classes) to their owning heaps.  Consecutive blocks
+     * of one heap reuse a single lock acquisition — the batched flush
+     * that replaces a one-lock-per-victim spill loop.  A busy owner is
+     * never waited on: the block goes to its lock-free remote queue
+     * instead.  Each heap is settled (remote drain plus invariant
+     * enforcement) once, as its lock is released.
+     */
+    void
+    return_chain(void* chain)
+    {
+        Heap* locked = nullptr;
+        while (chain != nullptr) {
+            void* block = chain;
+            Policy::touch(block, sizeof(void*), false);
+            chain = *static_cast<void**>(block);
+            Superblock* sb = Superblock::from_pointer(
+                block, config_.superblock_bytes);
+            for (;;) {
+                Heap* owner = static_cast<Heap*>(sb->owner());
+                if (owner == locked) {
+                    // Stable: transfers require the lock we hold.
+                    free_into_heap_locked(*locked, sb, block);
+                    Policy::work(CostKind::list_op);
+                    break;
+                }
+                if (locked != nullptr) {
+                    settle_and_unlock(*locked);
+                    locked = nullptr;
+                }
+                if (owner->mutex.is_locked_hint()) {
+                    remote_free(*owner, sb, block);
+                    break;
+                }
+                owner->mutex.lock();
+                if (static_cast<Heap*>(sb->owner()) == owner) {
+                    locked = owner;
+                    continue;
+                }
+                owner->mutex.unlock();
+                continue;  // raced an ownership change; retry
+            }
+        }
+        if (locked != nullptr)
+            settle_and_unlock(*locked);
+    }
+
+    /** Lock-free handoff of a (whole, free) block to busy @p owner's
+        remote queue (Treiber push; the owner settles it later). */
+    void
+    remote_free(Heap& owner, Superblock* sb, void* block)
+    {
+        Policy::touch(block, sizeof(void*), true);
+        owner.remote_push(block);
+        Policy::work(CostKind::list_op);
+        stats_.remote_frees.add();
+        record_event(obs::EventKind::remote_free, owner.index,
+                     sb->size_class(), sb->block_bytes());
+    }
+
+    /**
+     * Settles every block pending on @p heap's remote queue; the
+     * caller holds the lock.  A block whose superblock changed owner
+     * while queued is re-routed (lock-free) to the current owner's
+     * queue.  Returns the number of blocks settled here.
+     */
+    std::size_t
+    drain_remote_locked(Heap& heap)
+    {
+        if (!heap.remote_pending())
+            return 0;
+        void* chain = heap.remote_drain();
+        std::size_t drained = 0;
+        while (chain != nullptr) {
+            void* block = chain;
+            Policy::touch(block, sizeof(void*), false);
+            chain = *static_cast<void**>(block);
+            Superblock* sb = Superblock::from_pointer(
+                block, config_.superblock_bytes);
+            if (static_cast<Heap*>(sb->owner()) != &heap) {
+                static_cast<Heap*>(sb->owner())->remote_push(block);
+                continue;
+            }
+            free_into_heap_locked(heap, sb, block);
+            Policy::work(CostKind::list_op);
+            ++drained;
+        }
+        if (drained != 0)
+            stats_.remote_drains.add(drained);
+        return drained;
+    }
+
+    /**
+     * Drains every heap's remote queue, enforcing the emptiness
+     * invariant on each per-processor heap it settles.  Per-processor
+     * heaps first, the global heap last: on a quiesced allocator the
+     * only re-routes a drain can generate point at the global heap
+     * (the drain's own enforcement is the only thing moving ownership
+     * and it only moves superblocks global-ward), so this order leaves
+     * every queue empty.  Returns the total blocks settled.
+     */
+    std::uint64_t
+    drain_all_remote()
+    {
+        std::uint64_t drained = 0;
+        for (std::size_t i = 1; i < heaps_.size(); ++i)
+            drained += drain_heap_remote(*heaps_[i]);
+        drained += drain_heap_remote(*heaps_[0]);
+        return drained;
+    }
+
+    /** One heap's share of drain_all_remote(); takes the heap lock
+        only when the cheap pending probe says there is work. */
+    std::uint64_t
+    drain_heap_remote(Heap& heap)
+    {
+        if (!heap.remote_pending())
+            return 0;
+        std::lock_guard<typename Heap::Mutex> guard(heap.mutex);
+        std::size_t n = drain_remote_locked(heap);
+        if (heap.index != 0 && n != 0)
+            maybe_release_superblock(heap);
+        return n;
+    }
+
+    /** Drains pending remote frees, enforces the emptiness invariant,
+        and releases @p heap's lock. */
+    void
+    settle_and_unlock(Heap& heap)
+    {
+        drain_remote_locked(heap);
+        if (heap.index != 0)
+            maybe_release_superblock(heap);
+        heap.mutex.unlock();
+    }
+
+    /// @}
 
     /**
      * True when events should be recorded.  A constant false when
@@ -668,12 +1084,25 @@ class HoardAllocator final : public Allocator
     take_sample(std::uint64_t now)
     {
         if constexpr (Policy::kObsEnabled) {
+            // Drain-and-attribute, like take_snapshot(): settle pending
+            // remote frees so per-heap u_i matches the gauges, and sum
+            // cached bytes from the magazine nodes (the global gauge
+            // lags by up to a partial batch per thread).
+            drain_all_remote();
+            std::uint64_t cached = 0;
+            if (magazine_id_ != 0) {
+                std::lock_guard<typename Policy::Mutex> guard(
+                    cache_mutex_);
+                for (detail::MagazineNode* node = cache_nodes_;
+                     node != nullptr; node = node->next_in_set)
+                    cached += node->occupancy_bytes.load(
+                        std::memory_order_relaxed);
+            }
             obs::TimeSeriesSampler::Writer writer =
                 sampler_->begin_sample(now);
             writer.set_gauges(stats_.in_use_bytes.current(),
                               stats_.held_bytes.current(),
-                              stats_.os_bytes.current(),
-                              stats_.cached_bytes.current());
+                              stats_.os_bytes.current(), cached);
             writer.set_counters(stats_.allocs.get(), stats_.frees.get(),
                                 stats_.superblock_transfers.get(),
                                 stats_.global_fetches.get());
@@ -794,45 +1223,62 @@ class HoardAllocator final : public Allocator
         return block;
     }
 
-    /** free path for a non-huge block (paper Figure 3). */
+    /**
+     * free path for a non-huge block (paper Figure 3, with the remote
+     * queue replacing the paper's blocking lock).  The owner may change
+     * between the read and the lock (another thread can transfer the
+     * superblock), so re-check under the lock and retry on a mismatch
+     * (paper §3.4).  An owner observed *busy* (is_locked_hint, a
+     * relaxed probe — cheaper than a failed try_lock) is not waited
+     * on: the block goes to its lock-free remote queue and the owner
+     * settles it at its next lock visit.
+     */
     void
     free_block(Superblock* sb, void* p)
     {
-        const std::size_t block_bytes = sb->block_bytes();
-
-        // Lock the owning heap; the owner may change while we wait
-        // (another thread can transfer the superblock), so re-check and
-        // retry until the lock we hold matches the owner (paper §3.4).
-        Heap* heap;
+        void* block = sb->block_start(p);
         for (;;) {
-            heap = static_cast<Heap*>(sb->owner());
-            heap->mutex.lock();
-            if (static_cast<Heap*>(sb->owner()) == heap)
-                break;
-            heap->mutex.unlock();
-        }
-
-        int old_group = sb->fullness_group();
-        Policy::touch(p, sizeof(void*), true);
-        Policy::touch(sb, sizeof(Superblock), true);
-        sb->deallocate(p);
-        heap->in_use -= block_bytes;
-        heap->relink(sb, old_group);
-        Policy::work(CostKind::list_op);
-
-        if (heap->index == 0) {
-            // Global heap: recycle fully-empty superblocks across
-            // classes instead of enforcing the emptiness invariant.
-            if (sb->empty()) {
-                heap->unlink(sb, sb->fullness_group());
-                retire_empty_locked(*heap, sb);
+            Heap* heap = static_cast<Heap*>(sb->owner());
+            if (heap->mutex.is_locked_hint()) {
+                remote_free(*heap, sb, block);
+                return;
             }
-            heap->mutex.unlock();
+            // The hint can go stale before the acquire; then we block
+            // briefly (the paper's behavior), which is still correct.
+            heap->mutex.lock();
+            if (static_cast<Heap*>(sb->owner()) != heap) {
+                heap->mutex.unlock();
+                continue;
+            }
+            free_into_heap_locked(*heap, sb, block);
+            Policy::work(CostKind::list_op);
+            settle_and_unlock(*heap);
             return;
         }
+    }
 
-        maybe_release_superblock(*heap);
-        heap->mutex.unlock();
+    /**
+     * Lands one (whole) free block in @p heap, which owns @p sb and
+     * whose lock the caller holds: superblock bookkeeping, u_i, and the
+     * global heap's empty-superblock recycling.  Invariant enforcement
+     * is the caller's job (settle_and_unlock / drain paths), so chains
+     * can land many blocks per enforcement pass.
+     */
+    void
+    free_into_heap_locked(Heap& heap, Superblock* sb, void* block)
+    {
+        int old_group = sb->fullness_group();
+        Policy::touch(block, sizeof(void*), true);
+        Policy::touch(sb, sizeof(Superblock), true);
+        sb->deallocate_block(block);
+        heap.in_use -= sb->block_bytes();
+        heap.relink(sb, old_group);
+        if (heap.index == 0 && sb->empty()) {
+            // Global heap: recycle fully-empty superblocks across
+            // classes instead of enforcing the emptiness invariant.
+            heap.unlink(sb, sb->fullness_group());
+            retire_empty_locked(heap, sb);
+        }
     }
 
     /**
@@ -1152,7 +1598,12 @@ class HoardAllocator final : public Allocator
     os::PageProvider& provider_;
     SizeClasses classes_;
     std::vector<std::unique_ptr<Heap>> heaps_;
-    std::vector<std::unique_ptr<ThreadCacheSlot>> caches_;
+    /// Guards cache_nodes_ and serializes magazine flushes against each
+    /// other (never against the owners' lock-free fast paths).
+    typename Policy::Mutex cache_mutex_;
+    detail::MagazineNode* cache_nodes_ = nullptr;
+    std::uint64_t magazine_id_ = 0;   ///< 0 = caching disabled
+    std::uint32_t batch_blocks_ = 1;  ///< N of the batched fast path
     typename Policy::Mutex huge_mutex_;
     SuperblockList huge_list_;
     detail::AllocatorStats stats_;

@@ -1,0 +1,162 @@
+#include "core/magazine.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+
+namespace hoard {
+namespace detail {
+
+namespace {
+
+/** One live-allocator record; malloc'd, freed on unregister. */
+struct LiveRec
+{
+    std::uint64_t id;
+    std::uint32_t busy;  ///< exit flushes currently inside flush_fn
+    LiveRec* next;
+};
+
+/**
+ * Registry state.  The mutex and condition variable are leaked-immortal
+ * (function-local statics, never destroyed) so exit hooks running
+ * during process teardown — thread_local destructors can outlive every
+ * other static — always find them alive.
+ *
+ * Critical sections under this mutex are pointer-ops only: a flush_fn
+ * call takes policy mutexes, and under SimPolicy a policy mutex can
+ * suspend the calling fiber.  Suspending while holding this process
+ * mutex would let a second exiting fiber block the one OS thread the
+ * whole simulation runs on — so liveness is instead a busy refcount:
+ * the hook pins the record, drops the mutex, flushes, then unpins.
+ */
+std::mutex&
+registry_mutex()
+{
+    static std::mutex* m = new std::mutex;
+    return *m;
+}
+
+std::condition_variable&
+registry_cv()
+{
+    static std::condition_variable* cv = new std::condition_variable;
+    return *cv;
+}
+
+LiveRec* g_live = nullptr;
+std::uint64_t g_next_id = 1;
+
+LiveRec*
+find_locked(std::uint64_t id)
+{
+    for (LiveRec* r = g_live; r != nullptr; r = r->next) {
+        if (r->id == id)
+            return r;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+MagazineNode*
+magazine_node_new(std::uint32_t num_classes)
+{
+    // One chunk: node header followed by the magazine array.  Plain
+    // malloc, not operator new — see the header's memory discipline.
+    std::size_t bytes = sizeof(MagazineNode) +
+                        static_cast<std::size_t>(num_classes) *
+                            sizeof(MagazineNode::Magazine);
+    void* mem = std::malloc(bytes);
+    if (mem == nullptr)
+        return nullptr;
+    auto* node = new (mem) MagazineNode();
+    node->num_classes = num_classes;
+    node->mags = reinterpret_cast<MagazineNode::Magazine*>(node + 1);
+    for (std::uint32_t i = 0; i < num_classes; ++i)
+        new (&node->mags[i]) MagazineNode::Magazine();
+    return node;
+}
+
+MagazineRoot*
+magazine_root_new()
+{
+    void* mem = std::malloc(sizeof(MagazineRoot));
+    if (mem == nullptr)
+        return nullptr;
+    return new (mem) MagazineRoot();
+}
+
+std::uint64_t
+magazine_register_allocator()
+{
+    auto* rec = static_cast<LiveRec*>(std::malloc(sizeof(LiveRec)));
+    if (rec == nullptr)
+        return 0;  // caller treats 0 as "caching unavailable"
+    std::lock_guard<std::mutex> guard(registry_mutex());
+    rec->id = g_next_id++;
+    rec->busy = 0;
+    rec->next = g_live;
+    g_live = rec;
+    return rec->id;
+}
+
+void
+magazine_unregister_allocator(std::uint64_t id)
+{
+    if (id == 0)
+        return;
+    std::unique_lock<std::mutex> lock(registry_mutex());
+    for (LiveRec** p = &g_live; *p != nullptr; p = &(*p)->next) {
+        if ((*p)->id == id) {
+            LiveRec* dead = *p;
+            *p = dead->next;
+            // Unlinked: no new exit flush can pin this allocator.  An
+            // exit flush already inside flush_fn still holds a pin;
+            // wait it out before letting the destructor proceed.
+            registry_cv().wait(lock,
+                               [dead] { return dead->busy == 0; });
+            std::free(dead);
+            return;
+        }
+    }
+}
+
+void
+magazine_thread_exit(void* root_ptr)
+{
+    if (root_ptr == nullptr)
+        return;
+    auto* root = static_cast<MagazineRoot*>(root_ptr);
+    for (MagazineNode* node = root->nodes; node != nullptr;
+         node = node->next_in_thread) {
+        if (node->flush_fn == nullptr)
+            continue;
+        LiveRec* rec;
+        {
+            std::lock_guard<std::mutex> guard(registry_mutex());
+            rec = find_locked(node->allocator_id);
+            if (rec == nullptr)
+                continue;  // allocator already destroyed; just free
+            ++rec->busy;
+        }
+        // The pin (busy > 0) is what keeps `node->allocator` alive
+        // here: a racing destructor waits in unregister until it drops.
+        node->flush_fn(node->allocator, node);
+        {
+            std::lock_guard<std::mutex> guard(registry_mutex());
+            --rec->busy;
+        }
+        registry_cv().notify_all();
+    }
+    MagazineNode* node = root->nodes;
+    while (node != nullptr) {
+        MagazineNode* next = node->next_in_thread;
+        std::free(node);
+        node = next;
+    }
+    std::free(root);
+}
+
+}  // namespace detail
+}  // namespace hoard

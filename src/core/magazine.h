@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Thread-local magazine plumbing shared by every HoardAllocator
+ * instantiation: the per-(thread, allocator) magazine node, the
+ * per-logical-thread node chain, and the process-wide liveness
+ * registry that lets a thread-exit hook tell a live allocator from a
+ * destroyed one.
+ *
+ * Why this is not simply a `thread_local` member: the allocator is a
+ * template over the execution policy, and under SimPolicy the logical
+ * "thread" is a fiber — many fibers share one OS thread, so C++
+ * thread_local is the wrong key.  The policy instead hands out one
+ * opaque per-logical-thread pointer slot (Policy::thread_cache_slot);
+ * this module defines what hangs off it.  The node layout is
+ * deliberately policy-free so every allocator instantiation (native,
+ * sim, the uninstrumented bench policy) shares one chain format and
+ * one exit hook.
+ *
+ * Memory discipline: nodes and roots are std::malloc'd, never operator
+ * new'd — in whole-process deployments (global_new.h) operator new is
+ * the allocator under construction, and registering a magazine from
+ * inside allocate() must not recurse into it.  A node is freed only by
+ * its owning thread's exit hook; other threads may empty a node's
+ * lists (quiesced flush) but never free it, so the fast path needs no
+ * lifetime synchronization.
+ *
+ * Lock order (the only multi-lock paths in the allocator):
+ *   allocator cache-set mutex -> heap locks -> global-heap lock.
+ * The liveness-registry mutex nests inside nothing and guards nothing
+ * that suspends: exit hooks pin an allocator with a busy refcount and
+ * drop the registry mutex *before* calling into it, because under
+ * SimPolicy a policy mutex can suspend the calling fiber and parking a
+ * process-wide std::mutex across that would deadlock the one OS thread
+ * the simulation runs on.
+ */
+
+#ifndef HOARD_CORE_MAGAZINE_H_
+#define HOARD_CORE_MAGAZINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace hoard {
+namespace detail {
+
+/**
+ * One thread's magazines for one allocator instance: a bounded LIFO of
+ * whole free blocks per size class, threaded through block first words
+ * (the same chain format Superblock::allocate_batch builds and
+ * HoardHeap::remote_push consumes, so batches move by splice).
+ *
+ * Single-writer: only the owning logical thread touches `mags` and
+ * `synced_bytes` on the fast path.  `occupancy_bytes` is the one field
+ * other threads read (snapshot/sampler cached-bytes attribution); it is
+ * updated per operation with relaxed stores and is exact whenever the
+ * owner is quiesced.  The global cached_bytes gauge is synced to it
+ * only at batch boundaries — that is the "statistics move to batch
+ * boundaries" half of the fast path.
+ */
+struct MagazineNode
+{
+    struct Magazine
+    {
+        void* head = nullptr;      ///< LIFO threaded through blocks
+        std::uint32_t count = 0;
+    };
+
+    /** Owning allocator; valid only while `allocator_id` is live. */
+    void* allocator = nullptr;
+
+    /** Monotonic allocator identity — never reused, so a stale node
+        can never be mistaken for a new allocator at the same address. */
+    std::uint64_t allocator_id = 0;
+
+    /**
+     * Flushes this node's blocks back into `allocator` and unlinks the
+     * node from the allocator's set list.  Installed by the owning
+     * HoardAllocator instantiation; called by the thread-exit hook with
+     * the allocator pinned in the liveness registry (busy refcount —
+     * which is what keeps `allocator` alive across the call).
+     */
+    void (*flush_fn)(void* allocator, MagazineNode* node) = nullptr;
+
+    MagazineNode* next_in_thread = nullptr;  ///< per-thread root chain
+    MagazineNode* next_in_set = nullptr;     ///< per-allocator chain
+
+    /** Exact bytes parked across all classes (relaxed; see above). */
+    std::atomic<std::size_t> occupancy_bytes{0};
+
+    /** Portion already reflected in the global cached_bytes gauge.
+        Touched only at batch boundaries, by the owner (or a quiesced
+        flusher). */
+    std::size_t synced_bytes = 0;
+
+    std::uint32_t num_classes = 0;
+
+    /** Per-class magazines; points into this node's own allocation. */
+    Magazine* mags = nullptr;
+};
+
+/** What a logical thread's cache slot points at: its node chain. */
+struct MagazineRoot
+{
+    MagazineNode* nodes = nullptr;
+};
+
+/** mallocs a node with space for @p num_classes magazines (zeroed);
+    returns nullptr on malloc failure (caching then silently degrades
+    to the uncached path for this thread). */
+MagazineNode* magazine_node_new(std::uint32_t num_classes);
+
+/** mallocs an empty root, or nullptr. */
+MagazineRoot* magazine_root_new();
+
+/// @name Allocator liveness registry.
+/// Serializes thread-exit flushes against allocator destruction: the
+/// exit hook flushes a node only while its allocator's id is still
+/// registered (pinning it with a busy refcount for the duration), and
+/// unregistering blocks until no exit flush holds a pin.  Do not
+/// destroy an allocator *from a sim fiber* while another fiber of the
+/// same machine may be exiting with blocks cached — the waiting
+/// destructor would park the machine's only OS thread.
+/// @{
+
+/** Registers a new allocator; returns its fresh nonzero id. */
+std::uint64_t magazine_register_allocator();
+
+/** Unregisters @p id; after return no exit hook will flush into it. */
+void magazine_unregister_allocator(std::uint64_t id);
+
+/// @}
+
+/**
+ * The thread-exit hook both execution policies invoke with a thread's
+ * non-null cache slot: flushes every node whose allocator is still
+ * live (via node->flush_fn, under the registry mutex), then frees the
+ * nodes and the root.  Signature matches
+ * Policy::set_thread_exit_hook.
+ */
+void magazine_thread_exit(void* root);
+
+}  // namespace detail
+}  // namespace hoard
+
+#endif  // HOARD_CORE_MAGAZINE_H_

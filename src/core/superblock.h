@@ -137,13 +137,55 @@ class Superblock
     }
 
     /**
+     * Carves up to @p n free blocks in one pass, pushing each onto the
+     * LIFO chain at @p *head (threaded through block first words — the
+     * same format the thread magazines and remote-free stacks use, so
+     * a batch moves between the three by pointer splice alone).
+     * Returns the number carved; fewer than @p n only when the
+     * superblock filled up.  Caller holds the owning heap's lock and
+     * settles heap.in_use for the whole batch at once.
+     */
+    std::uint32_t
+    allocate_batch(std::uint32_t n, void** head)
+    {
+        std::uint32_t got = 0;
+        while (got < n && used_ < capacity_) {
+            void* block;
+            if (free_list_ != nullptr) {
+                block = free_list_;
+                free_list_ = *static_cast<void**>(block);
+            } else {
+                block = payload_begin() +
+                        static_cast<std::size_t>(bump_) * block_bytes_;
+                ++bump_;
+            }
+            ++used_;
+            *static_cast<void**>(block) = *head;
+            *head = block;
+            ++got;
+        }
+        return got;
+    }
+
+    /**
      * Returns a block.  @p p may point anywhere inside the block (the
      * aligned-allocation path hands out interior pointers).
      */
     void
     deallocate(void* p)
     {
-        void* block = block_start(p);
+        deallocate_block(block_start(p));
+    }
+
+    /**
+     * Returns a block already normalized to its start, skipping the
+     * block_start() division — the free fast path and the bulk-return
+     * chains only ever carry block starts.
+     */
+    void
+    deallocate_block(void* block)
+    {
+        HOARD_DCHECK(block == block_start(block));
         HOARD_DCHECK(used_ > 0);
         *static_cast<void**>(block) = free_list_;
         free_list_ = block;

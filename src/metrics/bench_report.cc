@@ -157,6 +157,9 @@ BenchReport::to_json() const
         config.set("thread_cache_blocks",
                    JsonValue::make_number(static_cast<double>(
                        config_.thread_cache_blocks)));
+        config.set("thread_cache_batch",
+                   JsonValue::make_number(static_cast<double>(
+                       config_.thread_cache_batch)));
         config.set("observability",
                    JsonValue::make_bool(config_.observability));
         config.set("obs_sample_interval",

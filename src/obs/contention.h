@@ -24,6 +24,7 @@
 #ifndef HOARD_OBS_CONTENTION_H_
 #define HOARD_OBS_CONTENTION_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "metrics/latency.h"
@@ -55,10 +56,12 @@ class ProfiledMutex
         if constexpr (Policy::kObsEnabled) {
             if (profiled_) {
                 lock_profiled();
+                held_.store(true, std::memory_order_relaxed);
                 return;
             }
         }
         inner_.lock();
+        held_.store(true, std::memory_order_relaxed);
     }
 
     bool
@@ -69,10 +72,31 @@ class ProfiledMutex
             if (ok && profiled_)
                 ++stats_.acquires;
         }
+        if (ok)
+            held_.store(true, std::memory_order_relaxed);
         return ok;
     }
 
-    void unlock() { inner_.unlock(); }
+    void
+    unlock()
+    {
+        held_.store(false, std::memory_order_relaxed);
+        inner_.unlock();
+    }
+
+    /**
+     * Heuristic busy probe: true when some thread holds the lock.  A
+     * relaxed load, so the answer can be stale in either direction —
+     * callers must treat it as advice (the remote-free path uses it to
+     * choose between a lock-free handoff and a blocking acquire; both
+     * choices are correct).  Much cheaper than a failed try_lock on
+     * the uncontended path.
+     */
+    bool
+    is_locked_hint() const
+    {
+        return held_.load(std::memory_order_relaxed);
+    }
 
     /** Turns profiling on/off.  Call only while quiesced. */
     void set_profiled(bool on) { profiled_ = on; }
@@ -98,6 +122,7 @@ class ProfiledMutex
     }
 
     typename Policy::Mutex inner_;
+    std::atomic<bool> held_{false};
     bool profiled_ = false;
     LockStats stats_;
 };

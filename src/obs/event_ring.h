@@ -47,6 +47,9 @@ enum class EventKind : std::uint16_t
     class_refill,         ///< fresh superblock mapped for a size class
     oom_reclaim,          ///< map failure answered by release_free_memory
     huge_alloc,           ///< > S/2 request served by a dedicated chunk
+    remote_free,          ///< free pushed to a busy owner's remote queue
+    batch_refill,         ///< magazine refilled N blocks under one lock
+    batch_flush,          ///< magazine spilled/flushed a batch of blocks
     kCount
 };
 
@@ -69,6 +72,12 @@ to_string(EventKind kind)
         return "oom_reclaim";
       case EventKind::huge_alloc:
         return "huge_alloc";
+      case EventKind::remote_free:
+        return "remote_free";
+      case EventKind::batch_refill:
+        return "batch_refill";
+      case EventKind::batch_flush:
+        return "batch_flush";
       case EventKind::kCount:
         break;
     }

@@ -140,6 +140,10 @@ struct StatsSummary
     std::uint64_t huge_allocs = 0;
     std::uint64_t oom_reclaims = 0;
     std::uint64_t oom_failures = 0;
+    std::uint64_t remote_frees = 0;
+    std::uint64_t remote_drains = 0;
+    std::uint64_t batch_refills = 0;
+    std::uint64_t batch_flushes = 0;
 };
 
 /** Full allocator snapshot: configuration echo + per-heap state. */
@@ -165,6 +169,14 @@ struct AllocatorSnapshot
     std::uint64_t huge_span_bytes = 0;
     std::uint64_t cached_bytes = 0;  ///< thread-cache occupancy
     /// @}
+
+    /**
+     * Blocks the snapshot's pre-drain pass settled out of the per-heap
+     * remote-free queues before walking (drain-and-attribute): those
+     * frees had already left the in_use gauge but not yet the owning
+     * heap's u_i, so reconciliation is exact only after they land.
+     */
+    std::uint64_t remote_drained_blocks = 0;
 
     StatsSummary stats;
 

@@ -198,6 +198,18 @@ write_prometheus(std::ostream& os, const AllocatorSnapshot& snap)
     prom_header(os, "hoard_oom_failures_total", "counter",
                 "allocations that failed even after reclaim");
     os << "hoard_oom_failures_total " << s.oom_failures << '\n';
+    prom_header(os, "hoard_remote_frees_total", "counter",
+                "frees pushed to a busy owner's remote queue");
+    os << "hoard_remote_frees_total " << s.remote_frees << '\n';
+    prom_header(os, "hoard_remote_drains_total", "counter",
+                "blocks drained from remote-free queues");
+    os << "hoard_remote_drains_total " << s.remote_drains << '\n';
+    prom_header(os, "hoard_batch_refills_total", "counter",
+                "magazine batch refills (one heap lock each)");
+    os << "hoard_batch_refills_total " << s.batch_refills << '\n';
+    prom_header(os, "hoard_batch_flushes_total", "counter",
+                "magazine batch spills/flushes");
+    os << "hoard_batch_flushes_total " << s.batch_flushes << '\n';
     os.flush();
 }
 

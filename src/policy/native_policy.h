@@ -110,6 +110,21 @@ struct NativePolicy
 
     static int thread_index() { return ThreadRegistry::index(); }
     static void rebind_thread_index(int idx) { ThreadRegistry::rebind(idx); }
+
+    /**
+     * The calling logical thread's opaque cache slot (the thread-
+     * magazine root, core/magazine.h).  One slot per OS thread here;
+     * under SimPolicy one per fiber — which is why the allocator goes
+     * through the policy instead of declaring a thread_local.
+     */
+    static void*& thread_cache_slot();
+
+    /**
+     * Installs the process-wide hook invoked with a thread's non-null
+     * cache slot when that logical thread exits (here: from a
+     * thread_local destructor).  Idempotent; last writer wins.
+     */
+    static void set_thread_exit_hook(void (*hook)(void*));
 };
 
 }  // namespace hoard

@@ -92,6 +92,20 @@ struct SimPolicy
     {
         sim::Machine::current()->rebind_tid(idx);
     }
+
+    /** @see NativePolicy::thread_cache_slot — one slot per *fiber*. */
+    static void*&
+    thread_cache_slot()
+    {
+        return sim::Machine::current()->thread_cache_slot();
+    }
+
+    /** @see NativePolicy::set_thread_exit_hook */
+    static void
+    set_thread_exit_hook(void (*hook)(void*))
+    {
+        sim::Machine::set_thread_exit_hook(hook);
+    }
 };
 
 }  // namespace hoard

@@ -1,5 +1,7 @@
 #include "sim/machine.h"
 
+#include <atomic>
+
 #include "common/failure.h"
 
 namespace hoard {
@@ -9,6 +11,9 @@ namespace {
 
 /// The machine whose run() loop is active on this host thread.
 Machine* g_current_machine = nullptr;
+
+/// Thread-exit hook for simulated threads (allocator magazine flush).
+std::atomic<void (*)(void*)> g_thread_exit_hook{nullptr};
 
 }  // namespace
 
@@ -33,6 +38,14 @@ Machine::spawn(int proc, int logical_tid, std::function<void()> body)
     t->index_ = static_cast<int>(threads_.size());
     t->fiber_ = std::make_unique<Fiber>([this, t, fn = std::move(body)] {
         fn();
+        // Thread exit: flush this fiber's allocator magazines while the
+        // fiber can still take virtual locks and be charged for it.
+        void (*hook)(void*) =
+            g_thread_exit_hook.load(std::memory_order_acquire);
+        if (t->cache_slot_ != nullptr && hook != nullptr) {
+            hook(t->cache_slot_);
+            t->cache_slot_ = nullptr;
+        }
         commit(t);
         t->state_ = SimThread::State::finished;
         if (t->clock_ > makespan_)
@@ -179,6 +192,19 @@ Machine::rebind_tid(int logical_tid)
 {
     HOARD_DCHECK(running_ != nullptr);
     running_->logical_tid_ = logical_tid;
+}
+
+void*&
+Machine::thread_cache_slot()
+{
+    HOARD_DCHECK(running_ != nullptr);
+    return running_->cache_slot_;
+}
+
+void
+Machine::set_thread_exit_hook(void (*hook)(void*))
+{
+    g_thread_exit_hook.store(hook, std::memory_order_release);
 }
 
 std::uint64_t

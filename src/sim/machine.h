@@ -52,6 +52,7 @@ class SimThread
     friend class VirtualMutex;
 
     std::unique_ptr<Fiber> fiber_;
+    void* cache_slot_ = nullptr;  ///< per-fiber allocator cache root
     std::uint64_t clock_ = 0;
     std::uint64_t pending_ = 0;   ///< charged but not yet committed
     std::uint64_t seq_ = 0;       ///< tie-break key, set on each enqueue
@@ -118,7 +119,22 @@ class Machine
      */
     void rebind_tid(int logical_tid);
 
+    /**
+     * The calling simulated thread's opaque cache slot (thread-magazine
+     * root) — the per-fiber analogue of a thread_local, because many
+     * fibers share one OS thread.
+     */
+    void*& thread_cache_slot();
+
     /// @}
+
+    /**
+     * Installs the hook invoked with a thread's non-null cache slot
+     * when its fiber body returns.  The hook runs *inside* the fiber,
+     * so it may take virtual mutexes and charge costs like any other
+     * simulated code.  Process-wide; last writer wins.
+     */
+    static void set_thread_exit_hook(void (*hook)(void*));
 
     int nprocs() const { return nprocs_; }
     const CostModel& costs() const { return costs_; }

@@ -47,6 +47,7 @@ TEST(Dump, ShowsThreadCacheWhenEnabled)
 {
     Config config;
     config.thread_cache_blocks = 16;
+    config.thread_cache_batch = 1;  // refill singly: exactly one parks
     HoardAllocator<NativePolicy> allocator(config);
     void* p = allocator.allocate(32);
     allocator.deallocate(p);  // parks in the cache
