@@ -83,6 +83,30 @@ time_pairs(AllocatorT& allocator, std::size_t pairs)
 }
 
 /**
+ * ns per alloc/free pair on the huge-object path (above the largest
+ * size class, so every pair maps and unmaps a dedicated span and
+ * registers in the striped huge list).  Regression guard for the
+ * slow-path sharding work: huge registration must cost only a striped
+ * lock — uninstrumented and compiled-in-but-disabled builds have to
+ * stay within the same overhead budget as the malloc hot path.
+ */
+template <typename AllocatorT>
+double
+time_huge_pairs(AllocatorT& allocator, std::size_t pairs)
+{
+    constexpr std::size_t kHugeBytes = 16384;
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < pairs; ++i) {
+        void* p = allocator.allocate(kHugeBytes);
+        keep(p);
+        allocator.deallocate(p);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           static_cast<double>(pairs);
+}
+
+/**
  * Best-of-reps: the minimum is the standard noise-robust estimator
  * for tight timing loops — every source of interference (scheduler,
  * frequency steps, unlucky superblock placement) only ever adds time,
@@ -162,13 +186,21 @@ main(int argc, char** argv)
     // pair, on a fresh allocator per measurement (placement re-rolled
     // each time); see median_paired_pct.
     std::vector<double> base_ns, disabled_ns, idle_ns, enabled_ns;
+    std::vector<double> base_huge_ns, disabled_huge_ns;
+    // Each huge pair is an mmap/munmap round trip; scale the count so
+    // the huge loop costs about as much wall clock as the hot path.
+    const std::size_t huge_pairs = pairs / 256 + 1;
     auto run_base = [&] {
         HoardAllocator<NoObsPolicy> uninstrumented(config);
         base_ns.push_back(time_pairs(uninstrumented, pairs));
+        base_huge_ns.push_back(
+            time_huge_pairs(uninstrumented, huge_pairs));
     };
     auto run_disabled = [&] {
         HoardAllocator<NativePolicy> disabled(config);
         disabled_ns.push_back(time_pairs(disabled, pairs));
+        disabled_huge_ns.push_back(
+            time_huge_pairs(disabled, huge_pairs));
     };
     auto run_idle = [&] {
         HoardAllocator<NativePolicy> idle(idle_sampler_config);
@@ -194,6 +226,10 @@ main(int argc, char** argv)
     const double idle = best(idle_ns);
     const double on = best(enabled_ns);
     const double off_pct = median_paired_pct(base_ns, disabled_ns);
+    const double huge_base = best(base_huge_ns);
+    const double huge_off = best(disabled_huge_ns);
+    const double huge_off_pct =
+        median_paired_pct(base_huge_ns, disabled_huge_ns);
     const double on_pct = (on - base) / base * 100.0;
     // The idle sampler rides on tracing-on, so its budget is measured
     // against the traced variant, not the uninstrumented one.
@@ -212,6 +248,13 @@ main(int argc, char** argv)
     std::printf("  tracing on + idle sampler:          %7.2f ns/pair "
                 "(%+.2f%% vs tracing on)\n",
                 idle, idle_pct);
+    std::printf("huge-object path, 16 KiB pairs, best of %d x %zu:\n",
+                reps, huge_pairs);
+    std::printf("  uninstrumented (kObsEnabled=false): %7.2f ns/pair\n",
+                huge_base);
+    std::printf("  instrumented, runtime off:          %7.2f ns/pair "
+                "(%+.2f%%)\n",
+                huge_off, huge_off_pct);
 
     if (check) {
         bool failed = false;
@@ -224,6 +267,16 @@ main(int argc, char** argv)
             std::printf("PASS: disabled-instrumentation overhead "
                         "%.2f%% within %.2f%%\n",
                         off_pct, tolerance_pct);
+        }
+        if (huge_off_pct > tolerance_pct) {
+            std::printf("FAIL: huge-path disabled-instrumentation "
+                        "overhead %.2f%% exceeds %.2f%%\n",
+                        huge_off_pct, tolerance_pct);
+            failed = true;
+        } else {
+            std::printf("PASS: huge-path disabled-instrumentation "
+                        "overhead %.2f%% within %.2f%%\n",
+                        huge_off_pct, tolerance_pct);
         }
         if (idle_pct > tolerance_pct) {
             std::printf("FAIL: idle-sampler overhead %.2f%% exceeds "

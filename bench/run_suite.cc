@@ -41,6 +41,7 @@ const char* const kBenches[] = {
     "tbl_latency",            "tbl_fragmentation",
     "tbl_taxonomy",           "tbl_uniprocessor",
     "tbl_synthetic_frag",     "micro_remote_free",
+    "micro_global_contention",
 };
 
 std::string

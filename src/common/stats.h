@@ -103,6 +103,10 @@ struct AllocatorStats
     Counter remote_drains;       ///< blocks drained from remote queues
     Counter batch_refills;       ///< magazine refills (one lock each)
     Counter batch_flushes;       ///< magazine spills/flushes (batched)
+    Counter global_bin_hits;     ///< fetches served by a per-class global bin
+    Counter global_bin_misses;   ///< bin probes that found the class empty
+    Counter cache_pushes;        ///< empty superblocks pushed to the reuse cache
+    Counter cache_pops;          ///< empty superblocks popped from the reuse cache
 
     /**
      * Fragmentation as the paper reports it: maximum memory held by the

@@ -84,6 +84,21 @@ struct Config
     std::size_t empty_cache_limit = std::numeric_limits<std::size_t>::max();
 
     /**
+     * Superblocks a cold per-processor heap may pull from its size
+     * class's global bin in one fetch (>= 1).  A heap that misses
+     * locally is usually about to miss again — its magazine refill
+     * drains whatever it fetched — so batching amortizes the bin lock
+     * and the transfer latency over several superblocks.  The cost is a
+     * matching widening of the emptiness-invariant allowance: a heap
+     * may now hold up to this many not-yet-used superblocks per active
+     * size class (check_heap and HeapSnapshot::emptiness_ok account for
+     * it), so the O(1) blowup bound gains a constant factor.  1 restores
+     * the paper's one-superblock-per-miss behaviour; ABL-fetch sweeps
+     * the axis.
+     */
+    std::size_t global_fetch_batch = 4;
+
+    /**
      * Extension (not in the paper; the direction later allocators —
      * Hoard 3.x, tcmalloc — took): per-logical-thread block caches in
      * front of the heaps.  A freed block parks in the freeing thread's

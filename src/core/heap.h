@@ -1,12 +1,14 @@
 /**
  * @file
- * One Hoard heap (paper §3): a lock, the u_i / a_i byte counters, and
- * per-size-class superblock lists segregated into fullness groups.
+ * Hoard heap structures (paper §3): the lock + u_i/a_i counter base
+ * shared by every superblock home, the full per-processor heap with
+ * per-size-class fullness-group lists, and the per-class global bin —
+ * one shard of the sharded global heap (heap 0).
  *
- * The same structure serves the P per-processor heaps and the global
- * heap (heap 0); only the global heap uses the empty-superblock
- * recycling list.  All fields are guarded by `mutex` except where the
- * allocator notes otherwise.
+ * The free path discovers a block's home through Superblock::owner(),
+ * which stores a HeapBase pointer: index 0 means the owner is a
+ * GlobalBin (one size class, its own lock), index >= 1 a per-processor
+ * HoardHeap.  All fields are guarded by `mutex` except where noted.
  */
 
 #ifndef HOARD_CORE_HEAP_H_
@@ -14,6 +16,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/failure.h"
@@ -28,9 +31,13 @@ struct SizeClassBin
     SuperblockList groups[Superblock::kGroupCount];
 };
 
-/** One heap; template parameter supplies the mutex type. */
+/**
+ * State every superblock home shares: the lock, the u_i / a_i byte
+ * counters, and the remote-free stack.  Superblock::owner() points at
+ * this base; the free path dispatches on `index` (0 = global bin).
+ */
 template <typename Policy>
-struct HoardHeap
+struct HeapBase
 {
     /**
      * The policy mutex behind an optional contention profiler.  The
@@ -40,29 +47,21 @@ struct HoardHeap
      */
     using Mutex = obs::ProfiledMutex<Policy>;
 
-    explicit HoardHeap(int index_, int num_classes)
-        : index(index_), bins(static_cast<std::size_t>(num_classes))
-    {}
+    explicit HeapBase(int index_) : index(index_) {}
 
-    HoardHeap(const HoardHeap&) = delete;
-    HoardHeap& operator=(const HoardHeap&) = delete;
+    HeapBase(const HeapBase&) = delete;
+    HeapBase& operator=(const HeapBase&) = delete;
 
-    /** Heap number; 0 is the global heap. */
+    /** Heap number; 0 marks a global-heap shard (GlobalBin). */
     const int index;
 
     Mutex mutex;
 
-    /** u_i: block bytes currently handed to the program from this heap. */
+    /** u_i: block bytes currently handed to the program from here. */
     std::size_t in_use = 0;
 
-    /** a_i: bytes held in this heap's superblocks (span bytes). */
+    /** a_i: bytes held in this home's superblocks (span bytes). */
     std::size_t held = 0;
-
-    /** Superblock lists per size class, segregated by fullness. */
-    std::vector<SizeClassBin> bins;
-
-    /** Completely-empty superblocks (global heap only). */
-    SuperblockList empty_list;
 
     /**
      * MPSC remote-free stack (Treiber, push-only): a thread freeing a
@@ -105,6 +104,23 @@ struct HoardHeap
     {
         return remote_head.exchange(nullptr, std::memory_order_acquire);
     }
+};
+
+/** One per-processor heap; template parameter supplies the mutex type. */
+template <typename Policy>
+struct HoardHeap : HeapBase<Policy>
+{
+    HoardHeap(int index_, int num_classes)
+        : HeapBase<Policy>(index_),
+          bins(static_cast<std::size_t>(num_classes))
+    {}
+
+    /** Superblock lists per size class, segregated by fullness. */
+    std::vector<SizeClassBin> bins;
+
+    /** Completely-empty superblocks (baseline allocators only; the
+        Hoard allocator retires empties to its lock-free reuse cache). */
+    SuperblockList empty_list;
 
     /**
      * Finds a superblock of @p cls with a free block, preferring the
@@ -180,6 +196,79 @@ struct HoardHeap
         bins[static_cast<std::size_t>(sb->size_class())]
             .groups[now]
             .push_front(sb);
+    }
+};
+
+/**
+ * One shard of the global heap: the superblocks of a single size class,
+ * under their own lock.  fetch_from_global and maybe_release_superblock
+ * for different classes therefore never contend.  A superblock that
+ * empties *inside* its bin stays there (band 0), still formatted for
+ * the class, so the next same-class fetch skips the re-carve; empties
+ * arriving from per-processor heaps go to the lock-free cross-class
+ * reuse cache instead, where any class can claim them.
+ */
+template <typename Policy>
+struct GlobalBin : HeapBase<Policy>
+{
+    explicit GlobalBin(int cls) : HeapBase<Policy>(0), size_class(cls) {}
+
+    const int size_class;
+
+    /** Fullness-group lists (band 0 emptiest, kFullGroup full). */
+    SuperblockList groups[Superblock::kGroupCount];
+
+    /**
+     * Approximate superblock count: written under `mutex`
+     * (link/unlink), read without it by fetchers deciding whether the
+     * bin is worth locking.  A stale zero costs one extra miss of the
+     * class; a stale nonzero costs one wasted lock — never correctness.
+     */
+    std::atomic<std::uint32_t> occupancy{0};
+
+    /**
+     * Fullest allocatable superblock in the bin (paper §3.1 density
+     * rule).  Caller holds the lock; charges one list_op per probe.
+     */
+    Superblock*
+    find_allocatable(int* probes)
+    {
+        *probes = 0;
+        for (int g = Superblock::kFullnessBands - 1; g >= 0; --g) {
+            ++*probes;
+            if (Superblock* sb = groups[g].front())
+                return sb;
+        }
+        return nullptr;
+    }
+
+    /** Links @p sb into the right fullness group. Caller holds lock. */
+    void
+    link(Superblock* sb)
+    {
+        HOARD_DCHECK(!SuperblockList::is_linked(sb));
+        HOARD_DCHECK(sb->size_class() == size_class);
+        groups[sb->fullness_group()].push_front(sb);
+        occupancy.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Unlinks @p sb from its current group. Caller holds lock. */
+    void
+    unlink(Superblock* sb, int group)
+    {
+        groups[group].remove(sb);
+        occupancy.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    /** Moves @p sb between groups after its fullness changed. */
+    void
+    relink(Superblock* sb, int old_group)
+    {
+        int now = sb->fullness_group();
+        if (now == old_group)
+            return;
+        groups[old_group].remove(sb);
+        groups[now].push_front(sb);
     }
 };
 

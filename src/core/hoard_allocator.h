@@ -14,6 +14,18 @@
  * is the paper's central device: it bounds blowup to O(1) and makes the
  * expected synchronization per operation constant.
  *
+ * The global heap itself is *sharded* (the scalloc direction — global
+ * structures must scale too, PAPERS.md): one GlobalBin per size class,
+ * each with its own lock and an approximate occupancy counter so
+ * fetchers skip empty classes without locking; a lock-free Treiber
+ * cache (superblock_cache.h) holds the completely-empty superblocks
+ * any class may claim; transfers and fetches move superblocks in
+ * batches (Config::global_fetch_batch) so one lock round trip lands or
+ * pulls several; and the huge-object list is striped across
+ * kHugeStripes locks.  Together heap 0 is a logical construct — u_0 /
+ * a_0 are sums over the bins plus the cache — and no single mutex
+ * serializes the slow path.
+ *
  * The class is templated on an execution policy (NativePolicy /
  * SimPolicy) so the identical algorithm runs under real threads and on
  * the virtual-time multiprocessor that regenerates the paper's figures.
@@ -53,6 +65,7 @@
 #include "core/magazine.h"
 #include "core/size_classes.h"
 #include "core/superblock.h"
+#include "core/superblock_cache.h"
 #include "obs/event_ring.h"
 #include "obs/gating.h"
 #include "obs/snapshot.h"
@@ -68,6 +81,11 @@ class HoardAllocator final : public Allocator
 {
   public:
     using Heap = HoardHeap<Policy>;
+    using Base = HeapBase<Policy>;
+    using Bin = GlobalBin<Policy>;
+
+    /** Lock stripes for the huge-object list. Power of two. */
+    static constexpr std::size_t kHugeStripes = 8;
 
     explicit HoardAllocator(
         const Config& config = Config(),
@@ -75,11 +93,18 @@ class HoardAllocator final : public Allocator
         : config_(validated(config)),
           provider_(provider),
           classes_(config_,
-                   Superblock::payload_bytes_for(config_.superblock_bytes))
+                   Superblock::payload_bytes_for(config_.superblock_bytes)),
+          reuse_cache_(config_.superblock_bytes,
+                       static_cast<std::size_t>(classes_.count()))
     {
-        heaps_.reserve(static_cast<std::size_t>(config_.heap_count) + 1);
-        for (int i = 0; i <= config_.heap_count; ++i)
+        // heaps_[i] is per-processor heap i+1; the global heap (0) is
+        // the bins + reuse cache, not a Heap object.
+        heaps_.reserve(static_cast<std::size_t>(config_.heap_count));
+        for (int i = 1; i <= config_.heap_count; ++i)
             heaps_.push_back(std::make_unique<Heap>(i, classes_.count()));
+        global_bins_.reserve(static_cast<std::size_t>(classes_.count()));
+        for (int cls = 0; cls < classes_.count(); ++cls)
+            global_bins_.push_back(std::make_unique<Bin>(cls));
         if (config_.thread_cache_blocks > 0) {
             batch_blocks_ =
                 config_.thread_cache_batch != 0
@@ -96,9 +121,11 @@ class HoardAllocator final : public Allocator
                     config_.obs_ring_events);
                 for (auto& heap : heaps_)
                     heap->mutex.set_profiled(true);
+                for (auto& bin : global_bins_)
+                    bin->mutex.set_profiled(true);
                 if (config_.obs_sample_interval > 0) {
                     sampler_ = std::make_unique<obs::TimeSeriesSampler>(
-                        config_.obs_sample_slots, heaps_.size(),
+                        config_.obs_sample_slots, heaps_.size() + 1,
                         config_.obs_sample_interval);
                 }
             }
@@ -262,10 +289,32 @@ class HoardAllocator final : public Allocator
                     sb = next;
                 }
             }
-            while (Superblock* sb = heap.empty_list.pop_front()) {
-                heap.held -= sb->span_bytes();
-                released += release_to_provider(sb);
+        }
+        // Global bins retain their own class's empties in band 0;
+        // scavenge those before draining the cross-class cache.
+        for (auto& bin_ptr : global_bins_) {
+            Bin& bin = *bin_ptr;
+            std::lock_guard<typename Bin::Mutex> guard(bin.mutex);
+            auto& group = bin.groups[0];
+            Superblock* sb = group.front();
+            while (sb != nullptr) {
+                Superblock* next = group.next(sb);
+                if (sb->empty()) {
+                    bin.unlink(sb, 0);
+                    bin.held -= sb->span_bytes();
+                    bin_empties_.fetch_sub(1,
+                                           std::memory_order_relaxed);
+                    released += release_to_provider(sb);
+                }
+                sb = next;
             }
+        }
+        Superblock* chain = reuse_cache_.drain();
+        while (chain != nullptr) {
+            Superblock* next =
+                chain->cache_next.load(std::memory_order_relaxed);
+            released += release_to_provider(chain);
+            chain = next;
         }
         return released;
     }
@@ -312,15 +361,32 @@ class HoardAllocator final : public Allocator
            << " K=" << config_.slack_superblocks
            << " t=" << config_.release_threshold
            << " P=" << config_.heap_count << "\n";
+        os << "  heap 0 (global): in-use " << heap_in_use(0) << " held "
+           << heap_held(0) << " empty-cached " << reuse_cache_.size()
+           << "\n";
+        for (auto& bin_ptr : global_bins_) {
+            Bin& bin = *bin_ptr;
+            std::lock_guard<typename Bin::Mutex> guard(bin.mutex);
+            std::size_t count = 0;
+            for (auto& group : bin.groups)
+                count += group.size();
+            if (count == 0)
+                continue;
+            os << "    bin " << bin.size_class << " ("
+               << classes_.block_size(bin.size_class) << " B): " << count
+               << " superblock(s), groups [";
+            for (int g = 0; g < Superblock::kGroupCount; ++g) {
+                if (g != 0)
+                    os << ' ';
+                os << bin.groups[g].size();
+            }
+            os << "]\n";
+        }
         for (auto& heap_ptr : heaps_) {
             Heap& heap = *heap_ptr;
             std::lock_guard<typename Heap::Mutex> guard(heap.mutex);
-            os << (heap.index == 0 ? "  heap 0 (global)" : "  heap ")
-               << (heap.index == 0 ? "" : std::to_string(heap.index))
-               << ": in-use " << heap.in_use << " held " << heap.held;
-            if (heap.index == 0)
-                os << " empty-cached " << heap.empty_list.size();
-            os << "\n";
+            os << "  heap " << heap.index << ": in-use " << heap.in_use
+               << " held " << heap.held << "\n";
             for (std::size_t cls = 0; cls < heap.bins.size(); ++cls) {
                 auto& bin = heap.bins[cls];
                 std::size_t count = 0;
@@ -360,20 +426,37 @@ class HoardAllocator final : public Allocator
         os.flush();
     }
 
-    /** u_i of heap @p i (0 = global). */
+    /** u_i of heap @p i (0 = global: summed over the per-class bins). */
     std::size_t
     heap_in_use(int i)
     {
-        Heap& h = *heaps_[static_cast<std::size_t>(i)];
+        if (i == 0) {
+            std::size_t sum = 0;
+            for (auto& bin : global_bins_) {
+                std::lock_guard<typename Bin::Mutex> guard(bin->mutex);
+                sum += bin->in_use;
+            }
+            return sum;
+        }
+        Heap& h = *heaps_[static_cast<std::size_t>(i - 1)];
         std::lock_guard<typename Heap::Mutex> guard(h.mutex);
         return h.in_use;
     }
 
-    /** a_i of heap @p i (0 = global). */
+    /** a_i of heap @p i (0 = global: bins plus the reuse cache). */
     std::size_t
     heap_held(int i)
     {
-        Heap& h = *heaps_[static_cast<std::size_t>(i)];
+        if (i == 0) {
+            std::size_t sum =
+                reuse_cache_.size() * config_.superblock_bytes;
+            for (auto& bin : global_bins_) {
+                std::lock_guard<typename Bin::Mutex> guard(bin->mutex);
+                sum += bin->held;
+            }
+            return sum;
+        }
+        Heap& h = *heaps_[static_cast<std::size_t>(i - 1)];
         std::lock_guard<typename Heap::Mutex> guard(h.mutex);
         return h.held;
     }
@@ -400,6 +483,11 @@ class HoardAllocator final : public Allocator
         drain_all_remote();
         for (auto& heap : heaps_)
             check_heap(*heap);
+        std::size_t bin_empties = 0;
+        for (auto& bin : global_bins_)
+            bin_empties += check_bin(*bin);
+        HOARD_CHECK(bin_empties ==
+                    bin_empties_.load(std::memory_order_relaxed));
         return true;
     }
 
@@ -431,7 +519,10 @@ class HoardAllocator final : public Allocator
         snap.release_threshold = config_.release_threshold;
         snap.slack_superblocks = config_.slack_superblocks;
         snap.heap_count = config_.heap_count;
-        snap.heaps.resize(heaps_.size());
+        snap.global_fetch_batch = config_.global_fetch_batch;
+        // heaps[0] is the synthesized global heap (the per-class bins
+        // plus the reuse cache); heaps[i], i >= 1, per-processor heap i.
+        snap.heaps.resize(heaps_.size() + 1);
         for (obs::HeapSnapshot& hs : snap.heaps) {
             hs.classes.resize(
                 static_cast<std::size_t>(classes_.count()));
@@ -482,12 +573,17 @@ class HoardAllocator final : public Allocator
         snap.stats.remote_drains = stats_.remote_drains.get();
         snap.stats.batch_refills = stats_.batch_refills.get();
         snap.stats.batch_flushes = stats_.batch_flushes.get();
+        snap.stats.global_bin_hits = stats_.global_bin_hits.get();
+        snap.stats.global_bin_misses = stats_.global_bin_misses.get();
+        snap.stats.cache_pushes = stats_.cache_pushes.get();
+        snap.stats.cache_pops = stats_.cache_pops.get();
+        fill_global_snapshot(snap.heaps[0]);
         for (std::size_t i = 0; i < heaps_.size(); ++i)
-            fill_heap_snapshot(*heaps_[i], snap.heaps[i]);
-        {
-            std::lock_guard<typename Policy::Mutex> guard(huge_mutex_);
-            for (Superblock* sb = huge_list_.front(); sb != nullptr;
-                 sb = huge_list_.next(sb)) {
+            fill_heap_snapshot(*heaps_[i], snap.heaps[i + 1]);
+        for (auto& stripe : huge_stripes_) {
+            std::lock_guard<typename Policy::Mutex> guard(stripe.mutex);
+            for (Superblock* sb = stripe.list.front(); sb != nullptr;
+                 sb = stripe.list.next(sb)) {
                 ++snap.huge_count;
                 snap.huge_user_bytes += sb->huge_user_bytes();
                 snap.huge_span_bytes += sb->span_bytes();
@@ -875,7 +971,7 @@ class HoardAllocator final : public Allocator
     void
     return_chain(void* chain)
     {
-        Heap* locked = nullptr;
+        Base* locked = nullptr;
         while (chain != nullptr) {
             void* block = chain;
             Policy::touch(block, sizeof(void*), false);
@@ -883,10 +979,10 @@ class HoardAllocator final : public Allocator
             Superblock* sb = Superblock::from_pointer(
                 block, config_.superblock_bytes);
             for (;;) {
-                Heap* owner = static_cast<Heap*>(sb->owner());
+                Base* owner = static_cast<Base*>(sb->owner());
                 if (owner == locked) {
                     // Stable: transfers require the lock we hold.
-                    free_into_heap_locked(*locked, sb, block);
+                    free_into_locked(*locked, sb, block);
                     Policy::work(CostKind::list_op);
                     break;
                 }
@@ -899,7 +995,7 @@ class HoardAllocator final : public Allocator
                     break;
                 }
                 owner->mutex.lock();
-                if (static_cast<Heap*>(sb->owner()) == owner) {
+                if (static_cast<Base*>(sb->owner()) == owner) {
                     locked = owner;
                     continue;
                 }
@@ -914,7 +1010,7 @@ class HoardAllocator final : public Allocator
     /** Lock-free handoff of a (whole, free) block to busy @p owner's
         remote queue (Treiber push; the owner settles it later). */
     void
-    remote_free(Heap& owner, Superblock* sb, void* block)
+    remote_free(Base& owner, Superblock* sb, void* block)
     {
         Policy::touch(block, sizeof(void*), true);
         owner.remote_push(block);
@@ -925,17 +1021,20 @@ class HoardAllocator final : public Allocator
     }
 
     /**
-     * Settles every block pending on @p heap's remote queue; the
+     * Settles every block pending on @p home's remote queue; the
      * caller holds the lock.  A block whose superblock changed owner
      * while queued is re-routed (lock-free) to the current owner's
-     * queue.  Returns the number of blocks settled here.
+     * queue.  Returns the number of blocks settled here.  A queued
+     * block has left the in_use gauge but not its superblock's used
+     * count, so the superblock cannot have been retired to the reuse
+     * cache — the owner read never sees null.
      */
     std::size_t
-    drain_remote_locked(Heap& heap)
+    drain_remote_locked(Base& home)
     {
-        if (!heap.remote_pending())
+        if (!home.remote_pending())
             return 0;
-        void* chain = heap.remote_drain();
+        void* chain = home.remote_drain();
         std::size_t drained = 0;
         while (chain != nullptr) {
             void* block = chain;
@@ -943,11 +1042,12 @@ class HoardAllocator final : public Allocator
             chain = *static_cast<void**>(block);
             Superblock* sb = Superblock::from_pointer(
                 block, config_.superblock_bytes);
-            if (static_cast<Heap*>(sb->owner()) != &heap) {
-                static_cast<Heap*>(sb->owner())->remote_push(block);
+            Base* owner = static_cast<Base*>(sb->owner());
+            if (owner != &home) {
+                owner->remote_push(block);
                 continue;
             }
-            free_into_heap_locked(heap, sb, block);
+            free_into_locked(home, sb, block);
             Policy::work(CostKind::list_op);
             ++drained;
         }
@@ -957,47 +1057,49 @@ class HoardAllocator final : public Allocator
     }
 
     /**
-     * Drains every heap's remote queue, enforcing the emptiness
-     * invariant on each per-processor heap it settles.  Per-processor
-     * heaps first, the global heap last: on a quiesced allocator the
-     * only re-routes a drain can generate point at the global heap
-     * (the drain's own enforcement is the only thing moving ownership
-     * and it only moves superblocks global-ward), so this order leaves
-     * every queue empty.  Returns the total blocks settled.
+     * Drains every remote queue, enforcing the emptiness invariant on
+     * each per-processor heap it settles.  Per-processor heaps first,
+     * the global bins last: on a quiesced allocator the only re-routes
+     * a drain can generate point global-ward (the drain's own
+     * enforcement is the only thing moving ownership, heap to bin;
+     * bin-to-heap moves only happen in fetches, none of which are in
+     * flight), so this order leaves every queue empty.  Returns the
+     * total blocks settled.
      */
     std::uint64_t
     drain_all_remote()
     {
         std::uint64_t drained = 0;
-        for (std::size_t i = 1; i < heaps_.size(); ++i)
-            drained += drain_heap_remote(*heaps_[i]);
-        drained += drain_heap_remote(*heaps_[0]);
+        for (auto& heap : heaps_)
+            drained += drain_home_remote(*heap);
+        for (auto& bin : global_bins_)
+            drained += drain_home_remote(*bin);
         return drained;
     }
 
-    /** One heap's share of drain_all_remote(); takes the heap lock
-        only when the cheap pending probe says there is work. */
+    /** One home's share of drain_all_remote(); takes the lock only
+        when the cheap pending probe says there is work. */
     std::uint64_t
-    drain_heap_remote(Heap& heap)
+    drain_home_remote(Base& home)
     {
-        if (!heap.remote_pending())
+        if (!home.remote_pending())
             return 0;
-        std::lock_guard<typename Heap::Mutex> guard(heap.mutex);
-        std::size_t n = drain_remote_locked(heap);
-        if (heap.index != 0 && n != 0)
-            maybe_release_superblock(heap);
+        std::lock_guard<typename Base::Mutex> guard(home.mutex);
+        std::size_t n = drain_remote_locked(home);
+        if (home.index != 0 && n != 0)
+            maybe_release_superblock(static_cast<Heap&>(home));
         return n;
     }
 
-    /** Drains pending remote frees, enforces the emptiness invariant,
-        and releases @p heap's lock. */
+    /** Drains pending remote frees, enforces the emptiness invariant
+        (per-processor heaps only), and releases @p home's lock. */
     void
-    settle_and_unlock(Heap& heap)
+    settle_and_unlock(Base& home)
     {
-        drain_remote_locked(heap);
-        if (heap.index != 0)
-            maybe_release_superblock(heap);
-        heap.mutex.unlock();
+        drain_remote_locked(home);
+        if (home.index != 0)
+            maybe_release_superblock(static_cast<Heap&>(home));
+        home.mutex.unlock();
     }
 
     /// @}
@@ -1106,10 +1208,15 @@ class HoardAllocator final : public Allocator
             writer.set_counters(stats_.allocs.get(), stats_.frees.get(),
                                 stats_.superblock_transfers.get(),
                                 stats_.global_fetches.get());
+            writer.set_slowpath(stats_.global_bin_hits.get(),
+                                stats_.global_bin_misses.get(),
+                                stats_.cache_pushes.get(),
+                                stats_.cache_pops.get());
+            writer.set_heap(0, heap_in_use(0), heap_held(0));
             for (std::size_t i = 0; i < heaps_.size(); ++i) {
                 Heap& heap = *heaps_[i];
                 std::lock_guard<typename Heap::Mutex> guard(heap.mutex);
-                writer.set_heap(i, heap.in_use, heap.held);
+                writer.set_heap(i + 1, heap.in_use, heap.held);
             }
         } else {
             (void)now;
@@ -1132,7 +1239,7 @@ class HoardAllocator final : public Allocator
         hs.index = heap.index;
         hs.in_use = heap.in_use;
         hs.held = heap.held;
-        hs.empty_cached = heap.empty_list.size();
+        hs.empty_cached = 0;  // per-proc heaps cache no empties
         for (std::size_t cls = 0; cls < heap.bins.size(); ++cls) {
             auto& bin = heap.bins[cls];
             obs::ClassSnapshot& cs = hs.classes[cls];
@@ -1154,12 +1261,52 @@ class HoardAllocator final : public Allocator
             hs.lock = heap.mutex.stats_locked();
     }
 
-    Heap& global_heap() { return *heaps_[0]; }
+    /**
+     * Synthesizes heap 0's snapshot from the per-class bins and the
+     * reuse cache, one bin lock at a time.  Lock profiles are summed
+     * across the bins (histogram merge) so the heap-0 contention row
+     * keeps meaning "the global heap" after the sharding.  Same
+     * no-allocation contract as fill_heap_snapshot().
+     */
+    void
+    fill_global_snapshot(obs::HeapSnapshot& hs)
+    {
+        hs.index = 0;
+        for (auto& bin_ptr : global_bins_) {
+            Bin& bin = *bin_ptr;
+            std::lock_guard<typename Bin::Mutex> guard(bin.mutex);
+            hs.in_use += bin.in_use;
+            hs.held += bin.held;
+            obs::ClassSnapshot& cs =
+                hs.classes[static_cast<std::size_t>(bin.size_class)];
+            for (int g = 0; g < Superblock::kGroupCount; ++g) {
+                for (Superblock* sb = bin.groups[g].front();
+                     sb != nullptr; sb = bin.groups[g].next(sb)) {
+                    ++cs.group_counts[static_cast<std::size_t>(g)];
+                    ++cs.superblocks;
+                    cs.used_blocks += sb->used();
+                    cs.capacity_blocks += sb->capacity();
+                    hs.uncarved +=
+                        sb->span_bytes() -
+                        static_cast<std::size_t>(sb->capacity()) *
+                            sb->block_bytes();
+                }
+            }
+            if constexpr (Policy::kObsEnabled) {
+                obs::LockStats ls = bin.mutex.stats_locked();
+                hs.lock.acquires += ls.acquires;
+                hs.lock.contended += ls.contended;
+                hs.lock.wait.merge(ls.wait);
+            }
+        }
+        hs.empty_cached = reuse_cache_.size();
+        hs.held += hs.empty_cached * config_.superblock_bytes;
+    }
 
     Heap&
     my_heap()
     {
-        return *heaps_[static_cast<std::size_t>(my_heap_index())];
+        return *heaps_[static_cast<std::size_t>(my_heap_index() - 1)];
     }
 
     /**
@@ -1238,31 +1385,42 @@ class HoardAllocator final : public Allocator
     {
         void* block = sb->block_start(p);
         for (;;) {
-            Heap* heap = static_cast<Heap*>(sb->owner());
-            if (heap->mutex.is_locked_hint()) {
-                remote_free(*heap, sb, block);
+            Base* home = static_cast<Base*>(sb->owner());
+            if (home->mutex.is_locked_hint()) {
+                remote_free(*home, sb, block);
                 return;
             }
             // The hint can go stale before the acquire; then we block
             // briefly (the paper's behavior), which is still correct.
-            heap->mutex.lock();
-            if (static_cast<Heap*>(sb->owner()) != heap) {
-                heap->mutex.unlock();
+            home->mutex.lock();
+            if (static_cast<Base*>(sb->owner()) != home) {
+                home->mutex.unlock();
                 continue;
             }
-            free_into_heap_locked(*heap, sb, block);
+            free_into_locked(*home, sb, block);
             Policy::work(CostKind::list_op);
-            settle_and_unlock(*heap);
+            settle_and_unlock(*home);
             return;
         }
     }
 
+    /** Lands one free block in its home, dispatching on the home kind
+        (index 0 = global bin).  Caller holds @p home's lock. */
+    void
+    free_into_locked(Base& home, Superblock* sb, void* block)
+    {
+        if (home.index == 0)
+            free_into_bin_locked(static_cast<Bin&>(home), sb, block);
+        else
+            free_into_heap_locked(static_cast<Heap&>(home), sb, block);
+    }
+
     /**
-     * Lands one (whole) free block in @p heap, which owns @p sb and
-     * whose lock the caller holds: superblock bookkeeping, u_i, and the
-     * global heap's empty-superblock recycling.  Invariant enforcement
-     * is the caller's job (settle_and_unlock / drain paths), so chains
-     * can land many blocks per enforcement pass.
+     * Lands one (whole) free block in per-processor @p heap, which owns
+     * @p sb and whose lock the caller holds: superblock bookkeeping,
+     * u_i, and the fullness-group move.  Invariant enforcement is the
+     * caller's job (settle_and_unlock / drain paths), so chains can
+     * land many blocks per enforcement pass.
      */
     void
     free_into_heap_locked(Heap& heap, Superblock* sb, void* block)
@@ -1273,12 +1431,38 @@ class HoardAllocator final : public Allocator
         sb->deallocate_block(block);
         heap.in_use -= sb->block_bytes();
         heap.relink(sb, old_group);
-        if (heap.index == 0 && sb->empty()) {
-            // Global heap: recycle fully-empty superblocks across
-            // classes instead of enforcing the emptiness invariant.
-            heap.unlink(sb, sb->fullness_group());
-            retire_empty_locked(heap, sb);
+    }
+
+    /**
+     * Lands one (whole) free block in global bin @p bin, which owns
+     * @p sb and whose lock the caller holds.  A superblock that empties
+     * here *stays in the bin* (band 0), class-retentive: the next
+     * same-class fetch takes it back formatted, with no re-carve.  Only
+     * empties born in per-processor heaps — class-neutral capital —
+     * go to the lock-free cross-class reuse cache.  Retained empties
+     * count against Config::empty_cache_limit together with the cache;
+     * past the limit the superblock is unmapped instead.
+     */
+    void
+    free_into_bin_locked(Bin& bin, Superblock* sb, void* block)
+    {
+        int old_group = sb->fullness_group();
+        Policy::touch(block, sizeof(void*), true);
+        Policy::touch(sb, sizeof(Superblock), true);
+        sb->deallocate_block(block);
+        bin.in_use -= sb->block_bytes();
+        if (sb->empty() &&
+            reuse_cache_.size() +
+                    bin_empties_.load(std::memory_order_relaxed) >=
+                config_.empty_cache_limit) {
+            bin.unlink(sb, old_group);
+            bin.held -= sb->span_bytes();
+            release_to_provider(sb);
+            return;
         }
+        if (sb->empty())
+            bin_empties_.fetch_add(1, std::memory_order_relaxed);
+        bin.relink(sb, old_group);
     }
 
     /**
@@ -1292,6 +1476,15 @@ class HoardAllocator final : public Allocator
      * amortized cost O(1) (every transferred superblock was paid for
      * by the frees that emptied it), and is what the invariant-based
      * blowup bound actually requires.  Caller holds the heap lock.
+     *
+     * Batched: the loop collects every victim first (the owner's lock
+     * is already held; no global lock is touched while deciding), then
+     * lands them — empties go to the lock-free reuse cache, partials
+     * to their class bins with every same-class victim spliced in
+     * under one bin-lock acquisition.  Between unlink and landing a
+     * victim's owner still reads @p heap, whose lock we hold, so a
+     * concurrent free remote-queues and is re-routed at the next
+     * drain — the same transient the single-victim transfer had.
      */
     void
     maybe_release_superblock(Heap& heap)
@@ -1300,13 +1493,14 @@ class HoardAllocator final : public Allocator
             config_.slack_superblocks * config_.superblock_bytes;
         const double keep_fraction = 1.0 - config_.empty_fraction;
 
+        SuperblockList victims;
         while (heap.in_use + slack < heap.held &&
                static_cast<double>(heap.in_use) <
                    keep_fraction * static_cast<double>(heap.held)) {
             Superblock* victim =
                 heap.find_transfer_victim(config_.release_threshold);
             if (victim == nullptr)
-                return;  // only header slack remains (rare)
+                break;  // only header slack remains (rare)
 
             Policy::work(CostKind::transfer);
             heap.unlink(victim, victim->fullness_group());
@@ -1315,53 +1509,109 @@ class HoardAllocator final : public Allocator
             stats_.superblock_transfers.add();
             record_event(obs::EventKind::transfer_to_global, heap.index,
                          victim->size_class(), victim->span_bytes());
+            victims.push_front(victim);
+        }
 
-            Heap& global = global_heap();
-            std::lock_guard<typename Heap::Mutex> guard(global.mutex);
-            victim->set_owner(&global);
-            global.held += victim->span_bytes();
-            global.in_use += victim->used_bytes();
-            if (victim->empty())
-                retire_empty_locked(global, victim);
-            else
-                global.link(victim);
+        while (Superblock* sb = victims.pop_front()) {
+            if (sb->empty()) {
+                retire_empty(sb);
+                continue;
+            }
+            Bin& bin = *global_bins_[
+                static_cast<std::size_t>(sb->size_class())];
+            std::lock_guard<typename Bin::Mutex> guard(bin.mutex);
+            land_in_bin_locked(bin, sb);
+            // Splice every remaining victim of this class under the
+            // same acquisition — the batched transfer.
+            Superblock* next = victims.front();
+            while (next != nullptr) {
+                Superblock* after = victims.next(next);
+                if (!next->empty() &&
+                    next->size_class() == bin.size_class) {
+                    victims.remove(next);
+                    land_in_bin_locked(bin, next);
+                }
+                next = after;
+            }
         }
     }
 
+    /** Hands unlinked, non-empty @p sb to @p bin. Caller holds the bin
+        lock; the owner store happens under it (escaped blocks exist). */
+    void
+    land_in_bin_locked(Bin& bin, Superblock* sb)
+    {
+        sb->set_owner(static_cast<Base*>(&bin));
+        bin.held += sb->span_bytes();
+        bin.in_use += sb->used_bytes();
+        bin.link(sb);
+        Policy::work(CostKind::list_op);
+    }
+
     /**
-     * Pulls a superblock of @p cls from the global heap — a partial one
-     * of the same class if available, otherwise a recycled empty one
-     * reformatted to @p cls — and hands it to @p dest, whose lock the
-     * caller holds.  The handover happens entirely under the global
-     * lock: a superblock with escaped blocks must never have a null or
-     * stale owner, or a concurrent free would lock (or dereference)
-     * the wrong heap.  Returns nullptr when the global heap is empty.
+     * Pulls superblocks of @p cls from the global heap for @p dest,
+     * whose lock the caller holds.  The class's bin is probed first —
+     * without its lock, via the approximate occupancy counter — and a
+     * hit pulls up to Config::global_fetch_batch superblocks (partials
+     * fullest-first, then the bin's retained empties, all already
+     * formatted for @p cls) under one bin-lock acquisition: the cold
+     * heap is about to miss repeatedly, so batching amortizes the
+     * round trip.  On a miss the lock-free reuse cache supplies a
+     * recycled empty superblock, reformatted if its last class
+     * differs.  Each handover happens
+     * under the lock of the side that still owns escaped blocks (bin
+     * for partials; an empty superblock has none), so a concurrent
+     * free never sees a null or stale owner it could act on.  Returns
+     * the fullest pulled superblock, or nullptr when the global heap
+     * has nothing — the caller then maps fresh memory.
      */
     Superblock*
     fetch_from_global(int cls, Heap& dest)
     {
-        Heap& global = global_heap();
-        std::lock_guard<typename Heap::Mutex> guard(global.mutex);
-
-        int probes = 0;
-        Superblock* sb = global.find_allocatable(cls, &probes);
-        for (int i = 0; i < probes; ++i)
-            Policy::work(CostKind::list_op);
-
-        if (sb != nullptr) {
-            global.unlink(sb, sb->fullness_group());
-        } else if ((sb = global.empty_list.pop_front()) != nullptr) {
-            if (sb->size_class() != cls) {
-                Policy::work(CostKind::superblock_init);
-                sb->reformat(cls, static_cast<std::uint32_t>(
-                                      classes_.block_size(cls)));
+        Bin& bin = *global_bins_[static_cast<std::size_t>(cls)];
+        Superblock* first = nullptr;
+        if (bin.occupancy.load(std::memory_order_relaxed) != 0) {
+            std::lock_guard<typename Bin::Mutex> guard(bin.mutex);
+            drain_remote_locked(bin);
+            for (std::size_t pulled = 0;
+                 pulled < config_.global_fetch_batch; ++pulled) {
+                int probes = 0;
+                Superblock* sb = bin.find_allocatable(&probes);
+                for (int i = 0; i < probes; ++i)
+                    Policy::work(CostKind::list_op);
+                if (sb == nullptr)
+                    break;
+                bin.unlink(sb, sb->fullness_group());
+                bin.held -= sb->span_bytes();
+                bin.in_use -= sb->used_bytes();
+                if (sb->empty())
+                    bin_empties_.fetch_sub(1,
+                                           std::memory_order_relaxed);
+                stats_.global_fetches.add();
+                adopt(dest, sb);
+                record_event(obs::EventKind::fetch_from_global,
+                             dest.index, cls, sb->span_bytes());
+                if (first == nullptr)
+                    first = sb;  // fullest: pulled fullest-first
             }
-        } else {
-            return nullptr;
         }
+        if (first != nullptr) {
+            stats_.global_bin_hits.add();
+            return first;
+        }
+        stats_.global_bin_misses.add();
 
-        global.held -= sb->span_bytes();
-        global.in_use -= sb->used_bytes();
+        Superblock* sb = reuse_cache_.pop(cls);
+        if (sb == nullptr)
+            return nullptr;
+        stats_.cache_pops.add();
+        record_event(obs::EventKind::cache_pop, dest.index,
+                     sb->size_class(), sb->span_bytes());
+        if (sb->size_class() != cls) {
+            Policy::work(CostKind::superblock_init);
+            sb->reformat(cls, static_cast<std::uint32_t>(
+                                  classes_.block_size(cls)));
+        }
         stats_.global_fetches.add();
         adopt(dest, sb);
         record_event(obs::EventKind::fetch_from_global, dest.index, cls,
@@ -1391,35 +1641,46 @@ class HoardAllocator final : public Allocator
     void
     adopt(Heap& heap, Superblock* sb)
     {
-        sb->set_owner(&heap);
+        sb->set_owner(static_cast<Base*>(&heap));
         heap.held += sb->span_bytes();
         heap.in_use += sb->used_bytes();
         heap.link(sb);
     }
 
     /**
-     * Parks empty @p sb on the global empty list, unmapping it instead
-     * when the cache is over its limit.  Caller holds the global lock.
+     * Retires unlinked, completely-empty @p sb: pushed onto the
+     * lock-free reuse cache, or unmapped when the cache is over its
+     * limit.  The owner is cleared first — safe because an empty
+     * superblock has no escaped blocks, so no free can race the store.
+     * Callers hold no particular lock (the push is lock-free).
      */
     void
-    retire_empty_locked(Heap& global, Superblock* sb)
+    retire_empty(Superblock* sb)
     {
-        if (global.empty_list.size() >= config_.empty_cache_limit) {
-            global.held -= sb->span_bytes();
+        if (reuse_cache_.size() >= config_.empty_cache_limit) {
             release_to_provider(sb);
             return;
         }
-        global.empty_list.push_front(sb);
+        sb->set_owner(nullptr);
+        reuse_cache_.push(sb);
+        stats_.cache_pushes.add();
+        record_event(obs::EventKind::cache_push, 0, sb->size_class(),
+                     sb->span_bytes());
     }
 
     /**
      * Unmaps an unlinked superblock, settling the footprint gauges.
-     * The caller has already removed @p sb from its heap's lists and
-     * held count.  Returns the bytes given back.
+     * The caller has already removed @p sb from its home's lists and
+     * held count.  Waits out any in-flight reuse-cache pop first: a
+     * popper holding a stale head pointer may still dereference the
+     * superblock's cache link (one relaxed load when no pop is in
+     * flight — the overwhelmingly common case).  Returns the bytes
+     * given back.
      */
     std::size_t
     release_to_provider(Superblock* sb)
     {
+        reuse_cache_.await_poppers();
         std::size_t bytes = sb->span_bytes();
         stats_.held_bytes.sub(bytes);
         stats_.os_bytes.sub(bytes);
@@ -1462,8 +1723,9 @@ class HoardAllocator final : public Allocator
             return nullptr;
         Superblock* sb = Superblock::create_huge(memory, total, size);
         {
-            std::lock_guard<typename Policy::Mutex> guard(huge_mutex_);
-            huge_list_.push_front(sb);
+            HugeStripe& stripe = huge_stripe_for(memory);
+            std::lock_guard<typename Policy::Mutex> guard(stripe.mutex);
+            stripe.list.push_front(sb);
         }
         stats_.allocs.add();
         stats_.huge_allocs.add();
@@ -1481,8 +1743,9 @@ class HoardAllocator final : public Allocator
     {
         Policy::work(CostKind::os_map);
         {
-            std::lock_guard<typename Policy::Mutex> guard(huge_mutex_);
-            huge_list_.remove(sb);
+            HugeStripe& stripe = huge_stripe_for(sb);
+            std::lock_guard<typename Policy::Mutex> guard(stripe.mutex);
+            stripe.list.remove(sb);
         }
         std::size_t user = sb->huge_user_bytes();
         std::size_t total = sb->span_bytes();
@@ -1505,11 +1768,24 @@ class HoardAllocator final : public Allocator
                         unmap_superblock(sb);
                 }
             }
-            while (Superblock* sb = heap->empty_list.pop_front())
+        }
+        for (auto& bin : global_bins_) {
+            for (auto& group : bin->groups) {
+                while (Superblock* sb = group.pop_front())
+                    unmap_superblock(sb);
+            }
+        }
+        Superblock* chain = reuse_cache_.drain();
+        while (chain != nullptr) {
+            Superblock* next =
+                chain->cache_next.load(std::memory_order_relaxed);
+            unmap_superblock(chain);
+            chain = next;
+        }
+        for (auto& stripe : huge_stripes_) {
+            while (Superblock* sb = stripe.list.pop_front())
                 unmap_superblock(sb);
         }
-        while (Superblock* sb = huge_list_.pop_front())
-            unmap_superblock(sb);
     }
 
     void
@@ -1551,61 +1827,119 @@ class HoardAllocator final : public Allocator
                 }
             }
         }
-        for (Superblock* sb = heap.empty_list.front(); sb != nullptr;
-             sb = heap.empty_list.next(sb)) {
-            HOARD_CHECK(sb->empty());
-            held_sum += sb->span_bytes();
-        }
         HOARD_CHECK(used_sum == heap.in_use);
         HOARD_CHECK(held_sum == heap.held);
 
-        if (heap.index != 0) {
-            // Emptiness invariant, in the form the algorithm actually
-            // guarantees at an arbitrary instant:
-            //
-            //   u >= (1-t) * (a - allowance) - K*S
-            //
-            // with t the victim release threshold: the transfer loop
-            // stops either restored (u >= (1-f)a, stronger since
-            // t >= f) or because no superblock is t-empty, i.e. every
-            // superblock has used > (1-t)*capacity.  The allowance
-            // covers (a) bytes a superblock cannot carve into blocks
-            // (header + tail remainder); (b) one *fetched* superblock
-            // per active size class — enforcement runs on free only
-            // (paper Figure 3), and an allocation may pull one partial
-            // superblock per class from the global heap between frees;
-            // (c) one superblock of transient for the free currently
-            // in flight on another thread.
-            const double t = config_.release_threshold;
-            const std::size_t S = config_.superblock_bytes;
-            const std::size_t k_slack =
-                config_.slack_superblocks * S + S;
-            const std::size_t allowance =
-                uncarved + (active_classes + 1) * S;
-            bool ok =
-                heap.in_use + k_slack >= heap.held ||
-                static_cast<double>(heap.in_use) >=
-                    (1.0 - t) *
-                            static_cast<double>(heap.held - std::min(
-                                                    allowance,
-                                                    heap.held)) -
-                        static_cast<double>(k_slack);
-            HOARD_CHECK(ok);
+        // Emptiness invariant, in the form the algorithm actually
+        // guarantees at an arbitrary instant:
+        //
+        //   u >= (1-t) * (a - allowance) - K*S
+        //
+        // with t the victim release threshold: the transfer loop
+        // stops either restored (u >= (1-f)a, stronger since
+        // t >= f) or because no superblock is t-empty, i.e. every
+        // superblock has used > (1-t)*capacity.  The allowance
+        // covers (a) bytes a superblock cannot carve into blocks
+        // (header + tail remainder); (b) up to global_fetch_batch
+        // *fetched* superblocks per active size class — enforcement
+        // runs on free only (paper Figure 3), and an allocation may
+        // batch-pull that many partial superblocks per class from the
+        // global bins between frees; (c) one superblock of transient
+        // for the free currently in flight on another thread.
+        const double t = config_.release_threshold;
+        const std::size_t S = config_.superblock_bytes;
+        const std::size_t k_slack = config_.slack_superblocks * S + S;
+        const std::size_t allowance =
+            uncarved +
+            (active_classes * config_.global_fetch_batch + 1) * S;
+        bool ok =
+            heap.in_use + k_slack >= heap.held ||
+            static_cast<double>(heap.in_use) >=
+                (1.0 - t) *
+                        static_cast<double>(heap.held - std::min(
+                                                allowance,
+                                                heap.held)) -
+                    static_cast<double>(k_slack);
+        HOARD_CHECK(ok);
+    }
+
+    /** Counter/list consistency for one global bin; takes its lock.
+        Bins hold superblocks of their own class only — partials plus
+        retained empties (band 0) — and the lock-free occupancy hint
+        is exact at quiescence.  Returns the retained-empty count so
+        check_invariants can reconcile the bin_empties_ gauge. */
+    std::size_t
+    check_bin(Bin& bin)
+    {
+        std::lock_guard<typename Bin::Mutex> guard(bin.mutex);
+        std::size_t used_sum = 0;
+        std::size_t held_sum = 0;
+        std::size_t empties = 0;
+        std::uint32_t count = 0;
+        for (int g = 0; g < Superblock::kGroupCount; ++g) {
+            for (Superblock* sb = bin.groups[g].front(); sb != nullptr;
+                 sb = bin.groups[g].next(sb)) {
+                HOARD_CHECK(sb->size_class() == bin.size_class);
+                HOARD_CHECK(sb->fullness_group() == g);
+                HOARD_CHECK(sb->owner() == static_cast<Base*>(&bin));
+                HOARD_CHECK(sb->used() <= sb->capacity());
+                if (sb->empty())
+                    ++empties;
+                used_sum += sb->used_bytes();
+                held_sum += sb->span_bytes();
+                ++count;
+            }
         }
+        HOARD_CHECK(used_sum == bin.in_use);
+        HOARD_CHECK(held_sum == bin.held);
+        HOARD_CHECK(count ==
+                    bin.occupancy.load(std::memory_order_relaxed));
+        return empties;
+    }
+
+    /// One stripe of the huge-object list: huge registrations hash to
+    /// a stripe by address, so concurrent huge allocations rarely
+    /// share a lock.
+    struct HugeStripe
+    {
+        typename Policy::Mutex mutex;
+        SuperblockList list;
+    };
+
+    /** The stripe registering the huge span that starts at @p p. */
+    HugeStripe&
+    huge_stripe_for(const void* p)
+    {
+        auto addr = reinterpret_cast<std::uintptr_t>(p);
+        return huge_stripes_[(addr / config_.superblock_bytes) &
+                             (kHugeStripes - 1)];
     }
 
     const Config config_;
     os::PageProvider& provider_;
     SizeClasses classes_;
+    /// Per-processor heaps; heaps_[i] is heap i + 1.  Heap 0 — the
+    /// global heap — is the per-class bins plus the reuse cache below.
     std::vector<std::unique_ptr<Heap>> heaps_;
+    /// The sharded global heap: one bin (own lock) per size class.
+    std::vector<std::unique_ptr<Bin>> global_bins_;
+    /// Lock-free cache of completely-empty superblocks: one Treiber
+    /// stack per size class, so a same-class pop recycles a superblock
+    /// already formatted for it; cross-class steals reformat.
+    SuperblockCache<Policy> reuse_cache_;
+    /// Empty superblocks retained inside global bins (class-local, so
+    /// not in the cache).  Updated under the owning bin's lock but
+    /// atomic because distinct bin locks do not order each other;
+    /// together with the cache size it is bounded by
+    /// Config::empty_cache_limit.
+    std::atomic<std::size_t> bin_empties_{0};
     /// Guards cache_nodes_ and serializes magazine flushes against each
     /// other (never against the owners' lock-free fast paths).
     typename Policy::Mutex cache_mutex_;
     detail::MagazineNode* cache_nodes_ = nullptr;
     std::uint64_t magazine_id_ = 0;   ///< 0 = caching disabled
     std::uint32_t batch_blocks_ = 1;  ///< N of the batched fast path
-    typename Policy::Mutex huge_mutex_;
-    SuperblockList huge_list_;
+    HugeStripe huge_stripes_[kHugeStripes];
     detail::AllocatorStats stats_;
     /// Event rings; non-null only while tracing is enabled.
     std::unique_ptr<obs::EventRecorder> recorder_;

@@ -292,6 +292,17 @@ class Superblock
     /** Intrusive hook: which fullness-group list this superblock is on. */
     detail::ListNode list_hook;
 
+    /**
+     * Link used by the lock-free empty-superblock reuse cache
+     * (core/superblock_cache.h).  Deliberately distinct from both
+     * free_list_ (an empty superblock keeps its freed-block chain
+     * intact so a same-class refetch skips the re-carve) and list_hook
+     * (a cached superblock is on no fullness-group list).  Atomic
+     * because a concurrent popper may read it while a pusher installs
+     * it; the cache's head CAS publishes the store.
+     */
+    std::atomic<Superblock*> cache_next{nullptr};
+
   private:
     Superblock() = default;
 

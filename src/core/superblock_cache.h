@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Lock-free cache of completely-empty superblocks: one Treiber stack
+ * per (span, size class) key.
+ *
+ * The slow path's recycling hot spot: under the default release
+ * threshold (t = 1) every superblock that reaches the global heap is
+ * completely empty, so with a sharded global heap the reuse traffic
+ * all lands here.  An empty superblock keeps the block format of its
+ * last class, and re-carving it for a different class costs a
+ * superblock_init, so the cache is *keyed*: pushes file a superblock
+ * under its current class, and a pop for class c takes from c's stack
+ * first — recycling formatted superblocks for free — before stealing
+ * from any other class's stack (scalloc's span pools make the same
+ * move: global, segregated, lock-free).  Push and pop stay single
+ * compare-exchanges on one head word — no mutex anywhere.
+ *
+ * Two classic Treiber hazards and their resolutions:
+ *
+ *  - **ABA**: a popper reads head = A, gets preempted; A is popped,
+ *    B pushed, A pushed again.  The stale popper's CAS would succeed
+ *    and install A's *old* next pointer.  Superblocks are S-aligned,
+ *    so the low log2(S) bits of the head are free: they hold a tag
+ *    incremented on every successful swing, making the stale CAS fail.
+ *    (At the minimum S = 1024 that is a 10-bit tag — 1024 complete
+ *    head swings inside one read-to-CAS window are needed to wrap it.)
+ *
+ *  - **Use-after-unmap**: a popper holding a stale head pointer
+ *    dereferences sb->cache_next while another thread pops that
+ *    superblock and returns it to the OS.  Poppers therefore announce
+ *    themselves in `poppers_` (seq_cst) around the pop loop — one
+ *    announcement covers every stack a steal scan may visit — and any
+ *    code path about to unmap a superblock that ever transited this
+ *    cache must call await_poppers() first: once the superblock is
+ *    unreachable from every head *and* the announced poppers have
+ *    drained, no thread can still hold a pointer into it.  The bulk
+ *    drain (snapshots, release_free_memory, destructor) detaches all
+ *    chains and then waits once.
+ *
+ * The count is maintained outside the CAS (relaxed): exact whenever
+ * the cache is quiescent — which is when snapshots reconcile — and
+ * within one push/pop of exact otherwise; it doubles as the
+ * "occupancy" hint that lets allocation skip an empty cache without
+ * touching any head cache line.
+ */
+
+#ifndef HOARD_CORE_SUPERBLOCK_CACHE_H_
+#define HOARD_CORE_SUPERBLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/failure.h"
+#include "common/mathutil.h"
+#include "core/superblock.h"
+#include "policy/cost_kind.h"
+
+namespace hoard {
+
+template <typename Policy>
+class SuperblockCache
+{
+  public:
+    /**
+     * @param superblock_bytes  span S (power of two; also the tag mask)
+     * @param num_classes       stacks to key by (size-class count)
+     */
+    SuperblockCache(std::size_t superblock_bytes, std::size_t num_classes)
+        : tag_mask_(superblock_bytes - 1),
+          num_classes_(num_classes),
+          heads_(new std::atomic<std::uintptr_t>[num_classes]())
+    {
+        HOARD_DCHECK(detail::is_pow2(superblock_bytes));
+        HOARD_DCHECK(num_classes >= 1);
+    }
+
+    SuperblockCache(const SuperblockCache&) = delete;
+    SuperblockCache& operator=(const SuperblockCache&) = delete;
+
+    /** Superblocks currently cached (exact at quiescence). */
+    std::size_t
+    size() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Lock-free push of a completely-empty superblock, filed under
+        its current size class.  Any thread. */
+    void
+    push(Superblock* sb)
+    {
+        HOARD_DCHECK(sb->empty());
+        HOARD_DCHECK(sb->size_class() >= 0 &&
+                     static_cast<std::size_t>(sb->size_class()) <
+                         num_classes_);
+        const auto ptr = reinterpret_cast<std::uintptr_t>(sb);
+        HOARD_DCHECK((ptr & tag_mask_) == 0);
+        std::atomic<std::uintptr_t>& head =
+            heads_[static_cast<std::size_t>(sb->size_class())];
+        std::uintptr_t old = head.load(std::memory_order_relaxed);
+        for (;;) {
+            sb->cache_next.store(untag(old), std::memory_order_relaxed);
+            if (head.compare_exchange_weak(old, ptr | next_tag(old),
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed))
+                break;
+        }
+        count_.fetch_add(1, std::memory_order_relaxed);
+        Policy::work(CostKind::list_op);
+    }
+
+    /**
+     * Lock-free pop for class @p cls; nullptr when the whole cache is
+     * empty.  @p cls's own stack is tried first — a hit needs no
+     * re-carve — then the other stacks in ring order (the steal probes
+     * are relaxed head loads, charged only when a nonempty stack is
+     * actually popped).  The caller owns the returned superblock
+     * outright (it is on no list and has no owner heap) and must check
+     * its size_class(): a stolen superblock still wears its old class.
+     */
+    Superblock*
+    pop(int cls)
+    {
+        if (count_.load(std::memory_order_relaxed) == 0)
+            return nullptr;
+        HOARD_DCHECK(cls >= 0 &&
+                     static_cast<std::size_t>(cls) < num_classes_);
+        poppers_.fetch_add(1, std::memory_order_seq_cst);
+        Superblock* out = take(
+            heads_[static_cast<std::size_t>(cls)]);
+        for (std::size_t i = 1; out == nullptr && i < num_classes_;
+             ++i) {
+            std::atomic<std::uintptr_t>& head =
+                heads_[(static_cast<std::size_t>(cls) + i) %
+                       num_classes_];
+            if (head.load(std::memory_order_relaxed) == 0)
+                continue;
+            out = take(head);
+        }
+        poppers_.fetch_sub(1, std::memory_order_seq_cst);
+        if (out != nullptr)
+            count_.fetch_sub(1, std::memory_order_relaxed);
+        Policy::work(CostKind::list_op);
+        return out;
+    }
+
+    /**
+     * Detaches every cached superblock with one exchange per stack and
+     * waits for announced poppers to drain, so the caller may walk —
+     * and unmap — the returned chain (linked through cache_next)
+     * safely.  Per-class chains are spliced in class order, each LIFO;
+     * nullptr when the cache was empty.
+     */
+    Superblock*
+    drain()
+    {
+        Superblock* chain = nullptr;
+        std::size_t n = 0;
+        for (std::size_t c = 0; c < num_classes_; ++c) {
+            std::uintptr_t old =
+                heads_[c].exchange(0, std::memory_order_acquire);
+            Superblock* head = untag(old);
+            if (head == nullptr)
+                continue;
+            Superblock* tail = head;
+            ++n;
+            for (Superblock* next = tail->cache_next.load(
+                     std::memory_order_relaxed);
+                 next != nullptr;
+                 next = tail->cache_next.load(
+                     std::memory_order_relaxed)) {
+                tail = next;
+                ++n;
+            }
+            tail->cache_next.store(chain, std::memory_order_relaxed);
+            chain = head;
+        }
+        if (n != 0)
+            count_.fetch_sub(n, std::memory_order_relaxed);
+        await_poppers();
+        return chain;
+    }
+
+    /**
+     * Spins until no pop is in flight.  Precondition for unmapping any
+     * superblock that was ever reachable from a cache head.  The
+     * spin charges virtual work under the simulator so cooperative
+     * fibers keep making progress.
+     */
+    void
+    await_poppers() const
+    {
+        while (poppers_.load(std::memory_order_seq_cst) != 0)
+            Policy::work(CostKind::list_op);
+    }
+
+  private:
+    /** One CAS-loop pop from @p head; nullptr when it is empty. */
+    Superblock*
+    take(std::atomic<std::uintptr_t>& head)
+    {
+        std::uintptr_t old = head.load(std::memory_order_acquire);
+        while (untag(old) != nullptr) {
+            Superblock* sb = untag(old);
+            // Safe dereference: sb is reachable from head, and any
+            // unmapper must await_poppers() (we are announced) first.
+            Superblock* next =
+                sb->cache_next.load(std::memory_order_relaxed);
+            const auto next_ptr = reinterpret_cast<std::uintptr_t>(next);
+            if (head.compare_exchange_weak(old, next_ptr | next_tag(old),
+                                           std::memory_order_acquire,
+                                           std::memory_order_acquire))
+                return sb;
+        }
+        return nullptr;
+    }
+
+    Superblock*
+    untag(std::uintptr_t word) const
+    {
+        return reinterpret_cast<Superblock*>(word & ~tag_mask_);
+    }
+
+    /** Tag for the next head value: previous tag + 1, wrapped. */
+    std::uintptr_t
+    next_tag(std::uintptr_t old) const
+    {
+        return ((old & tag_mask_) + 1) & tag_mask_;
+    }
+
+    const std::uintptr_t tag_mask_;
+    const std::size_t num_classes_;
+    /// One Treiber head per size class; zero-initialized.
+    std::unique_ptr<std::atomic<std::uintptr_t>[]> heads_;
+    std::atomic<std::size_t> count_{0};
+    std::atomic<std::uint32_t> poppers_{0};
+};
+
+}  // namespace hoard
+
+#endif  // HOARD_CORE_SUPERBLOCK_CACHE_H_

@@ -50,6 +50,8 @@ enum class EventKind : std::uint16_t
     remote_free,          ///< free pushed to a busy owner's remote queue
     batch_refill,         ///< magazine refilled N blocks under one lock
     batch_flush,          ///< magazine spilled/flushed a batch of blocks
+    cache_push,           ///< empty superblock retired to the reuse cache
+    cache_pop,            ///< reuse cache supplied a recycled superblock
     kCount
 };
 
@@ -78,6 +80,10 @@ to_string(EventKind kind)
         return "batch_refill";
       case EventKind::batch_flush:
         return "batch_flush";
+      case EventKind::cache_push:
+        return "cache_push";
+      case EventKind::cache_pop:
+        return "cache_pop";
       case EventKind::kCount:
         break;
     }

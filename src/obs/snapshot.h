@@ -55,7 +55,7 @@ struct HeapSnapshot
     /** Size classes with at least one superblock present. */
     std::uint64_t active_classes = 0;
 
-    /** Superblocks parked on the empty list (global heap only). */
+    /** Superblocks parked in the empty reuse cache (global heap only). */
     std::uint64_t empty_cached = 0;
 
     /** Non-empty size classes only. */
@@ -72,16 +72,21 @@ struct HeapSnapshot
      *   u + K*S + S >= a, or
      *   u >= (1-t) * (a - allowance) - (K*S + S)
      *
-     * with allowance = uncarved + (active_classes + 1) * S.  Not
-     * meaningful for the global heap (index 0), which returns true.
+     * with allowance = uncarved + (active_classes * F + 1) * S, where
+     * F is Config::global_fetch_batch: an allocation may batch-pull up
+     * to F partial superblocks per class from the global bins between
+     * frees (enforcement runs on free only).  Not meaningful for the
+     * global heap (index 0), which returns true.
      *
-     * @param superblock_bytes  S
-     * @param release_threshold t (Config::release_threshold)
-     * @param slack_superblocks K
+     * @param superblock_bytes   S
+     * @param release_threshold  t (Config::release_threshold)
+     * @param slack_superblocks  K
+     * @param global_fetch_batch F (Config::global_fetch_batch)
      */
     bool
     emptiness_ok(std::size_t superblock_bytes, double release_threshold,
-                 std::size_t slack_superblocks) const
+                 std::size_t slack_superblocks,
+                 std::size_t global_fetch_batch = 1) const
     {
         if (index == 0)
             return true;
@@ -90,7 +95,7 @@ struct HeapSnapshot
         if (in_use + k_slack >= held)
             return true;
         const std::uint64_t allowance =
-            uncarved + (active_classes + 1) * S;
+            uncarved + (active_classes * global_fetch_batch + 1) * S;
         const std::uint64_t reduced =
             held > allowance ? held - allowance : 0;
         return static_cast<double>(in_use) >=
@@ -106,14 +111,17 @@ struct HeapSnapshot
     double
     invariant_slack_bytes(std::size_t superblock_bytes,
                           double release_threshold,
-                          std::size_t slack_superblocks) const
+                          std::size_t slack_superblocks,
+                          std::size_t global_fetch_batch = 1) const
     {
         const double S = static_cast<double>(superblock_bytes);
         const double k_slack =
             static_cast<double>(slack_superblocks) * S + S;
         const double allowance =
             static_cast<double>(uncarved) +
-            (static_cast<double>(active_classes) + 1.0) * S;
+            (static_cast<double>(active_classes) *
+                 static_cast<double>(global_fetch_batch) +
+             1.0) * S;
         const double reduced = std::max(
             0.0, static_cast<double>(held) - allowance);
         // emptiness_ok is an OR of two conditions, so the binding
@@ -144,6 +152,10 @@ struct StatsSummary
     std::uint64_t remote_drains = 0;
     std::uint64_t batch_refills = 0;
     std::uint64_t batch_flushes = 0;
+    std::uint64_t global_bin_hits = 0;
+    std::uint64_t global_bin_misses = 0;
+    std::uint64_t cache_pushes = 0;
+    std::uint64_t cache_pops = 0;
 };
 
 /** Full allocator snapshot: configuration echo + per-heap state. */
@@ -157,6 +169,7 @@ struct AllocatorSnapshot
     double empty_fraction = 0.0;
     double release_threshold = 0.0;
     std::size_t slack_superblocks = 0;
+    std::size_t global_fetch_batch = 1;
     int heap_count = 0;
     /// @}
 
@@ -224,7 +237,7 @@ struct AllocatorSnapshot
     {
         for (const HeapSnapshot& h : heaps) {
             if (!h.emptiness_ok(superblock_bytes, release_threshold,
-                                slack_superblocks))
+                                slack_superblocks, global_fetch_batch))
                 return false;
         }
         return true;

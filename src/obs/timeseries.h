@@ -59,6 +59,10 @@ struct TimeSample
     std::uint64_t frees = 0;
     std::uint64_t transfers = 0;     ///< superblock transfers to global
     std::uint64_t global_fetches = 0;
+    std::uint64_t bin_hits = 0;      ///< fetches served by a global bin
+    std::uint64_t bin_misses = 0;    ///< bin probes finding the class empty
+    std::uint64_t cache_pushes = 0;  ///< empties retired to the reuse cache
+    std::uint64_t cache_pops = 0;    ///< empties recycled from the cache
     std::vector<HeapPoint> heaps;    ///< [0] is the global heap
 
     /** A/U blowup at this instant (0 when nothing is live). */
@@ -178,6 +182,20 @@ class TimeSeriesSampler
         }
 
         void
+        set_slowpath(std::uint64_t bin_hits, std::uint64_t bin_misses,
+                     std::uint64_t cache_pushes,
+                     std::uint64_t cache_pops)
+        {
+            slot_->bin_hits.store(bin_hits, std::memory_order_relaxed);
+            slot_->bin_misses.store(bin_misses,
+                                    std::memory_order_relaxed);
+            slot_->cache_pushes.store(cache_pushes,
+                                      std::memory_order_relaxed);
+            slot_->cache_pops.store(cache_pops,
+                                    std::memory_order_relaxed);
+        }
+
+        void
         set_heap(std::size_t index, std::uint64_t in_use,
                  std::uint64_t held)
         {
@@ -254,6 +272,14 @@ class TimeSeriesSampler
                 slot.transfers.load(std::memory_order_relaxed);
             sample.global_fetches =
                 slot.fetches.load(std::memory_order_relaxed);
+            sample.bin_hits =
+                slot.bin_hits.load(std::memory_order_relaxed);
+            sample.bin_misses =
+                slot.bin_misses.load(std::memory_order_relaxed);
+            sample.cache_pushes =
+                slot.cache_pushes.load(std::memory_order_relaxed);
+            sample.cache_pops =
+                slot.cache_pops.load(std::memory_order_relaxed);
             sample.heaps.resize(heap_slots_);
             for (std::size_t h = 0; h < heap_slots_; ++h) {
                 sample.heaps[h].in_use = slot.heap_words[h * 2].load(
@@ -278,6 +304,10 @@ class TimeSeriesSampler
         std::atomic<std::uint64_t> frees{0};
         std::atomic<std::uint64_t> transfers{0};
         std::atomic<std::uint64_t> fetches{0};
+        std::atomic<std::uint64_t> bin_hits{0};
+        std::atomic<std::uint64_t> bin_misses{0};
+        std::atomic<std::uint64_t> cache_pushes{0};
+        std::atomic<std::uint64_t> cache_pops{0};
         /// u/a pairs, heap_slots entries of two words each.
         std::unique_ptr<std::atomic<std::uint64_t>[]> heap_words;
     };

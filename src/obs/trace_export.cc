@@ -88,6 +88,10 @@ write_timeseries_jsonl(std::ostream& os, const TimeSeriesSampler& sampler)
            << ",\"allocs\":" << s.allocs << ",\"frees\":" << s.frees
            << ",\"transfers\":" << s.transfers
            << ",\"global_fetches\":" << s.global_fetches
+           << ",\"bin_hits\":" << s.bin_hits
+           << ",\"bin_misses\":" << s.bin_misses
+           << ",\"cache_pushes\":" << s.cache_pushes
+           << ",\"cache_pops\":" << s.cache_pops
            << ",\"blowup\":";
         put_double(os, s.blowup());
         os << ",\"heaps\":[";
@@ -128,7 +132,8 @@ write_prometheus(std::ostream& os, const AllocatorSnapshot& snap)
            << "\"} ";
         put_double(os, h.invariant_slack_bytes(snap.superblock_bytes,
                                                snap.release_threshold,
-                                               snap.slack_superblocks));
+                                               snap.slack_superblocks,
+                                               snap.global_fetch_batch));
         os << '\n';
     }
 
@@ -139,6 +144,17 @@ write_prometheus(std::ostream& os, const AllocatorSnapshot& snap)
             os << "hoard_heap_superblocks{heap=\"" << h.index
                << "\",size_class=\"" << c.size_class << "\"} "
                << c.superblocks << '\n';
+        }
+    }
+
+    prom_header(os, "hoard_global_bin_occupancy", "gauge",
+                "superblocks parked in each per-class global bin");
+    for (const HeapSnapshot& h : snap.heaps) {
+        if (h.index != 0)
+            continue;
+        for (const ClassSnapshot& c : h.classes) {
+            os << "hoard_global_bin_occupancy{size_class=\""
+               << c.size_class << "\"} " << c.superblocks << '\n';
         }
     }
 
@@ -210,6 +226,19 @@ write_prometheus(std::ostream& os, const AllocatorSnapshot& snap)
     prom_header(os, "hoard_batch_flushes_total", "counter",
                 "magazine batch spills/flushes");
     os << "hoard_batch_flushes_total " << s.batch_flushes << '\n';
+    prom_header(os, "hoard_global_bin_hits_total", "counter",
+                "fetches served by a per-class global bin");
+    os << "hoard_global_bin_hits_total " << s.global_bin_hits << '\n';
+    prom_header(os, "hoard_global_bin_misses_total", "counter",
+                "bin probes that found the size class empty");
+    os << "hoard_global_bin_misses_total " << s.global_bin_misses
+       << '\n';
+    prom_header(os, "hoard_cache_pushes_total", "counter",
+                "empty superblocks retired to the reuse cache");
+    os << "hoard_cache_pushes_total " << s.cache_pushes << '\n';
+    prom_header(os, "hoard_cache_pops_total", "counter",
+                "empty superblocks recycled from the reuse cache");
+    os << "hoard_cache_pops_total " << s.cache_pops << '\n';
     os.flush();
 }
 
@@ -225,6 +254,12 @@ write_human(std::ostream& os, const AllocatorSnapshot& snap)
        << " cached " << snap.cached_bytes << " huge " << snap.huge_count
        << " (" << snap.huge_user_bytes << "/" << snap.huge_span_bytes
        << " B)\n";
+    os << "  slow path: transfers " << snap.stats.superblock_transfers
+       << " fetches " << snap.stats.global_fetches << " (bin hits "
+       << snap.stats.global_bin_hits << " misses "
+       << snap.stats.global_bin_misses << "), cache pushes "
+       << snap.stats.cache_pushes << " pops " << snap.stats.cache_pops
+       << "\n";
     os << "  reconciles: " << (snap.reconciles() ? "yes" : "no")
        << ", invariant: "
        << (snap.all_heaps_satisfy_invariant() ? "ok" : "VIOLATED")
@@ -238,7 +273,8 @@ write_human(std::ostream& os, const AllocatorSnapshot& snap)
             put_double(os, h.invariant_slack_bytes(
                                snap.superblock_bytes,
                                snap.release_threshold,
-                               snap.slack_superblocks));
+                               snap.slack_superblocks,
+                               snap.global_fetch_batch));
         }
         if (h.index == 0)
             os << " empty-cached=" << h.empty_cached;
