@@ -18,7 +18,10 @@
  * The contract the CI gate enforces (`--check`): compiled-in-but-
  * disabled instrumentation costs less than 2% on the hot path, and
  * so does enabled-but-idle sampling relative to plain tracing-on
- * (the sampler must not tax users who enable tracing).
+ * (the sampler must not tax users who enable tracing).  The same
+ * budget gates the hardened free path (Config::hardened_free, the
+ * production default): pointer validation on deallocate must stay
+ * under 2% against a trusting build.
  * Measurements interleave repetitions across variants and compare
  * medians, so clock drift and frequency steps cancel instead of
  * biasing one variant.  Each repetition constructs a fresh allocator:
@@ -174,6 +177,8 @@ main(int argc, char** argv)
 
     Config config;
     config.heap_count = 4;
+    Config unhardened_config = config;
+    unhardened_config.hardened_free = false;
     Config traced_config = config;
     traced_config.observability = true;
     Config idle_sampler_config = traced_config;
@@ -187,6 +192,7 @@ main(int argc, char** argv)
     // each time); see median_paired_pct.
     std::vector<double> base_ns, disabled_ns, idle_ns, enabled_ns;
     std::vector<double> base_huge_ns, disabled_huge_ns;
+    std::vector<double> unhardened_ns, hardened_ns;
     // Each huge pair is an mmap/munmap round trip; scale the count so
     // the huge loop costs about as much wall clock as the hot path.
     const std::size_t huge_pairs = pairs / 256 + 1;
@@ -210,6 +216,16 @@ main(int argc, char** argv)
         HoardAllocator<NativePolicy> enabled(traced_config);
         enabled_ns.push_back(time_pairs(enabled, pairs));
     };
+    // Hardened-free pair: both uninstrumented, so the comparison
+    // isolates the deallocate-side pointer validation.
+    auto run_unhardened = [&] {
+        HoardAllocator<NoObsPolicy> trusting(unhardened_config);
+        unhardened_ns.push_back(time_pairs(trusting, pairs));
+    };
+    auto run_hardened = [&] {
+        HoardAllocator<NoObsPolicy> hardened(config);
+        hardened_ns.push_back(time_pairs(hardened, pairs));
+    };
     for (int r = 0; r < reps; ++r) {
         run_base();
         run_disabled();
@@ -219,6 +235,10 @@ main(int argc, char** argv)
         run_idle();
         run_idle();
         run_enabled();
+        run_unhardened();
+        run_hardened();
+        run_hardened();
+        run_unhardened();
     }
 
     const double base = best(base_ns);
@@ -234,6 +254,10 @@ main(int argc, char** argv)
     // The idle sampler rides on tracing-on, so its budget is measured
     // against the traced variant, not the uninstrumented one.
     const double idle_pct = median_paired_pct(enabled_ns, idle_ns);
+    const double unhardened = best(unhardened_ns);
+    const double hardened = best(hardened_ns);
+    const double hardened_pct =
+        median_paired_pct(unhardened_ns, hardened_ns);
 
     std::printf("malloc hot path, 64 B pairs, best of %d x %zu:\n",
                 reps, pairs);
@@ -255,6 +279,13 @@ main(int argc, char** argv)
     std::printf("  instrumented, runtime off:          %7.2f ns/pair "
                 "(%+.2f%%)\n",
                 huge_off, huge_off_pct);
+    std::printf("free-path validation, 64 B pairs, best of %d x %zu:\n",
+                reps, pairs);
+    std::printf("  trusting free (hardened_free=false): %6.2f ns/pair\n",
+                unhardened);
+    std::printf("  hardened free (default):             %6.2f ns/pair "
+                "(%+.2f%%)\n",
+                hardened, hardened_pct);
 
     if (check) {
         bool failed = false;
@@ -287,6 +318,16 @@ main(int argc, char** argv)
             std::printf("PASS: idle-sampler overhead %.2f%% within "
                         "%.2f%%\n",
                         idle_pct, tolerance_pct);
+        }
+        if (hardened_pct > tolerance_pct) {
+            std::printf("FAIL: hardened-free overhead %.2f%% exceeds "
+                        "%.2f%%\n",
+                        hardened_pct, tolerance_pct);
+            failed = true;
+        } else {
+            std::printf("PASS: hardened-free overhead %.2f%% within "
+                        "%.2f%%\n",
+                        hardened_pct, tolerance_pct);
         }
         if (failed)
             return 1;

@@ -41,7 +41,7 @@ const char* const kBenches[] = {
     "tbl_latency",            "tbl_fragmentation",
     "tbl_taxonomy",           "tbl_uniprocessor",
     "tbl_synthetic_frag",     "micro_remote_free",
-    "micro_global_contention",
+    "micro_global_contention", "macro_preload",
 };
 
 std::string

@@ -71,6 +71,23 @@ class Gauge
     std::uint64_t current() const { return cur_.load(std::memory_order_relaxed); }
     std::uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
 
+    /**
+     * Overwrites the level (peak still ratchets up).  For single-
+     * threaded repair paths — the post-fork child recomputes gauges
+     * from the heap structures after add/sub histories tore across
+     * fork() — not for concurrent accounting.
+     */
+    void
+    set(std::uint64_t n)
+    {
+        cur_.store(n, std::memory_order_relaxed);
+        std::uint64_t seen = peak_.load(std::memory_order_relaxed);
+        while (n > seen &&
+               !peak_.compare_exchange_weak(seen, n,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+
     void
     reset()
     {
@@ -107,6 +124,10 @@ struct AllocatorStats
     Counter global_bin_misses;   ///< bin probes that found the class empty
     Counter cache_pushes;        ///< empty superblocks pushed to the reuse cache
     Counter cache_pops;          ///< empty superblocks popped from the reuse cache
+    Counter bad_free_wild;       ///< frees of pointers outside any superblock
+    Counter bad_free_foreign;    ///< frees of another allocator's memory
+    Counter bad_free_interior;   ///< frees of misaligned/interior pointers
+    Counter bad_free_double;     ///< frees of blocks already free
 
     /**
      * Fragmentation as the paper reports it: maximum memory held by the

@@ -158,6 +158,39 @@ struct Config
      */
     std::size_t obs_sample_slots = 256;
 
+    /**
+     * What deallocate() does when the hardened free path rejects a
+     * pointer (wild, foreign-arena, interior, or double free).
+     */
+    enum class BadFreePolicy
+    {
+        /** Abort with a diagnostic naming the pointer and the defect. */
+        fatal,
+
+        /**
+         * Count it (stats.bad_free_*), record a trace event, and leak
+         * the block — graceful degradation for production processes
+         * that prefer a slow leak to an abort.
+         */
+        warn,
+    };
+
+    /**
+     * Validate pointers handed to deallocate() before touching any heap
+     * structure: superblock magic, owning-arena id, block alignment
+     * against the size class, and a bounded double-free probe.  The
+     * check is a handful of reads on memory free() touches anyway
+     * (micro_obs_overhead gates the cost below 2%); disabling it
+     * restores the trusting paper-mode free path, where a hostile
+     * pointer corrupts heaps instead of being reported.  Pointers
+     * parked in thread magazines are trusted either way — the magazine
+     * fast path stays lock- and check-free.
+     */
+    bool hardened_free = true;
+
+    /** Policy applied when the hardened free path rejects a pointer. */
+    BadFreePolicy on_bad_free = BadFreePolicy::fatal;
+
     /** Aborts with HOARD_FATAL on any out-of-range parameter. */
     void validate() const;
 };

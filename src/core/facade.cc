@@ -1,6 +1,9 @@
 #include "core/facade.h"
 
+#include <pthread.h>
+
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <ostream>
@@ -19,6 +22,17 @@ global_allocator()
         Config config;
         unsigned hw = std::thread::hardware_concurrency();
         config.heap_count = hw == 0 ? 1 : static_cast<int>(hw);
+        // HOARD_HARDENED_FREE=0 restores the trusting free path;
+        // HOARD_BAD_FREE=warn counts-and-leaks instead of aborting —
+        // both tunable without a rebuild, like HOARD_OBS.
+        if (const char* v = std::getenv("HOARD_HARDENED_FREE"))
+            config.hardened_free = v[0] != '0';
+        if (const char* v = std::getenv("HOARD_BAD_FREE")) {
+            if (std::strcmp(v, "warn") == 0)
+                config.on_bad_free = Config::BadFreePolicy::warn;
+            else if (std::strcmp(v, "fatal") == 0)
+                config.on_bad_free = Config::BadFreePolicy::fatal;
+        }
         return new HoardAllocator<NativePolicy>(config);
     }();
     return *instance;
@@ -27,7 +41,10 @@ global_allocator()
 void*
 hoard_malloc(std::size_t size)
 {
-    return global_allocator().allocate(size == 0 ? 1 : size);
+    void* p = global_allocator().allocate(size == 0 ? 1 : size);
+    if (p == nullptr)
+        errno = ENOMEM;  // POSIX requires it; callers test errno
+    return p;
 }
 
 void
@@ -41,11 +58,20 @@ hoard_calloc(std::size_t count, std::size_t size)
 {
     if (size != 0 &&
         count > std::numeric_limits<std::size_t>::max() / size) {
-        return nullptr;  // multiplication would overflow
+        errno = ENOMEM;  // multiplication would overflow
+        return nullptr;
     }
     std::size_t bytes = count * size;
     void* p = hoard_malloc(bytes);
-    if (p != nullptr)
+    if (p == nullptr)
+        return nullptr;  // errno set by hoard_malloc
+    // Huge allocations come straight from freshly mapped pages, which
+    // the provider guarantees zeroed, and huge spans are never
+    // recycled — skipping the memset makes calloc of large buffers
+    // O(1).  Small blocks recycle through free lists and magazines,
+    // so they must be cleared.
+    if (global_allocator().size_classes().class_for(
+            bytes == 0 ? 1 : bytes) != SizeClasses::kHuge)
         std::memset(p, 0, bytes);
     return p;
 }
@@ -53,13 +79,17 @@ hoard_calloc(std::size_t count, std::size_t size)
 void*
 hoard_realloc(void* p, std::size_t size)
 {
-    return global_allocator().reallocate(p, size);
+    void* fresh = global_allocator().reallocate(p, size);
+    if (fresh == nullptr && size != 0)
+        errno = ENOMEM;  // realloc(p, 0) returns nullptr by design
+    return fresh;
 }
 
 void*
 hoard_aligned_alloc(std::size_t align, std::size_t size)
 {
-    return global_allocator().allocate_aligned(size, align);
+    return global_allocator().allocate_aligned(size == 0 ? 1 : size,
+                                               align);
 }
 
 int
@@ -89,6 +119,48 @@ std::size_t
 hoard_release_free_memory()
 {
     return global_allocator().release_free_memory();
+}
+
+namespace {
+
+/**
+ * Fork lock order (outermost first): the magazine liveness registry —
+ * exit flushes hold it around pinning and can precede heap locks —
+ * then every lock of the global instance (HoardAllocator::
+ * prepare_fork documents its internal order).  Parent unlocks in
+ * reverse; the child also repairs torn state (child_after_fork).
+ */
+void
+fork_prepare()
+{
+    detail::magazine_registry_prepare_fork();
+    global_allocator().prepare_fork();
+}
+
+void
+fork_parent()
+{
+    global_allocator().parent_after_fork();
+    detail::magazine_registry_parent_after_fork();
+}
+
+void
+fork_child()
+{
+    global_allocator().child_after_fork();
+    detail::magazine_registry_child_after_fork();
+}
+
+}  // namespace
+
+void
+hoard_install_atfork()
+{
+    static const int installed = [] {
+        global_allocator();  // construct before any fork can happen
+        return pthread_atfork(&fork_prepare, &fork_parent, &fork_child);
+    }();
+    (void)installed;
 }
 
 const detail::AllocatorStats&

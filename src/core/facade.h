@@ -57,6 +57,19 @@ std::size_t hoard_usable_size(const void* p);
  */
 std::size_t hoard_release_free_memory();
 
+/**
+ * Registers pthread_atfork handlers that make the global instance
+ * fork-safe in a multithreaded parent: the prepare handler acquires
+ * the magazine liveness registry and then every allocator lock in a
+ * fixed total order, so the child never inherits a lock frozen in a
+ * half-held state; the child handler additionally resets the reuse
+ * cache's popper protocol and recounts the gauges (docs/SHIM.md).
+ * Idempotent — only the first call registers.  Forces construction of
+ * the global instance, so call it early (the LD_PRELOAD shim does, in
+ * a constructor).
+ */
+void hoard_install_atfork();
+
 /** Statistics of the global instance. */
 const detail::AllocatorStats& hoard_stats();
 

@@ -46,7 +46,9 @@
 #define HOARD_CORE_HOARD_ALLOCATOR_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <limits>
 #include <memory>
@@ -74,6 +76,24 @@
 #include "policy/cost_kind.h"
 
 namespace hoard {
+namespace detail {
+
+/**
+ * Process-unique id stamped into every superblock an allocator
+ * instance formats, so the hardened free path can tell "this span
+ * belongs to a *different* HoardAllocator" apart from "this span is
+ * not a superblock at all".  Shared across policy instantiations (one
+ * counter for the process, not one per template), starting at 1 so the
+ * default Superblock arena 0 never matches a hardened allocator.
+ */
+inline std::uint32_t
+next_arena_id()
+{
+    static std::atomic<std::uint32_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 /** Hoard allocator, parameterized by execution policy. */
 template <typename Policy>
@@ -174,18 +194,35 @@ class HoardAllocator final : public Allocator
         if (p == nullptr)
             return;
         Policy::work(CostKind::free_base);
-        Superblock* sb =
-            Superblock::from_pointer(p, config_.superblock_bytes);
+        Superblock* sb;
+        if (config_.hardened_free) {
+            sb = resolve_for_free(p);
+            if (sb == nullptr)
+                return;  // rejected and reported (warn policy leaks it)
+        } else {
+            sb = Superblock::from_pointer(p, config_.superblock_bytes);
+        }
         if (sb->huge()) {
             deallocate_huge(sb);
             return;
         }
-        stats_.frees.add();
-        stats_.in_use_bytes.sub(sb->block_bytes());
-        if (detail::MagazineNode* node = my_magazines())
+        // Read before freeing: once free_block lands the block, the
+        // emptied superblock can be unmapped (empty_cache_limit) and
+        // sb must not be dereferenced again.
+        const std::size_t block_bytes = sb->block_bytes();
+        if (detail::MagazineNode* node = my_magazines()) {
+            // Magazine blocks are trusted on re-allocation, so the
+            // gauges settle up front as usual.
+            stats_.frees.add();
+            stats_.in_use_bytes.sub(block_bytes);
             magazine_push(node, sb, p);
-        else
-            free_block(sb, p);
+        } else if (free_block(sb, p)) {
+            // Gauges settle only after the locked path accepted the
+            // block: the under-lock double-free probe may still reject
+            // it, and decrementing first would wrap in_use.
+            stats_.frees.add();
+            stats_.in_use_bytes.sub(block_bytes);
+        }
         // Tail position: no locks held here, so a due sample may take
         // heap locks without self-deadlock risk.
         maybe_sample();
@@ -577,6 +614,10 @@ class HoardAllocator final : public Allocator
         snap.stats.global_bin_misses = stats_.global_bin_misses.get();
         snap.stats.cache_pushes = stats_.cache_pushes.get();
         snap.stats.cache_pops = stats_.cache_pops.get();
+        snap.stats.bad_free_wild = stats_.bad_free_wild.get();
+        snap.stats.bad_free_foreign = stats_.bad_free_foreign.get();
+        snap.stats.bad_free_interior = stats_.bad_free_interior.get();
+        snap.stats.bad_free_double = stats_.bad_free_double.get();
         fill_global_snapshot(snap.heaps[0]);
         for (std::size_t i = 0; i < heaps_.size(); ++i)
             fill_heap_snapshot(*heaps_[i], snap.heaps[i + 1]);
@@ -645,6 +686,76 @@ class HoardAllocator final : public Allocator
         } else {
             return false;
         }
+    }
+
+    /// @}
+
+    /// @name Fork support (pthread_atfork; see docs/SHIM.md).
+    /// @{
+
+    /**
+     * Acquires every lock this allocator owns, in a fixed total order
+     * (cache mutex, then per-processor heaps by index, then global
+     * bins by class, then huge stripes by slot), so fork() snapshots
+     * no lock in a half-held state and no heap structure mid-mutation.
+     * The magazine registry's own lock is taken by the caller
+     * (hoard_install_atfork) *before* this, since flushes can hold it
+     * while waiting on heap locks.  MmapPageProvider and the reuse
+     * cache are lock-free and need no quiescing here.
+     */
+    void
+    prepare_fork()
+    {
+        cache_mutex_.lock();
+        for (auto& heap : heaps_)
+            heap->mutex.lock();
+        for (auto& bin : global_bins_)
+            bin->mutex.lock();
+        for (auto& stripe : huge_stripes_)
+            stripe.mutex.lock();
+    }
+
+    /** Releases every lock prepare_fork() took, in reverse order. */
+    void
+    parent_after_fork()
+    {
+        for (std::size_t i = kHugeStripes; i-- > 0;)
+            huge_stripes_[i].mutex.unlock();
+        for (std::size_t i = global_bins_.size(); i-- > 0;)
+            global_bins_[i]->mutex.unlock();
+        for (std::size_t i = heaps_.size(); i-- > 0;)
+            heaps_[i]->mutex.unlock();
+        cache_mutex_.unlock();
+    }
+
+    /**
+     * Child-side recovery: the forking thread (the only one alive)
+     * still owns every lock prepare_fork() took, so release them,
+     * then repair the two pieces of state fork() can tear:
+     *
+     *  - the reuse cache's popper count may include parent threads
+     *    that no longer exist; a nonzero count would make the next
+     *    release_to_provider() spin in await_poppers() forever;
+     *  - the process-wide gauges are updated *outside* the heap locks
+     *    (deallocate settles them after free_block returns), so a
+     *    parent thread caught between its heap update and its gauge
+     *    update leaves them torn.  Per-heap counters cannot tear —
+     *    every mutation happens under a lock the prepare handler held
+     *    across the fork — so the gauges are recounted from them.
+     *
+     * Dead parent threads' magazines are flushed back to the heaps
+     * (their owners cannot race: they do not exist in the child), so
+     * their blocks are reusable immediately; the node metadata itself
+     * stays on the set list and is reused if a same-index thread
+     * re-registers, else idles at a few hundred bytes per dead thread.
+     */
+    void
+    child_after_fork()
+    {
+        parent_after_fork();
+        reuse_cache_.reset_poppers();
+        flush_thread_caches();
+        repair_after_fork();
     }
 
     /// @}
@@ -1379,8 +1490,14 @@ class HoardAllocator final : public Allocator
      * relaxed probe — cheaper than a failed try_lock) is not waited
      * on: the block goes to its lock-free remote queue and the owner
      * settles it at its next lock visit.
+     *
+     * Returns false when the hardened under-lock double-free probe
+     * rejected the block (reported; nothing was freed) — the caller
+     * then leaves the gauges untouched.  The remote-queue path skips
+     * the probe (best-effort: the owner's state can't be examined
+     * without its lock) and always reports success.
      */
-    void
+    bool
     free_block(Superblock* sb, void* p)
     {
         void* block = sb->block_start(p);
@@ -1388,7 +1505,7 @@ class HoardAllocator final : public Allocator
             Base* home = static_cast<Base*>(sb->owner());
             if (home->mutex.is_locked_hint()) {
                 remote_free(*home, sb, block);
-                return;
+                return true;
             }
             // The hint can go stale before the acquire; then we block
             // briefly (the paper's behavior), which is still correct.
@@ -1397,11 +1514,185 @@ class HoardAllocator final : public Allocator
                 home->mutex.unlock();
                 continue;
             }
+            if (config_.hardened_free &&
+                (sb->used() == 0 || sb->free_list_head() == block)) {
+                // Stable under the owner's lock: a used_ of zero or
+                // the block already heading the free list is a double
+                // free.  Deeper list scans are deliberately skipped —
+                // O(1) keeps the check inside the overhead gate.
+                home->mutex.unlock();
+                report_bad_free(stats_.bad_free_double, "double", p,
+                                sb->size_class());
+                return false;
+            }
             free_into_locked(*home, sb, block);
             Policy::work(CostKind::list_op);
             settle_and_unlock(*home);
-            return;
+            return true;
         }
+    }
+
+    /**
+     * Hardened free path (Config::hardened_free): classifies @p p
+     * before any heap structure is touched.  Returns the superblock
+     * when the pointer is plausible, nullptr when it was rejected and
+     * reported (the fatal policy never returns).  Every probe is a
+     * lock-free read of memory free() touches anyway:
+     *
+     *  1. range: outside the hull of every span this process ever
+     *     mapped -> wild.  The bounds are relaxed atomics, but a valid
+     *     pointer crossing threads implies an app-level happens-before
+     *     edge that publishes the bound stores sequenced before
+     *     allocate() returned it, so a valid free never false-fires.
+     *  2. header magic mismatch -> wild (not a superblock).
+     *  3. arena-id mismatch -> foreign (another allocator's span).
+     *  4. huge: anything but the exact pointer handed out -> interior.
+     *  5. small: an implausible class/block-size pairing -> foreign
+     *     (reformatted foreign span); outside the carved payload ->
+     *     interior (header or tail remainder); a cleared owner means
+     *     the superblock sits empty in the reuse cache, so the block
+     *     was already freed -> double.
+     *
+     * A pointer *interior to a block* is legitimate (aligned
+     * allocations hand those out) and passes; only pointers no
+     * allocation path can have produced are rejected.  Blocks parked
+     * in thread magazines are re-handed out without these checks, and
+     * the remote-free path skips the under-lock double probe — the
+     * hardening is best-effort by design (docs/SHIM.md).
+     */
+    Superblock*
+    resolve_for_free(void* p)
+    {
+        auto addr = reinterpret_cast<std::uintptr_t>(p);
+        if (addr < mapped_lo_.load(std::memory_order_relaxed) ||
+            addr >= mapped_hi_.load(std::memory_order_relaxed)) {
+            return report_bad_free(stats_.bad_free_wild, "wild", p, -1);
+        }
+        Superblock* sb = Superblock::from_pointer_checked(
+            p, config_.superblock_bytes);
+        if (sb == nullptr)
+            return report_bad_free(stats_.bad_free_wild, "wild", p, -1);
+        if (sb->arena() != arena_id_) {
+            return report_bad_free(stats_.bad_free_foreign, "foreign",
+                                   p, sb->size_class());
+        }
+        if (sb->huge()) {
+            std::size_t offset =
+                sb->span_bytes() - sb->huge_user_bytes();
+            if (addr != reinterpret_cast<std::uintptr_t>(sb) + offset) {
+                return report_bad_free(stats_.bad_free_interior,
+                                       "interior", p,
+                                       SizeClasses::kHuge);
+            }
+            return sb;
+        }
+        int cls = sb->size_class();
+        if (cls < 0 || cls >= classes_.count() ||
+            sb->block_bytes() != classes_.block_size(cls)) {
+            return report_bad_free(stats_.bad_free_foreign, "foreign",
+                                   p, cls);
+        }
+        auto base = reinterpret_cast<std::uintptr_t>(sb->payload_begin());
+        if (addr < base ||
+            addr >= base + static_cast<std::size_t>(sb->capacity()) *
+                               sb->block_bytes()) {
+            return report_bad_free(stats_.bad_free_interior, "interior",
+                                   p, cls);
+        }
+        if (sb->owner() == nullptr) {
+            return report_bad_free(stats_.bad_free_double, "double", p,
+                                   cls);
+        }
+        return sb;
+    }
+
+    /**
+     * Reports one rejected free per Config::on_bad_free: fatal aborts
+     * with a diagnostic; warn bumps @p counter, records a trace event,
+     * and leaks the block.  Returns nullptr so rejection sites can
+     * `return report_bad_free(...)`.
+     */
+    Superblock*
+    report_bad_free(detail::Counter& counter, const char* kind,
+                    const void* p, int size_class)
+    {
+        if (config_.on_bad_free == Config::BadFreePolicy::fatal) {
+            HOARD_FATAL("bad free (%s) of pointer %p (size class %d)",
+                        kind, p, size_class);
+        }
+        counter.add();
+        record_event(obs::EventKind::bad_free, 0, size_class, 0);
+        return nullptr;
+    }
+
+    /**
+     * Widens the [mapped_lo_, mapped_hi_) hull to cover a span just
+     * mapped from the provider.  The hull only grows (spans given back
+     * are not carved out), so the range probe over-accepts and never
+     * over-rejects; over-accepted pointers still face the magic and
+     * arena checks.
+     */
+    void
+    note_mapped_range(const void* p, std::size_t bytes)
+    {
+        auto lo = reinterpret_cast<std::uintptr_t>(p);
+        auto hi = lo + bytes;
+        std::uintptr_t seen = mapped_lo_.load(std::memory_order_relaxed);
+        while (lo < seen &&
+               !mapped_lo_.compare_exchange_weak(
+                   seen, lo, std::memory_order_relaxed)) {
+        }
+        seen = mapped_hi_.load(std::memory_order_relaxed);
+        while (hi > seen &&
+               !mapped_hi_.compare_exchange_weak(
+                   seen, hi, std::memory_order_relaxed)) {
+        }
+    }
+
+    /**
+     * Recounts the process-wide gauges from the per-heap ground truth
+     * (child_after_fork documents why only the gauges can tear).  The
+     * child is single-threaded here, magazines are already flushed and
+     * remote queues settled, so the sums are exact: in_use is heap u_i
+     * plus bin u_i plus huge user bytes; held adds the reuse cache's
+     * spans; os equals held (every map/unmap site moves both together).
+     * Event counters and requested_bytes are left alone — they are
+     * diagnostics, not reconciled.
+     */
+    void
+    repair_after_fork()
+    {
+        std::uint64_t in_use = 0;
+        std::uint64_t held = 0;
+        for (auto& heap : heaps_) {
+            in_use += heap->in_use;
+            held += heap->held;
+        }
+        for (auto& bin : global_bins_) {
+            in_use += bin->in_use;
+            held += bin->held;
+        }
+        held += reuse_cache_.size() * config_.superblock_bytes;
+        for (auto& stripe : huge_stripes_) {
+            for (Superblock* sb = stripe.list.front(); sb != nullptr;
+                 sb = stripe.list.next(sb)) {
+                in_use += sb->huge_user_bytes();
+                held += sb->span_bytes();
+            }
+        }
+        std::uint64_t cached = 0;
+        for (detail::MagazineNode* node = cache_nodes_; node != nullptr;
+             node = node->next_in_set) {
+            std::size_t occ =
+                node->occupancy_bytes.load(std::memory_order_relaxed);
+            node->synced_bytes = occ;
+            cached += occ;
+        }
+        // Heap u_i counts magazine-parked blocks; the gauge does not.
+        stats_.in_use_bytes.set(in_use - cached);
+        stats_.held_bytes.set(held);
+        stats_.os_bytes.set(held);
+        stats_.cached_bytes.set(cached);
     }
 
     /** Lands one free block in its home, dispatching on the home kind
@@ -1629,12 +1920,14 @@ class HoardAllocator final : public Allocator
                                      config_.superblock_bytes);
         if (memory == nullptr)
             return nullptr;
+        note_mapped_range(memory, config_.superblock_bytes);
         stats_.superblock_allocs.add();
         stats_.os_bytes.add(config_.superblock_bytes);
         stats_.held_bytes.add(config_.superblock_bytes);
         return Superblock::create(
             memory, config_.superblock_bytes, cls,
-            static_cast<std::uint32_t>(classes_.block_size(cls)));
+            static_cast<std::uint32_t>(classes_.block_size(cls)),
+            arena_id_);
     }
 
     /** Hands ownership of unowned @p sb to @p heap. Caller holds lock. */
@@ -1721,7 +2014,9 @@ class HoardAllocator final : public Allocator
         void* memory = provider_.map(total, config_.superblock_bytes);
         if (memory == nullptr)
             return nullptr;
-        Superblock* sb = Superblock::create_huge(memory, total, size);
+        note_mapped_range(memory, total);
+        Superblock* sb =
+            Superblock::create_huge(memory, total, size, arena_id_);
         {
             HugeStripe& stripe = huge_stripe_for(memory);
             std::lock_guard<typename Policy::Mutex> guard(stripe.mutex);
@@ -1918,6 +2213,14 @@ class HoardAllocator final : public Allocator
     const Config config_;
     os::PageProvider& provider_;
     SizeClasses classes_;
+    /// Identity stamped into every superblock this instance formats
+    /// (the hardened free path's foreign-span check).
+    const std::uint32_t arena_id_ = detail::next_arena_id();
+    /// Hull of every span ever mapped for this instance; [max, 0)
+    /// until the first map, so a fresh allocator rejects everything.
+    std::atomic<std::uintptr_t> mapped_lo_{
+        std::numeric_limits<std::uintptr_t>::max()};
+    std::atomic<std::uintptr_t> mapped_hi_{0};
     /// Per-processor heaps; heaps_[i] is heap i + 1.  Heap 0 — the
     /// global heap — is the per-class bins plus the reuse cache below.
     std::vector<std::unique_ptr<Heap>> heaps_;

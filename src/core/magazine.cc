@@ -123,6 +123,31 @@ magazine_unregister_allocator(std::uint64_t id)
 }
 
 void
+magazine_registry_prepare_fork()
+{
+    registry_mutex().lock();
+}
+
+void
+magazine_registry_parent_after_fork()
+{
+    registry_mutex().unlock();
+}
+
+void
+magazine_registry_child_after_fork()
+{
+    // The forking thread owns the mutex (prepare handler); holding it
+    // across fork() guarantees no record was mid-mutation.  Exit
+    // flushes that were pinned in the parent belong to threads that do
+    // not exist in the child — drop their pins so unregister never
+    // waits on them.
+    for (LiveRec* r = g_live; r != nullptr; r = r->next)
+        r->busy = 0;
+    registry_mutex().unlock();
+}
+
+void
 magazine_thread_exit(void* root_ptr)
 {
     if (root_ptr == nullptr)

@@ -131,6 +131,26 @@ void magazine_unregister_allocator(std::uint64_t id);
 
 /// @}
 
+/// @name Fork support (pthread_atfork; see docs/SHIM.md).
+/// The registry mutex is held across fork() — it is the outermost
+/// lock of every multi-lock path, so it is taken before any
+/// allocator's own prepare handler — and the child additionally
+/// clears busy pins left by exit flushes of threads that no longer
+/// exist (a stale pin would block that allocator's destructor
+/// forever).
+/// @{
+
+/** Parent, before fork(): locks the registry mutex. */
+void magazine_registry_prepare_fork();
+
+/** Parent, after fork(): unlocks the registry mutex. */
+void magazine_registry_parent_after_fork();
+
+/** Child, after fork(): unlocks and clears stale busy pins. */
+void magazine_registry_child_after_fork();
+
+/// @}
+
 /**
  * The thread-exit hook both execution policies invoke with a thread's
  * non-null cache slot: flushes every node whose allocator is still

@@ -55,11 +55,12 @@ class Superblock
      */
     static Superblock*
     create(void* memory, std::size_t superblock_bytes, int size_class,
-           std::uint32_t block_bytes)
+           std::uint32_t block_bytes, std::uint32_t arena = 0)
     {
         HOARD_DCHECK(detail::is_aligned(memory, superblock_bytes));
         auto* sb = new (memory) Superblock();
         sb->span_bytes_ = superblock_bytes;
+        sb->arena_ = arena;
         sb->reformat(size_class, block_bytes);
         return sb;
     }
@@ -70,10 +71,11 @@ class Superblock
      */
     static Superblock*
     create_huge(void* memory, std::size_t total_bytes,
-                std::size_t user_bytes)
+                std::size_t user_bytes, std::uint32_t arena = 0)
     {
         auto* sb = new (memory) Superblock();
         sb->span_bytes_ = total_bytes;
+        sb->arena_ = arena;
         sb->size_class_ = kHugeClass;
         sb->block_bytes_ = 0;
         sb->capacity_ = 1;
@@ -96,6 +98,20 @@ class Superblock
         if (sb->magic_ != kMagic)
             HOARD_FATAL("free of pointer %p not from this allocator", p);
         return sb;
+    }
+
+    /**
+     * Like from_pointer(), but returns nullptr on a magic mismatch
+     * instead of aborting — the hardened free path classifies and
+     * reports the bad pointer itself (Config::on_bad_free).
+     */
+    static Superblock*
+    from_pointer_checked(const void* p, std::size_t superblock_bytes)
+    {
+        auto addr = reinterpret_cast<std::uintptr_t>(p);
+        auto* sb = reinterpret_cast<Superblock*>(
+            detail::align_down(addr, superblock_bytes));
+        return sb->magic_ == kMagic ? sb : nullptr;
     }
 
     /**
@@ -216,6 +232,16 @@ class Superblock
     bool huge() const { return size_class_ == kHugeClass; }
     std::size_t huge_user_bytes() const { return huge_user_bytes_; }
 
+    /** Identifier of the allocator instance that formatted this span. */
+    std::uint32_t arena() const { return arena_; }
+
+    /**
+     * Head of the freed-block LIFO.  The hardened free path peeks at it
+     * under the owning heap's lock: a block that is already the head of
+     * the free list is a double free.
+     */
+    void* free_list_head() const { return free_list_; }
+
     /** Bytes of payload currently handed out. */
     std::size_t
     used_bytes() const
@@ -315,6 +341,7 @@ class Superblock
     std::uint32_t capacity_ = 0;
     std::uint32_t used_ = 0;
     std::uint32_t bump_ = 0;          ///< next never-allocated block index
+    std::uint32_t arena_ = 0;         ///< owning allocator instance id
     void* free_list_ = nullptr;       ///< LIFO of freed blocks
     std::atomic<void*> owner_{nullptr};
     std::size_t span_bytes_ = 0;

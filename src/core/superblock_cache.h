@@ -196,6 +196,19 @@ class SuperblockCache
             Policy::work(CostKind::list_op);
     }
 
+    /**
+     * Forgets every announced popper.  Post-fork child only: a parent
+     * thread caught mid-pop by fork() no longer exists in the child,
+     * and its stale announcement would make every later
+     * await_poppers() spin forever.  The child is single-threaded
+     * when this runs, so no live pop can be in flight.
+     */
+    void
+    reset_poppers()
+    {
+        poppers_.store(0, std::memory_order_seq_cst);
+    }
+
   private:
     /** One CAS-loop pop from @p head; nullptr when it is empty. */
     Superblock*

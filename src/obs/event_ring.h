@@ -52,6 +52,7 @@ enum class EventKind : std::uint16_t
     batch_flush,          ///< magazine spilled/flushed a batch of blocks
     cache_push,           ///< empty superblock retired to the reuse cache
     cache_pop,            ///< reuse cache supplied a recycled superblock
+    bad_free,             ///< hardened free path rejected a pointer
     kCount
 };
 
@@ -84,6 +85,8 @@ to_string(EventKind kind)
         return "cache_push";
       case EventKind::cache_pop:
         return "cache_pop";
+      case EventKind::bad_free:
+        return "bad_free";
       case EventKind::kCount:
         break;
     }

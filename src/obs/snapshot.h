@@ -156,6 +156,10 @@ struct StatsSummary
     std::uint64_t global_bin_misses = 0;
     std::uint64_t cache_pushes = 0;
     std::uint64_t cache_pops = 0;
+    std::uint64_t bad_free_wild = 0;
+    std::uint64_t bad_free_foreign = 0;
+    std::uint64_t bad_free_interior = 0;
+    std::uint64_t bad_free_double = 0;
 };
 
 /** Full allocator snapshot: configuration echo + per-heap state. */

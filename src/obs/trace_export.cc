@@ -239,6 +239,18 @@ write_prometheus(std::ostream& os, const AllocatorSnapshot& snap)
     prom_header(os, "hoard_cache_pops_total", "counter",
                 "empty superblocks recycled from the reuse cache");
     os << "hoard_cache_pops_total " << s.cache_pops << '\n';
+    prom_header(os, "hoard_bad_free_wild_total", "counter",
+                "frees of pointers outside any superblock");
+    os << "hoard_bad_free_wild_total " << s.bad_free_wild << '\n';
+    prom_header(os, "hoard_bad_free_foreign_total", "counter",
+                "frees of another allocator's memory");
+    os << "hoard_bad_free_foreign_total " << s.bad_free_foreign << '\n';
+    prom_header(os, "hoard_bad_free_interior_total", "counter",
+                "frees of misaligned or interior pointers");
+    os << "hoard_bad_free_interior_total " << s.bad_free_interior << '\n';
+    prom_header(os, "hoard_bad_free_double_total", "counter",
+                "frees of blocks that were already free");
+    os << "hoard_bad_free_double_total " << s.bad_free_double << '\n';
     os.flush();
 }
 
@@ -260,6 +272,14 @@ write_human(std::ostream& os, const AllocatorSnapshot& snap)
        << snap.stats.global_bin_misses << "), cache pushes "
        << snap.stats.cache_pushes << " pops " << snap.stats.cache_pops
        << "\n";
+    if (snap.stats.bad_free_wild + snap.stats.bad_free_foreign +
+            snap.stats.bad_free_interior + snap.stats.bad_free_double !=
+        0) {
+        os << "  bad frees: wild " << snap.stats.bad_free_wild
+           << " foreign " << snap.stats.bad_free_foreign << " interior "
+           << snap.stats.bad_free_interior << " double "
+           << snap.stats.bad_free_double << "\n";
+    }
     os << "  reconciles: " << (snap.reconciles() ? "yes" : "no")
        << ", invariant: "
        << (snap.all_heaps_satisfy_invariant() ? "ok" : "VIOLATED")

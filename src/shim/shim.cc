@@ -1,0 +1,310 @@
+/**
+ * @file
+ * libhoard.so: the LD_PRELOAD drop-in shim (ROADMAP item 1).
+ *
+ * Replaces the C allocation API for the whole process by *symbol
+ * interposition*: this library defines malloc/free/calloc/... itself,
+ * so the dynamic linker binds every PLT reference in the executable
+ * and every shared library (glibc's own strdup/getline/asprintf
+ * included) to these definitions.  No dlsym(RTLD_NEXT) chaining is
+ * needed — every pointer the process frees was handed out here.  C++
+ * operator new/delete are NOT defined here: libstdc++'s defaults call
+ * malloc/free, which already land in this shim, and defining them in
+ * a preloaded library would shadow programs that replace operator new
+ * themselves.
+ *
+ * Robustness layers (docs/SHIM.md):
+ *
+ *  - **Bootstrap safety.**  The global Hoard instance is a leaked
+ *    magic-static (core/facade.cc); constructing it allocates (heap
+ *    tables, size-class tables) through operator new, which calls the
+ *    malloc defined *here*.  Re-entering global_allocator() from
+ *    inside its own construction would deadlock the magic-static
+ *    guard, so every wrapper brackets its facade call with a
+ *    per-thread depth counter, and any allocation arriving at depth
+ *    > 0 is served from a static, lock-free bump arena instead.  Each
+ *    arena block carries a small header recording its size, so
+ *    realloc and malloc_usable_size work on bootstrap pointers; frees
+ *    of arena pointers are recognized by address range and no-op'd
+ *    (the arena is never reused, which also keeps it calloc-safe:
+ *    every block is untouched BSS zeros).  The depth counter's TLS is
+ *    initial-exec — the dynamic TLS model can itself call malloc on
+ *    first access, which would recurse before the guard exists.
+ *
+ *  - **Fork safety.**  A constructor forces the singleton into
+ *    existence and installs the pthread_atfork handlers
+ *    (hoard_install_atfork) before main() runs, so a fork() from any
+ *    thread — even one taken while sibling threads are mid-malloc —
+ *    yields a child whose allocator locks are released and whose
+ *    gauges are repaired.
+ *
+ *  - **Hardened free.**  Arbitrary pointers from the host program hit
+ *    the validating free path (Config::hardened_free, on by default);
+ *    HOARD_BAD_FREE=warn switches the process from abort-with-
+ *    diagnostic to count-and-leak without a rebuild.  The shim
+ *    additionally rejects invalid alignment arguments with errno
+ *    rather than letting them reach the allocator's internal aborts.
+ *
+ * Known bounds (documented, not bugs): allocator-internal metadata
+ * allocated while a wrapper is on the stack (magazine nodes, ~1-2 KiB
+ * per new thread) also lands in the bump arena and is never
+ * reclaimed, so the 8 MiB arena supports several thousand thread
+ * creations; exceed it and malloc fails cleanly with ENOMEM.
+ */
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "core/facade.h"
+
+namespace {
+
+/// Re-entrancy depth of the calling thread: > 0 while a facade call
+/// (or the singleton's construction) is on the stack.
+__thread int t_depth __attribute__((tls_model("initial-exec"))) = 0;
+
+struct DepthGuard
+{
+    DepthGuard() { ++t_depth; }
+    ~DepthGuard() { --t_depth; }
+};
+
+/// @name Bootstrap bump arena.
+/// @{
+
+constexpr std::size_t kArenaBytes = 8u << 20;
+
+/// 16-byte per-block header so realloc/usable_size work on arena
+/// pointers; sits immediately before the returned pointer.
+struct BootHeader
+{
+    std::size_t size;
+    std::size_t reserved;
+};
+static_assert(sizeof(BootHeader) == 16, "headers must keep 16-alignment");
+
+alignas(16) unsigned char g_arena[kArenaBytes];
+std::atomic<std::size_t> g_arena_cursor{0};
+
+bool
+boot_owns(const void* p)
+{
+    auto addr = reinterpret_cast<std::uintptr_t>(p);
+    auto base = reinterpret_cast<std::uintptr_t>(g_arena);
+    return addr >= base && addr < base + kArenaBytes;
+}
+
+void*
+boot_alloc(std::size_t size, std::size_t align)
+{
+    if (align < 16)
+        align = 16;
+    std::size_t need =
+        sizeof(BootHeader) + (align - 16) + ((size + 15) & ~std::size_t{15});
+    std::size_t off =
+        g_arena_cursor.fetch_add(need, std::memory_order_relaxed);
+    if (off + need > kArenaBytes || off + need < off) {
+        errno = ENOMEM;
+        return nullptr;
+    }
+    auto base = reinterpret_cast<std::uintptr_t>(g_arena) + off +
+                sizeof(BootHeader);
+    auto user = (base + align - 1) & ~(align - 1);
+    auto* header = reinterpret_cast<BootHeader*>(user) - 1;
+    header->size = size;
+    return reinterpret_cast<void*>(user);
+}
+
+std::size_t
+boot_size(const void* p)
+{
+    return (reinterpret_cast<const BootHeader*>(p) - 1)->size;
+}
+
+/// @}
+
+bool
+is_pow2(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Largest alignment the allocator serves (S/2; facade contract). */
+std::size_t
+max_alignment()
+{
+    DepthGuard guard;  // may construct the singleton
+    return hoard::global_allocator().config().superblock_bytes / 2;
+}
+
+std::size_t
+page_bytes()
+{
+    long page = ::sysconf(_SC_PAGESIZE);
+    return page > 0 ? static_cast<std::size_t>(page) : 4096;
+}
+
+void*
+aligned_impl(std::size_t align, std::size_t size)
+{
+    if (!is_pow2(align)) {
+        errno = EINVAL;
+        return nullptr;
+    }
+    if (t_depth > 0)
+        return boot_alloc(size == 0 ? 1 : size, align);
+    if (align > max_alignment()) {
+        // Valid but unservable (> S/2): degrade as exhaustion, not as
+        // an invalid argument.
+        errno = ENOMEM;
+        return nullptr;
+    }
+    DepthGuard guard;
+    void* p = hoard::hoard_aligned_alloc(align, size);
+    if (p == nullptr)
+        errno = ENOMEM;
+    return p;
+}
+
+/** Forces the singleton alive and registers the atfork handlers
+    before main() — bootstrap allocations go to the arena. */
+__attribute__((constructor)) void
+shim_init()
+{
+    DepthGuard guard;
+    hoard::hoard_install_atfork();
+}
+
+}  // namespace
+
+extern "C" {
+
+void*
+malloc(std::size_t size) noexcept
+{
+    if (t_depth > 0)
+        return boot_alloc(size, 16);
+    DepthGuard guard;
+    return hoard::hoard_malloc(size);
+}
+
+void
+free(void* p) noexcept
+{
+    if (p == nullptr || boot_owns(p))
+        return;
+    DepthGuard guard;
+    hoard::hoard_free(p);
+}
+
+void*
+calloc(std::size_t count, std::size_t size) noexcept
+{
+    if (t_depth > 0) {
+        if (size != 0 && count > SIZE_MAX / size) {
+            errno = ENOMEM;
+            return nullptr;
+        }
+        // Arena memory is untouched BSS — already zero, never reused.
+        return boot_alloc(count * size, 16);
+    }
+    DepthGuard guard;
+    return hoard::hoard_calloc(count, size);
+}
+
+void*
+realloc(void* p, std::size_t size) noexcept
+{
+    if (p != nullptr && boot_owns(p)) {
+        // Migrate out of the arena: copy, don't free (arena frees are
+        // no-ops anyway).
+        if (size == 0)
+            return nullptr;
+        void* fresh = malloc(size);
+        if (fresh != nullptr) {
+            std::size_t old = boot_size(p);
+            std::memcpy(fresh, p, old < size ? old : size);
+        }
+        return fresh;
+    }
+    DepthGuard guard;
+    return hoard::hoard_realloc(p, size);
+}
+
+void*
+reallocarray(void* p, std::size_t count, std::size_t size) noexcept
+{
+    if (size != 0 && count > SIZE_MAX / size) {
+        errno = ENOMEM;
+        return nullptr;
+    }
+    return realloc(p, count * size);
+}
+
+void*
+aligned_alloc(std::size_t align, std::size_t size) noexcept
+{
+    return aligned_impl(align, size);
+}
+
+void*
+memalign(std::size_t align, std::size_t size) noexcept
+{
+    return aligned_impl(align, size);
+}
+
+int
+posix_memalign(void** out, std::size_t align, std::size_t size) noexcept
+{
+    if (out == nullptr || !is_pow2(align) ||
+        align % sizeof(void*) != 0)
+        return EINVAL;
+    void* p = aligned_impl(align, size);
+    if (p == nullptr)
+        return ENOMEM;
+    *out = p;
+    return 0;
+}
+
+void*
+valloc(std::size_t size) noexcept
+{
+    return aligned_impl(page_bytes(), size);
+}
+
+void*
+pvalloc(std::size_t size) noexcept
+{
+    std::size_t page = page_bytes();
+    if (size > SIZE_MAX - (page - 1)) {
+        errno = ENOMEM;
+        return nullptr;
+    }
+    return aligned_impl(page, (size + page - 1) & ~(page - 1));
+}
+
+std::size_t
+malloc_usable_size(void* p) noexcept
+{
+    if (p == nullptr)
+        return 0;
+    if (boot_owns(p))
+        return boot_size(p);
+    DepthGuard guard;
+    return hoard::hoard_usable_size(p);
+}
+
+int
+malloc_trim(std::size_t /* pad */) noexcept
+{
+    if (t_depth > 0)
+        return 0;
+    DepthGuard guard;
+    return hoard::hoard_release_free_memory() > 0 ? 1 : 0;
+}
+
+}  // extern "C"

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstring>
 #include <limits>
 #include <vector>
@@ -50,7 +51,60 @@ TEST(Facade, CallocZeroes)
 TEST(Facade, CallocOverflowReturnsNull)
 {
     std::size_t half = std::numeric_limits<std::size_t>::max() / 2 + 2;
+    errno = 0;
     EXPECT_EQ(hoard_calloc(half, 2), nullptr);
+    EXPECT_EQ(errno, ENOMEM);
+}
+
+TEST(Facade, CallocRecycledSmallBlockIsZeroed)
+{
+    // Regression for the huge-path memset skip: small blocks recycle
+    // through free lists, so calloc must keep clearing them even
+    // though huge spans are handed out untouched.
+    const std::size_t bytes = 3000;
+    auto* p = static_cast<unsigned char*>(hoard_malloc(bytes));
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0xee, bytes);
+    hoard_free(p);
+    auto* q = static_cast<unsigned char*>(hoard_calloc(1, bytes));
+    ASSERT_NE(q, nullptr);
+    for (std::size_t i = 0; i < bytes; ++i)
+        ASSERT_EQ(q[i], 0u) << "byte " << i;
+    hoard_free(q);
+}
+
+TEST(Facade, CallocHugeIsZeroed)
+{
+    // Served memset-free from freshly mapped (zero) pages.
+    const std::size_t bytes = 256 * 1024;
+    auto* p = static_cast<unsigned char*>(hoard_calloc(1, bytes));
+    ASSERT_NE(p, nullptr);
+    for (std::size_t i = 0; i < bytes; i += 256)
+        ASSERT_EQ(p[i], 0u) << "byte " << i;
+    EXPECT_EQ(p[bytes - 1], 0u);
+    hoard_free(p);
+}
+
+TEST(Facade, ErrnoSetOnMallocExhaustion)
+{
+    errno = 0;
+    EXPECT_EQ(hoard_malloc(std::numeric_limits<std::size_t>::max() / 4),
+              nullptr);
+    EXPECT_EQ(errno, ENOMEM);
+}
+
+TEST(Facade, ErrnoSetOnReallocExhaustionAndBlockSurvives)
+{
+    auto* p = static_cast<char*>(hoard_malloc(64));
+    ASSERT_NE(p, nullptr);
+    std::memcpy(p, "payload", 8);
+    errno = 0;
+    EXPECT_EQ(
+        hoard_realloc(p, std::numeric_limits<std::size_t>::max() / 4),
+        nullptr);
+    EXPECT_EQ(errno, ENOMEM);
+    EXPECT_STREQ(p, "payload");  // failure must not disturb the block
+    hoard_free(p);
 }
 
 TEST(Facade, ReallocBehavesLikeLibc)
@@ -68,6 +122,16 @@ TEST(Facade, AlignedAlloc)
     void* p = hoard_aligned_alloc(512, 100);
     ASSERT_NE(p, nullptr);
     EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 512, 0u);
+    hoard_free(p);
+}
+
+TEST(Facade, AlignedAllocZeroSizeGivesFreeablePointer)
+{
+    // Size 0 clamps to 1 (like hoard_malloc) instead of tripping the
+    // allocator's size validation.
+    void* p = hoard_aligned_alloc(256, 0);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 256, 0u);
     hoard_free(p);
 }
 
