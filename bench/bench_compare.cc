@@ -14,8 +14,21 @@
  *
  * Metrics present in BASE but missing from NEXT are listed as
  * warnings, not regressions: benches come and go across revisions.
+ *
+ * A second mode summarizes a gauge timeline instead of diffing
+ * reports:
+ *
+ *   ./build/bench/bench_compare --timeline RUN.jsonl
+ *
+ * accepts both the v1 schema (hoard-timeline-v1, with the old
+ * "bin_hits"/"bin_misses" keys) and v2 (global_bin_hits/misses,
+ * bad_free_* counters, profiler byte totals), so timelines captured
+ * before the rename stay readable.  Exits 0 on a clean read, 2 on
+ * parse errors or an unknown schema.
  */
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,9 +70,111 @@ usage(std::ostream& os)
 {
     os << "usage: bench_compare BASE.json NEXT.json"
           " [--max-regress-pct PCT]\n"
+       << "       bench_compare --timeline RUN.jsonl\n"
        << "  exits 0 when no gated metric regressed past PCT"
           " (default 10),\n"
-       << "  1 on regression, 2 on usage/parse errors\n";
+       << "  1 on regression, 2 on usage/parse errors\n"
+       << "  --timeline summarizes a gauge timeline (schema\n"
+       << "  hoard-timeline-v1 or -v2) instead of diffing reports\n";
+}
+
+/**
+ * Summarizes one timeline JSONL file.  The counters in a sample are
+ * cumulative, so the last line carries the run totals; gauges are
+ * scanned for peaks.  Returns the process exit code.
+ */
+int
+summarize_timeline(const std::string& path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::perror(path.c_str());
+        return 2;
+    }
+
+    std::size_t samples = 0;
+    std::uint64_t first_ts = 0;
+    double peak_in_use = 0.0, peak_held = 0.0, peak_blowup = 0.0;
+    JsonValue last;
+    bool v1_seen = false;
+    std::string line;
+    for (std::size_t lineno = 1; std::getline(is, line); ++lineno) {
+        if (line.empty())
+            continue;
+        std::string error;
+        JsonValue doc = JsonValue::parse(line, &error);
+        if (!doc.is_object()) {
+            std::cerr << path << ":" << lineno
+                      << ": invalid JSON: " << error << "\n";
+            return 2;
+        }
+        const std::string schema = doc.string_or("schema", "");
+        if (schema != "hoard-timeline-v1" &&
+            schema != "hoard-timeline-v2") {
+            std::cerr << path << ":" << lineno << ": unknown schema '"
+                      << schema << "'\n";
+            return 2;
+        }
+        v1_seen = v1_seen || schema == "hoard-timeline-v1";
+        if (samples == 0)
+            first_ts = static_cast<std::uint64_t>(
+                doc.number_or("ts", 0.0));
+        peak_in_use = std::max(peak_in_use, doc.number_or("in_use", 0));
+        peak_held = std::max(peak_held, doc.number_or("held", 0));
+        peak_blowup = std::max(peak_blowup, doc.number_or("blowup", 0));
+        last = std::move(doc);
+        ++samples;
+    }
+    if (samples == 0) {
+        std::cerr << path << ": no samples\n";
+        return 2;
+    }
+
+    // v1 predates the global_bin_* rename; fall back to the old keys.
+    const double bin_hits = last.number_or(
+        "global_bin_hits", last.number_or("bin_hits", 0.0));
+    const double bin_misses = last.number_or(
+        "global_bin_misses", last.number_or("bin_misses", 0.0));
+    const double bin_lookups = bin_hits + bin_misses;
+    const double bad_frees = last.number_or("bad_free_wild", 0.0) +
+                             last.number_or("bad_free_foreign", 0.0) +
+                             last.number_or("bad_free_interior", 0.0) +
+                             last.number_or("bad_free_double", 0.0);
+
+    std::printf("timeline %s: %zu samples%s, %.3f ms span\n",
+                path.c_str(), samples, v1_seen ? " (schema v1)" : "",
+                (last.number_or("ts", 0.0) -
+                 static_cast<double>(first_ts)) /
+                    1e6);
+    std::printf("  final in_use %.0f, held %.0f, os %.0f, cached %.0f "
+                "bytes\n",
+                last.number_or("in_use", 0.0),
+                last.number_or("held", 0.0), last.number_or("os", 0.0),
+                last.number_or("cached", 0.0));
+    std::printf("  peak in_use %.0f, peak held %.0f, peak blowup "
+                "%.3f\n",
+                peak_in_use, peak_held, peak_blowup);
+    std::printf("  allocs %.0f, frees %.0f, transfers %.0f, global "
+                "fetches %.0f\n",
+                last.number_or("allocs", 0.0),
+                last.number_or("frees", 0.0),
+                last.number_or("transfers", 0.0),
+                last.number_or("global_fetches", 0.0));
+    std::printf("  global bin hit rate %.1f%% (%.0f/%.0f)\n",
+                bin_lookups > 0.0 ? bin_hits / bin_lookups * 100.0
+                                  : 0.0,
+                bin_hits, bin_lookups);
+    if (v1_seen) {
+        std::printf("  bad frees / profiler bytes: not recorded in "
+                    "schema v1\n");
+    } else {
+        std::printf("  bad frees rejected: %.0f\n", bad_frees);
+        std::printf("  profiler sampled: %.0f requested / %.0f rounded "
+                    "bytes\n",
+                    last.number_or("prof_sampled_requested", 0.0),
+                    last.number_or("prof_sampled_rounded", 0.0));
+    }
+    return 0;
 }
 
 }  // namespace
@@ -67,12 +182,14 @@ usage(std::ostream& os)
 int
 main(int argc, char** argv)
 {
-    std::string base_path, next_path;
+    std::string base_path, next_path, timeline_path;
     double max_regress_pct = 10.0;
 
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--max-regress-pct") == 0 &&
-            i + 1 < argc) {
+        if (std::strcmp(argv[i], "--timeline") == 0 && i + 1 < argc) {
+            timeline_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--max-regress-pct") == 0 &&
+                   i + 1 < argc) {
             char* end = nullptr;
             max_regress_pct = std::strtod(argv[++i], &end);
             if (end == argv[i] || max_regress_pct < 0.0) {
@@ -97,6 +214,15 @@ main(int argc, char** argv)
             usage(std::cerr);
             return 2;
         }
+    }
+    if (!timeline_path.empty()) {
+        if (!base_path.empty() || !next_path.empty()) {
+            std::cerr << "bench_compare: --timeline takes no report "
+                         "files\n";
+            usage(std::cerr);
+            return 2;
+        }
+        return summarize_timeline(timeline_path);
     }
     if (base_path.empty() || next_path.empty()) {
         usage(std::cerr);

@@ -15,10 +15,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "common/cli.h"
 #include "metrics/bench_report.h"
 #include "metrics/speedup.h"
 
@@ -55,78 +55,65 @@ struct FigCli
 inline std::string
 bench_basename(const char* argv0)
 {
-    std::string name = argv0 != nullptr ? argv0 : "bench";
-    std::size_t slash = name.find_last_of('/');
-    if (slash != std::string::npos)
-        name = name.substr(slash + 1);
-    return name;
-}
-
-inline void
-print_usage(const std::string& bench, std::ostream& os)
-{
-    os << "usage: " << bench << " [options]\n"
-       << "  --quick            shrink the sweep for smoke runs\n"
-       << "  --no-diagnostics   suppress per-cell diagnostic tables\n"
-       << "  --obs              enable observability: lock profiles,\n"
-       << "                     trace events, timeline sampling\n"
-       << "  --trace-dir DIR    dump per-cell Chrome traces to DIR\n"
-       << "                     (implies --obs)\n"
-       << "  --timeline-dir DIR dump per-cell gauge timelines (JSONL)\n"
-       << "                     to DIR (implies --obs)\n"
-       << "  --json FILE        write a machine-readable report to\n"
-       << "                     FILE (schema hoard-bench-report-v1)\n"
-       << "  --help             show this message and exit\n";
+    return cli::program_name(argv0, "bench");
 }
 
 /**
- * Parses the shared flag set.  Unknown flags and missing arguments are
- * errors: the message goes to stderr and the process exits 2, so a
- * typo can never silently change what a bench measured.  --help prints
- * usage and exits 0.
+ * Registers the shared flag set on @p parser; a bench with extra flags
+ * of its own can add them before calling parse.  Strictness (unknown
+ * flags exit 2, --help exits 0) comes from cli::Parser.
+ */
+inline void
+register_cli(cli::Parser& parser, FigCli& cli)
+{
+    parser.add_flag("--quick", "shrink the sweep for smoke runs",
+                    &cli.quick);
+    parser.add_flag("--no-diagnostics",
+                    "suppress per-cell diagnostic tables",
+                    &cli.diagnostics, false);
+    parser.add_flag("--obs",
+                    "enable observability: lock profiles,\n"
+                    "trace events, timeline sampling",
+                    &cli.observability);
+    parser.add_string("--trace-dir", "DIR",
+                      "dump per-cell Chrome traces to DIR\n"
+                      "(implies --obs)",
+                      &cli.trace_dir);
+    parser.add_string("--timeline-dir", "DIR",
+                      "dump per-cell gauge timelines (JSONL)\n"
+                      "to DIR (implies --obs)",
+                      &cli.timeline_dir);
+    parser.add_string("--json", "FILE",
+                      "write a machine-readable report to\n"
+                      "FILE (schema hoard-bench-report-v1)",
+                      &cli.json_path);
+}
+
+/** Resolves the implied-observability defaults after parsing. */
+inline void
+finish_cli(FigCli& cli)
+{
+    if (!cli.trace_dir.empty() || !cli.timeline_dir.empty())
+        cli.observability = true;
+    if (cli.observability && cli.timeline_dir.empty())
+        cli.timeline_dir = cli.trace_dir.empty() ? "." : cli.trace_dir;
+}
+
+/**
+ * Parses the shared flag set (common/cli.h).  Unknown flags and
+ * missing arguments are errors: the message goes to stderr and the
+ * process exits 2, so a typo can never silently change what a bench
+ * measured.  --help prints usage and exits 0.
  */
 inline FigCli
 parse_cli(int argc, char** argv)
 {
     FigCli cli;
     cli.bench_name = bench_basename(argc > 0 ? argv[0] : nullptr);
-
-    auto need_arg = [&](int& i) -> const char* {
-        if (i + 1 >= argc) {
-            std::cerr << cli.bench_name << ": " << argv[i]
-                      << " requires an argument\n";
-            std::exit(2);
-        }
-        return argv[++i];
-    };
-
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--quick") == 0)
-            cli.quick = true;
-        else if (std::strcmp(argv[i], "--no-diagnostics") == 0)
-            cli.diagnostics = false;
-        else if (std::strcmp(argv[i], "--obs") == 0)
-            cli.observability = true;
-        else if (std::strcmp(argv[i], "--trace-dir") == 0)
-            cli.trace_dir = need_arg(i);
-        else if (std::strcmp(argv[i], "--timeline-dir") == 0)
-            cli.timeline_dir = need_arg(i);
-        else if (std::strcmp(argv[i], "--json") == 0)
-            cli.json_path = need_arg(i);
-        else if (std::strcmp(argv[i], "--help") == 0) {
-            print_usage(cli.bench_name, std::cout);
-            std::exit(0);
-        } else {
-            std::cerr << cli.bench_name << ": unknown option '"
-                      << argv[i] << "'\n";
-            print_usage(cli.bench_name, std::cerr);
-            std::exit(2);
-        }
-    }
-    if (!cli.trace_dir.empty() || !cli.timeline_dir.empty())
-        cli.observability = true;
-    if (cli.observability && cli.timeline_dir.empty())
-        cli.timeline_dir = cli.trace_dir.empty() ? "." : cli.trace_dir;
+    cli::Parser parser;
+    register_cli(parser, cli);
+    parser.parse(argc, argv);
+    finish_cli(cli);
     return cli;
 }
 

@@ -21,7 +21,12 @@
  * (the sampler must not tax users who enable tracing).  The same
  * budget gates the hardened free path (Config::hardened_free, the
  * production default): pointer validation on deallocate must stay
- * under 2% against a trusting build.
+ * under 2% against a trusting build.  The sampling heap profiler
+ * (obs/heap_profiler.h) gets the same treatment: compiled-in-but-
+ * unarmed (rate 0, the default) must stay under the 2% budget against
+ * a kProfilerEnabled=false build, and armed at the production default
+ * rate (512 KiB mean between samples) under 5%
+ * (HOARD_PROF_TOLERANCE_PCT).
  * Measurements interleave repetitions across variants and compare
  * medians, so clock drift and frequency steps cancel instead of
  * biasing one variant.  Each repetition constructs a fresh allocator:
@@ -56,6 +61,17 @@ using namespace hoard;
 struct NoObsPolicy : NativePolicy
 {
     static constexpr bool kObsEnabled = false;
+};
+
+/**
+ * NativePolicy with only the heap profiler compiled out — the
+ * baseline that isolates the profiler's fast-path hook (the byte
+ * countdown in HoardAllocator::profile_alloc) from the rest of the
+ * observability layer, which stays identical on both sides.
+ */
+struct NoProfPolicy : NativePolicy
+{
+    static constexpr bool kProfilerEnabled = false;
 };
 
 /** Keeps the allocation from being optimized away. */
@@ -186,6 +202,11 @@ main(int argc, char** argv)
     // countdown and claim check run, the sample never fires.
     idle_sampler_config.obs_sample_interval =
         std::numeric_limits<std::uint64_t>::max() / 2;
+    Config armed_prof_config = config;
+    // The production default documented in docs/PROFILING.md.
+    armed_prof_config.profile_sample_rate = std::size_t{512} * 1024;
+    const double prof_tolerance_pct =
+        env_double("HOARD_PROF_TOLERANCE_PCT", 5.0);
 
     // Each rep times every variant twice in ABBA order per gated
     // pair, on a fresh allocator per measurement (placement re-rolled
@@ -193,6 +214,8 @@ main(int argc, char** argv)
     std::vector<double> base_ns, disabled_ns, idle_ns, enabled_ns;
     std::vector<double> base_huge_ns, disabled_huge_ns;
     std::vector<double> unhardened_ns, hardened_ns;
+    std::vector<double> noprof_off_ns, prof_off_ns;
+    std::vector<double> noprof_on_ns, prof_on_ns;
     // Each huge pair is an mmap/munmap round trip; scale the count so
     // the huge loop costs about as much wall clock as the hot path.
     const std::size_t huge_pairs = pairs / 256 + 1;
@@ -226,6 +249,24 @@ main(int argc, char** argv)
         HoardAllocator<NoObsPolicy> hardened(config);
         hardened_ns.push_back(time_pairs(hardened, pairs));
     };
+    // Profiler pairs: the compiled-out baseline appears once per gated
+    // variant so each ABBA quartet is self-contained.
+    auto run_noprof_off = [&] {
+        HoardAllocator<NoProfPolicy> noprof(config);
+        noprof_off_ns.push_back(time_pairs(noprof, pairs));
+    };
+    auto run_prof_off = [&] {
+        HoardAllocator<NativePolicy> prof_off(config);
+        prof_off_ns.push_back(time_pairs(prof_off, pairs));
+    };
+    auto run_noprof_on = [&] {
+        HoardAllocator<NoProfPolicy> noprof(config);
+        noprof_on_ns.push_back(time_pairs(noprof, pairs));
+    };
+    auto run_prof_on = [&] {
+        HoardAllocator<NativePolicy> prof_on(armed_prof_config);
+        prof_on_ns.push_back(time_pairs(prof_on, pairs));
+    };
     for (int r = 0; r < reps; ++r) {
         run_base();
         run_disabled();
@@ -239,6 +280,14 @@ main(int argc, char** argv)
         run_hardened();
         run_hardened();
         run_unhardened();
+        run_noprof_off();
+        run_prof_off();
+        run_prof_off();
+        run_noprof_off();
+        run_noprof_on();
+        run_prof_on();
+        run_prof_on();
+        run_noprof_on();
     }
 
     const double base = best(base_ns);
@@ -258,6 +307,13 @@ main(int argc, char** argv)
     const double hardened = best(hardened_ns);
     const double hardened_pct =
         median_paired_pct(unhardened_ns, hardened_ns);
+    const double noprof = best(noprof_off_ns);
+    const double prof_off = best(prof_off_ns);
+    const double prof_off_pct =
+        median_paired_pct(noprof_off_ns, prof_off_ns);
+    const double prof_on = best(prof_on_ns);
+    const double prof_on_pct =
+        median_paired_pct(noprof_on_ns, prof_on_ns);
 
     std::printf("malloc hot path, 64 B pairs, best of %d x %zu:\n",
                 reps, pairs);
@@ -286,6 +342,16 @@ main(int argc, char** argv)
     std::printf("  hardened free (default):             %6.2f ns/pair "
                 "(%+.2f%%)\n",
                 hardened, hardened_pct);
+    std::printf("heap profiler, 64 B pairs, best of %d x %zu:\n", reps,
+                pairs);
+    std::printf("  profiler compiled out:              %7.2f ns/pair\n",
+                noprof);
+    std::printf("  compiled in, rate 0 (default):      %7.2f ns/pair "
+                "(%+.2f%%)\n",
+                prof_off, prof_off_pct);
+    std::printf("  armed at 512 KiB mean rate:         %7.2f ns/pair "
+                "(%+.2f%%)\n",
+                prof_on, prof_on_pct);
 
     if (check) {
         bool failed = false;
@@ -328,6 +394,26 @@ main(int argc, char** argv)
             std::printf("PASS: hardened-free overhead %.2f%% within "
                         "%.2f%%\n",
                         hardened_pct, tolerance_pct);
+        }
+        if (prof_off_pct > tolerance_pct) {
+            std::printf("FAIL: unarmed-profiler overhead %.2f%% "
+                        "exceeds %.2f%%\n",
+                        prof_off_pct, tolerance_pct);
+            failed = true;
+        } else {
+            std::printf("PASS: unarmed-profiler overhead %.2f%% within "
+                        "%.2f%%\n",
+                        prof_off_pct, tolerance_pct);
+        }
+        if (prof_on_pct > prof_tolerance_pct) {
+            std::printf("FAIL: armed-profiler overhead %.2f%% exceeds "
+                        "%.2f%%\n",
+                        prof_on_pct, prof_tolerance_pct);
+            failed = true;
+        } else {
+            std::printf("PASS: armed-profiler overhead %.2f%% within "
+                        "%.2f%%\n",
+                        prof_on_pct, prof_tolerance_pct);
         }
         if (failed)
             return 1;

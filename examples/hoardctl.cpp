@@ -10,7 +10,12 @@
  *   ./build/examples/hoardctl --trace /tmp/h.json     # chrome://tracing
  *   ./build/examples/hoardctl --prom /tmp/h.prom      # Prometheus text
  *   ./build/examples/hoardctl --timeline /tmp/h.jsonl # gauge timeline
+ *   ./build/examples/hoardctl --profile /tmp/h.pb     # pprof heap profile
  *   ./build/examples/hoardctl --threads 8 --rounds 20000
+ *
+ * Flags are parsed by the shared strict parser (common/cli.h): unknown
+ * flags exit 2, --help exits 0, and the usage text is generated from
+ * the same registry that parses, so it cannot drift.
  *
  * The exit status doubles as a health check: 0 only when the per-heap
  * snapshot reconciles exactly with the global gauges and every heap
@@ -18,15 +23,16 @@
  * integration tests assert.
  */
 
+#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "common/cli.h"
 #include "core/hoard_allocator.h"
 #include "obs/gating.h"
+#include "obs/heap_profiler.h"
 #include "obs/trace_export.h"
 #include "policy/native_policy.h"
 #include "workloads/larson.h"
@@ -40,49 +46,16 @@ struct Options
     int slots = 800;
     int rounds = 5000;
     int epochs = 4;
-    std::size_t ring_events = 4096;
+    int ring_events = 4096;
     std::uint64_t interval = 200000;  // ns between timeline samples
+    std::uint64_t profile_rate = 0;   // 0: pick a default when dumping
     std::string trace_path;
     std::string prom_path;
     std::string timeline_path;
+    std::string profile_path;
     std::string snapshot_path;  // empty: human dump to stdout
     bool quiet = false;
 };
-
-void
-usage(const char* argv0)
-{
-    std::fprintf(
-        stderr,
-        "usage: %s [options]\n"
-        "  --threads N    worker threads / heaps (default 4)\n"
-        "  --slots N      live objects per thread (default 800)\n"
-        "  --rounds N     replacements per epoch (default 5000)\n"
-        "  --epochs N     thread generations (default 4)\n"
-        "  --ring N       trace events retained per shard, power of\n"
-        "                 two (default 4096)\n"
-        "  --trace FILE   write Chrome trace JSON (chrome://tracing)\n"
-        "  --prom FILE    write Prometheus text exposition\n"
-        "  --timeline FILE  write the gauge timeline as JSONL\n"
-        "                 (schema hoard-timeline-v1)\n"
-        "  --interval N   nanoseconds between timeline samples\n"
-        "                 (default 200000)\n"
-        "  --snapshot FILE  write the human-readable snapshot\n"
-        "                 (default: stdout)\n"
-        "  --quiet        verdicts only\n",
-        argv0);
-}
-
-bool
-parse_int(const char* s, int& out)
-{
-    char* end = nullptr;
-    long v = std::strtol(s, &end, 10);
-    if (end == s || *end != '\0' || v <= 0 || v > 1 << 20)
-        return false;
-    out = static_cast<int>(v);
-    return true;
-}
 
 }  // namespace
 
@@ -92,51 +65,50 @@ main(int argc, char** argv)
     using namespace hoard;
 
     Options opt;
-    for (int i = 1; i < argc; ++i) {
-        auto need_value = [&](const char* flag) -> const char* {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s requires a value\n", flag);
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (std::strcmp(argv[i], "--threads") == 0) {
-            if (!parse_int(need_value("--threads"), opt.threads))
-                return 2;
-        } else if (std::strcmp(argv[i], "--slots") == 0) {
-            if (!parse_int(need_value("--slots"), opt.slots))
-                return 2;
-        } else if (std::strcmp(argv[i], "--rounds") == 0) {
-            if (!parse_int(need_value("--rounds"), opt.rounds))
-                return 2;
-        } else if (std::strcmp(argv[i], "--epochs") == 0) {
-            if (!parse_int(need_value("--epochs"), opt.epochs))
-                return 2;
-        } else if (std::strcmp(argv[i], "--ring") == 0) {
-            int n = 0;
-            if (!parse_int(need_value("--ring"), n))
-                return 2;
-            opt.ring_events = static_cast<std::size_t>(n);
-        } else if (std::strcmp(argv[i], "--trace") == 0) {
-            opt.trace_path = need_value("--trace");
-        } else if (std::strcmp(argv[i], "--prom") == 0) {
-            opt.prom_path = need_value("--prom");
-        } else if (std::strcmp(argv[i], "--timeline") == 0) {
-            opt.timeline_path = need_value("--timeline");
-        } else if (std::strcmp(argv[i], "--interval") == 0) {
-            int n = 0;
-            if (!parse_int(need_value("--interval"), n))
-                return 2;
-            opt.interval = static_cast<std::uint64_t>(n);
-        } else if (std::strcmp(argv[i], "--snapshot") == 0) {
-            opt.snapshot_path = need_value("--snapshot");
-        } else if (std::strcmp(argv[i], "--quiet") == 0) {
-            opt.quiet = true;
-        } else {
-            usage(argv[0]);
-            return 2;
-        }
-    }
+    cli::Parser parser(
+        "exercise a traced Hoard instance and export its telemetry");
+    parser.add_int("--threads", "N",
+                   "worker threads / heaps (default 4)", &opt.threads);
+    parser.add_int("--slots", "N",
+                   "live objects per thread (default 800)", &opt.slots);
+    parser.add_int("--rounds", "N",
+                   "replacements per epoch (default 5000)",
+                   &opt.rounds);
+    parser.add_int("--epochs", "N", "thread generations (default 4)",
+                   &opt.epochs);
+    parser.add_int("--ring", "N",
+                   "trace events retained per shard, power\n"
+                   "of two (default 4096)",
+                   &opt.ring_events);
+    parser.add_string("--trace", "FILE",
+                      "write Chrome trace JSON (chrome://tracing)",
+                      &opt.trace_path);
+    parser.add_string("--prom", "FILE",
+                      "write Prometheus text exposition",
+                      &opt.prom_path);
+    parser.add_string("--timeline", "FILE",
+                      "write the gauge timeline as JSONL\n"
+                      "(schema hoard-timeline-v2)",
+                      &opt.timeline_path);
+    parser.add_uint64("--interval", "N",
+                      "nanoseconds between timeline samples\n"
+                      "(default 200000)",
+                      &opt.interval, 1);
+    parser.add_string("--profile", "FILE",
+                      "write a pprof heap profile\n"
+                      "(profile.proto; `pprof -http=: FILE`)",
+                      &opt.profile_path);
+    parser.add_uint64("--profile-rate", "N",
+                      "mean bytes between profile samples;\n"
+                      "1 samples every allocation (default\n"
+                      "65536 when --profile is given)",
+                      &opt.profile_rate, 1);
+    parser.add_string("--snapshot", "FILE",
+                      "write the human-readable snapshot\n"
+                      "(default: stdout)",
+                      &opt.snapshot_path);
+    parser.add_flag("--quiet", "verdicts only", &opt.quiet);
+    parser.parse(argc, argv);
 
     if (!obs::kCompiledIn) {
         std::fprintf(stderr,
@@ -144,19 +116,34 @@ main(int argc, char** argv)
                      "(rebuild with -DHOARD_OBS=ON)\n");
         return 2;
     }
-
-    Config config;
-    config.heap_count = opt.threads;
-    config.thread_cache_blocks = 8;
-    config.observability = true;
-    config.obs_ring_events = opt.ring_events;
-    if (!opt.timeline_path.empty())
-        config.obs_sample_interval = opt.interval;
+    const bool want_profile =
+        !opt.profile_path.empty() || opt.profile_rate != 0;
+    if (want_profile && !obs::kProfilerCompiledIn) {
+        std::fprintf(stderr,
+                     "hoardctl: profiler compiled out "
+                     "(rebuild with -DHOARD_PROFILER=ON)\n");
+        return 2;
+    }
     if ((opt.ring_events & (opt.ring_events - 1)) != 0 ||
         opt.ring_events < 2) {
         std::fprintf(stderr,
                      "hoardctl: --ring must be a power of two >= 2\n");
         return 2;
+    }
+
+    Config config;
+    config.heap_count = opt.threads;
+    config.thread_cache_blocks = 8;
+    config.observability = true;
+    config.obs_ring_events = static_cast<std::size_t>(opt.ring_events);
+    if (!opt.timeline_path.empty())
+        config.obs_sample_interval = opt.interval;
+    if (want_profile) {
+        // A short churn at the production default (512 KiB) yields a
+        // handful of samples; 64 KiB gives a usable profile without
+        // distorting the run.
+        config.profile_sample_rate = static_cast<std::size_t>(
+            opt.profile_rate != 0 ? opt.profile_rate : 65536);
     }
     HoardAllocator<NativePolicy> allocator(config);
 
@@ -184,6 +171,8 @@ main(int argc, char** argv)
     if (!opt.prom_path.empty()) {
         std::ofstream os(opt.prom_path);
         obs::write_prometheus(os, snap);
+        if (allocator.profiler() != nullptr)
+            allocator.profiler()->write_prometheus(os);
         if (!opt.quiet)
             std::printf("prometheus: %s\n", opt.prom_path.c_str());
     }
@@ -213,6 +202,22 @@ main(int argc, char** argv)
                             allocator.recorder()->total_recorded()),
                         static_cast<unsigned long long>(
                             allocator.recorder()->dropped()));
+        }
+    }
+    if (!opt.profile_path.empty() && allocator.profiler() != nullptr) {
+        std::ofstream os(opt.profile_path, std::ios::binary);
+        allocator.profiler()->write_pprof_profile(os);
+        if (!opt.quiet) {
+            const obs::ProfilerTotals totals =
+                allocator.profiler()->totals();
+            std::printf("pprof profile: %s (%llu sites, %llu sampled "
+                        "objects, %llu live)\n",
+                        opt.profile_path.c_str(),
+                        static_cast<unsigned long long>(totals.sites),
+                        static_cast<unsigned long long>(
+                            totals.sampled_objects),
+                        static_cast<unsigned long long>(
+                            totals.live_objects));
         }
     }
 

@@ -52,6 +52,18 @@ Config::validate() const
         HOARD_FATAL("obs_sample_slots (%zu) must be a power of two >= 2",
                     obs_sample_slots);
     }
+    if (!detail::is_pow2(profile_site_slots) || profile_site_slots < 2) {
+        HOARD_FATAL("profile_site_slots (%zu) must be a power of two >= 2",
+                    profile_site_slots);
+    }
+    if (!detail::is_pow2(profile_live_slots) || profile_live_slots < 2) {
+        HOARD_FATAL("profile_live_slots (%zu) must be a power of two >= 2",
+                    profile_live_slots);
+    }
+    if (profile_max_frames < 1 || profile_max_frames > 64) {
+        HOARD_FATAL("profile_max_frames (%d) must be in [1, 64]",
+                    profile_max_frames);
+    }
 }
 
 }  // namespace hoard

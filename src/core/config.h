@@ -159,6 +159,45 @@ struct Config
     std::size_t obs_sample_slots = 256;
 
     /**
+     * Mean bytes between allocation samples for the heap profiler
+     * (src/obs/heap_profiler.h), tcmalloc-style: each thread counts
+     * allocated bytes down from an exponentially distributed threshold
+     * with this mean, so every byte is equally likely to be sampled and
+     * estimates are unbiased regardless of allocation size mix.  0 (the
+     * default) disables the profiler — no table is allocated and the
+     * fast path keeps a single null check (nothing at all when the
+     * HOARD_PROFILER build option is off).  1 samples *every*
+     * allocation (exact mode, used by the reconciliation tests).
+     * OR-ed with the HOARD_PROFILE_RATE environment variable by the
+     * facade, so a shimmed binary can be profiled without a rebuild.
+     */
+    std::size_t profile_sample_rate = 0;
+
+    /**
+     * Allocation-site table capacity (distinct sampled stacks).  Open
+     * addressing, fixed size, power of two >= 2; when full, new sites
+     * are dropped and counted.  2048 sites is ~0.5 MiB and far beyond
+     * what real programs populate at the default sample rate.
+     */
+    std::size_t profile_site_slots = 2048;
+
+    /**
+     * Live-object side map capacity (sampled objects currently live).
+     * Power of two >= 2.  At the default rate one slot tracks ~512 KiB
+     * of live heap, so 16384 slots cover ~8 GiB; insert failures are
+     * counted and roll the site's live gauges back so attribution
+     * stays exact for what the map does track.
+     */
+    std::size_t profile_live_slots = 16384;
+
+    /**
+     * Backtrace frames captured per sample (1..64).  Frame-pointer
+     * walk under NativePolicy; under SimPolicy the "backtrace" is a
+     * deterministic {site token, fiber id} pair and depth is moot.
+     */
+    int profile_max_frames = 24;
+
+    /**
      * What deallocate() does when the hardened free path rejects a
      * pointer (wild, foreign-arena, interior, or double free).
      */

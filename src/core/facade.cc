@@ -33,6 +33,16 @@ global_allocator()
             else if (std::strcmp(v, "fatal") == 0)
                 config.on_bad_free = Config::BadFreePolicy::fatal;
         }
+        // HOARD_PROFILE_RATE=<mean bytes between samples> arms the
+        // sampling heap profiler (docs/PROFILING.md); "1" samples
+        // every allocation, unset/0 keeps it off.
+        if (const char* v = std::getenv("HOARD_PROFILE_RATE")) {
+            char* end = nullptr;
+            unsigned long long rate = std::strtoull(v, &end, 10);
+            if (end != v)
+                config.profile_sample_rate =
+                    static_cast<std::size_t>(rate);
+        }
         return new HoardAllocator<NativePolicy>(config);
     }();
     return *instance;
@@ -198,6 +208,36 @@ void
 hoard_write_prometheus(std::ostream& os)
 {
     obs::write_prometheus(os, hoard_snapshot());
+    if (const obs::HeapProfiler* prof = hoard_profiler())
+        prof->write_prometheus(os);
+}
+
+const obs::HeapProfiler*
+hoard_profiler()
+{
+    return global_allocator().profiler();
+}
+
+bool
+hoard_write_heap_profile(std::ostream& os)
+{
+    const obs::HeapProfiler* prof = hoard_profiler();
+    if (prof == nullptr)
+        return false;
+    prof->write_pprof_profile(os);
+    return true;
+}
+
+std::size_t
+hoard_write_leak_report(std::ostream& os)
+{
+    const obs::HeapProfiler* prof = hoard_profiler();
+    if (prof == nullptr) {
+        os << "hoard leak report: profiler disabled "
+              "(set HOARD_PROFILE_RATE)\n";
+        return 0;
+    }
+    return prof->write_leak_report(os);
 }
 
 }  // namespace hoard

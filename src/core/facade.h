@@ -92,8 +92,32 @@ const obs::EventRecorder* hoard_event_recorder();
  */
 std::size_t hoard_write_chrome_trace(std::ostream& os);
 
-/** Writes a snapshot as Prometheus text exposition. */
+/**
+ * Writes a snapshot as Prometheus text exposition, with the heap
+ * profiler's fragmentation telemetry appended when it is armed.
+ */
 void hoard_write_prometheus(std::ostream& os);
+
+/**
+ * The global instance's sampling heap profiler, or nullptr unless it
+ * was armed (HOARD_PROFILE_RATE env var at first use, with
+ * HOARD_PROFILER compiled in).
+ */
+const obs::HeapProfiler* hoard_profiler();
+
+/**
+ * Serializes the heap profile in pprof profile.proto wire format
+ * (uncompressed; `pprof -http=: <file>` renders it).  Returns false
+ * without writing when the profiler is off.
+ */
+bool hoard_write_heap_profile(std::ostream& os);
+
+/**
+ * Writes the end-of-run leak report (sampled sites with live bytes,
+ * symbolized best-effort).  Returns the number of leaking sites, 0
+ * when the profiler is off.
+ */
+std::size_t hoard_write_leak_report(std::ostream& os);
 
 /// @}
 

@@ -70,6 +70,7 @@
 #include "core/superblock_cache.h"
 #include "obs/event_ring.h"
 #include "obs/gating.h"
+#include "obs/heap_profiler.h"
 #include "obs/snapshot.h"
 #include "obs/timeseries.h"
 #include "os/page_provider.h"
@@ -150,6 +151,20 @@ class HoardAllocator final : public Allocator
                 }
             }
         }
+        // The profiler gates independently of observability: a
+        // production process can attribute its heap without paying for
+        // event tracing.  rate 0 leaves profiler_ null, so the hot
+        // paths keep a single never-taken null check.
+        if constexpr (Policy::kProfilerEnabled) {
+            if (config_.profile_sample_rate > 0) {
+                profiler_ = std::make_unique<obs::HeapProfiler>(
+                    config_.profile_sample_rate,
+                    config_.profile_site_slots,
+                    config_.profile_live_slots,
+                    config_.profile_max_frames,
+                    static_cast<std::uint32_t>(classes_.count()));
+            }
+        }
     }
 
     ~HoardAllocator() override
@@ -185,6 +200,8 @@ class HoardAllocator final : public Allocator
         stats_.allocs.add();
         stats_.requested_bytes.add(size);
         stats_.in_use_bytes.add(classes_.block_size(cls));
+        profile_alloc(block, size, classes_.block_size(cls),
+                      static_cast<std::uint32_t>(cls));
         return block;
     }
 
@@ -201,6 +218,22 @@ class HoardAllocator final : public Allocator
                 return;  // rejected and reported (warn policy leaks it)
         } else {
             sb = Superblock::from_pointer(p, config_.superblock_bytes);
+        }
+        // Pair a sampled free once the pointer is known good; covers
+        // the huge path too.  The superblock's sampled count — on the
+        // header line this path already reads — gates the live-map
+        // probe, so the common unsampled free touches no profiler
+        // memory at all.  Only the guard stays inline: the probe
+        // itself is out of line so this branch costs deallocate no
+        // inlining budget (the helpers below must keep inlining
+        // identically to a kProfilerEnabled=false instantiation).
+        // The superblock test comes first: its header line is already
+        // hot from the resolve above, so an unsampled free decides
+        // without even loading profiler_.
+        if constexpr (Policy::kProfilerEnabled) {
+            if ((sb->huge() || sb->has_sampled()) &&
+                profiler_ != nullptr) [[unlikely]]
+                profile_free_slow(sb, p);
         }
         if (sb->huge()) {
             deallocate_huge(sb);
@@ -280,7 +313,12 @@ class HoardAllocator final : public Allocator
         stats_.requested_bytes.add(size);
         stats_.in_use_bytes.add(classes_.block_size(cls));
         auto addr = reinterpret_cast<std::uintptr_t>(block);
-        return reinterpret_cast<void*>(detail::align_up(addr, align));
+        // Profile with the *returned* (interior) pointer: that is the
+        // one the program frees, so it is the live-map key.
+        void* out = reinterpret_cast<void*>(detail::align_up(addr, align));
+        profile_alloc(out, size, classes_.block_size(cls),
+                      static_cast<std::uint32_t>(cls));
+        return out;
     }
 
     const Config& config() const { return config_; }
@@ -760,12 +798,89 @@ class HoardAllocator final : public Allocator
 
     /// @}
 
+    /**
+     * The sampling heap profiler, or null when disabled
+     * (profile_sample_rate == 0 or HOARD_PROFILER compiled out).
+     * Lock-free throughout, so it is safe to export from any thread at
+     * any time; counters are exact only at quiescence.
+     */
+    const obs::HeapProfiler* profiler() const { return profiler_.get(); }
+
   private:
     static const Config&
     validated(const Config& config)
     {
         config.validate();
         return config;
+    }
+
+    /**
+     * Sampling hook shared by every allocation path.  With the
+     * profiler disarmed this is one predicted null check; armed, it
+     * adds the byte countdown (load, subtract, store, branch), and
+     * only a triggered sample pays for a backtrace and table insert.
+     * Charges @p rounded bytes so exact mode (rate 1) samples every
+     * allocation — requested can legally be 0.
+     */
+    void
+    profile_alloc(void* block, std::size_t requested, std::size_t rounded,
+                  std::uint32_t cls)
+    {
+        if constexpr (Policy::kProfilerEnabled) {
+            if (profiler_ == nullptr) [[likely]]
+                return;
+            if (!profiler_->tick(Policy::thread_index(), rounded))
+                [[likely]]
+                return;
+            profile_alloc_slow(block, requested, rounded, cls);
+        } else {
+            (void)block;
+            (void)requested;
+            (void)rounded;
+            (void)cls;
+        }
+    }
+
+    /**
+     * The triggered-sample tail of profile_alloc: backtrace, table
+     * insert, and the superblock's sampled-count bump that lets the
+     * free path skip live-map probes.  Out of line and cold so the
+     * 512-byte frame scratch and the record plumbing stay off the
+     * malloc hot path — only the countdown and a predicted branch
+     * remain inline.
+     */
+    __attribute__((noinline, cold)) void
+    profile_alloc_slow(void* block, std::size_t requested,
+                       std::size_t rounded, std::uint32_t cls)
+    {
+        std::uintptr_t frames[obs::HeapProfiler::kMaxFrames];
+        const int depth = Policy::profile_backtrace(
+            frames, config_.profile_max_frames);
+        const bool live = profiler_->record_alloc(
+            block, requested, rounded, cls, frames, depth,
+            Policy::timestamp());
+        // Count the live entry on its superblock (huge spans always
+        // probe — rare).  Incremented before allocate() returns, so
+        // any legal free of this pointer observes it.
+        if (live && cls != obs::HeapProfiler::kHugeClass)
+            Superblock::from_pointer(block, config_.superblock_bytes)
+                ->sampled_inc();
+    }
+
+    /**
+     * Free-side pairing for a superblock that holds sampled live
+     * objects (or a huge span, which always probes).  Out of line and
+     * cold for the same reason as profile_alloc_slow: deallocate
+     * keeps only the armed-and-sampled guard inline.  The timestamp
+     * lambda runs only on a live-map hit, so a miss never reads the
+     * clock.
+     */
+    __attribute__((noinline, cold)) void
+    profile_free_slow(Superblock* sb, void* p)
+    {
+        if (profiler_->on_free(p, [] { return Policy::timestamp(); }) &&
+            !sb->huge())
+            sb->sampled_dec();
     }
 
     /// @name Thread-local magazines (extension; layout in magazine.h).
@@ -905,8 +1020,14 @@ class HoardAllocator final : public Allocator
      * drain costs no extra acquisition); the emptiness invariant is
      * enforced after the carve if the drain moved anything.  Returns
      * the number of blocks parked; 0 means the OS refused memory.
+     *
+     * noinline: once-per-batch, and keeping it (and spill_magazine /
+     * free_block) out of line holds magazine_pop/push to their
+     * two-pointer-move size in every policy instantiation — otherwise
+     * instrumentation growth tips GCC's inlining budget differently
+     * per variant and the overhead gate compares unlike hot paths.
      */
-    std::uint32_t
+    __attribute__((noinline)) std::uint32_t
     refill_magazine(detail::MagazineNode* node, int cls)
     {
         const std::size_t block_bytes = classes_.block_size(cls);
@@ -966,9 +1087,9 @@ class HoardAllocator final : public Allocator
      * Spills one batch (the most recently freed blocks) from @p
      * node's magazine of @p cls back to the owning heaps via the
      * bulk-return path: one gauge sync and one stats bump for the
-     * whole batch.
+     * whole batch.  noinline: see refill_magazine.
      */
-    void
+    __attribute__((noinline)) void
     spill_magazine(detail::MagazineNode* node, int cls)
     {
         auto& mag = node->mags[static_cast<std::size_t>(cls)];
@@ -1124,11 +1245,16 @@ class HoardAllocator final : public Allocator
     remote_free(Base& owner, Superblock* sb, void* block)
     {
         Policy::touch(block, sizeof(void*), true);
+        // Capture event fields before the push publishes the block:
+        // the owner may drain it, empty the superblock, and retire it
+        // into the reuse cache, where a concurrent fetch reformats.
+        const int cls = sb->size_class();
+        const std::uint32_t bytes = sb->block_bytes();
         owner.remote_push(block);
         Policy::work(CostKind::list_op);
         stats_.remote_frees.add();
-        record_event(obs::EventKind::remote_free, owner.index,
-                     sb->size_class(), sb->block_bytes());
+        record_event(obs::EventKind::remote_free, owner.index, cls,
+                     bytes);
     }
 
     /**
@@ -1323,6 +1449,17 @@ class HoardAllocator final : public Allocator
                                 stats_.global_bin_misses.get(),
                                 stats_.cache_pushes.get(),
                                 stats_.cache_pops.get());
+            writer.set_bad_frees(stats_.bad_free_wild.get(),
+                                 stats_.bad_free_foreign.get(),
+                                 stats_.bad_free_interior.get(),
+                                 stats_.bad_free_double.get());
+            if constexpr (Policy::kProfilerEnabled) {
+                if (profiler_ != nullptr) {
+                    const obs::ProfilerTotals pt = profiler_->totals();
+                    writer.set_profiler(pt.sampled_requested,
+                                        pt.sampled_rounded);
+                }
+            }
             writer.set_heap(0, heap_in_use(0), heap_held(0));
             for (std::size_t i = 0; i < heaps_.size(); ++i) {
                 Heap& heap = *heaps_[i];
@@ -1496,8 +1633,10 @@ class HoardAllocator final : public Allocator
      * then leaves the gauges untouched.  The remote-queue path skips
      * the probe (best-effort: the owner's state can't be examined
      * without its lock) and always reports success.
+     *
+     * noinline: lock-bound, and see refill_magazine.
      */
-    bool
+    __attribute__((noinline)) bool
     free_block(Superblock* sb, void* p)
     {
         void* block = sb->block_start(p);
@@ -1559,8 +1698,15 @@ class HoardAllocator final : public Allocator
      * in thread magazines are re-handed out without these checks, and
      * the remote-free path skips the under-lock double probe — the
      * hardening is best-effort by design (docs/SHIM.md).
+     *
+     * always_inline: this is deallocate's hot prefix under the
+     * default hardened_free, and the accept path is a handful of
+     * header compares against data the free path loads anyway.  Left
+     * to the heuristics, instrumented instantiations outline it (a
+     * call per free) while uninstrumented ones inline it, and the
+     * overhead gate ends up comparing unlike free paths.
      */
-    Superblock*
+    inline __attribute__((always_inline)) Superblock*
     resolve_for_free(void* p)
     {
         auto addr = reinterpret_cast<std::uintptr_t>(p);
@@ -1610,9 +1756,11 @@ class HoardAllocator final : public Allocator
      * Reports one rejected free per Config::on_bad_free: fatal aborts
      * with a diagnostic; warn bumps @p counter, records a trace event,
      * and leaks the block.  Returns nullptr so rejection sites can
-     * `return report_bad_free(...)`.
+     * `return report_bad_free(...)`.  noinline, cold: rejection is
+     * the exceptional outcome, and compact call sites keep the
+     * always-inlined resolve_for_free from bloating deallocate.
      */
-    Superblock*
+    __attribute__((noinline, cold)) Superblock*
     report_bad_free(detail::Counter& counter, const char* kind,
                     const void* p, int size_class)
     {
@@ -1955,10 +2103,13 @@ class HoardAllocator final : public Allocator
             return;
         }
         sb->set_owner(nullptr);
+        // Capture event fields before the push publishes the
+        // superblock: a concurrent popper may reformat it immediately.
+        const int cls = sb->size_class();
+        const std::size_t span = sb->span_bytes();
         reuse_cache_.push(sb);
         stats_.cache_pushes.add();
-        record_event(obs::EventKind::cache_push, 0, sb->size_class(),
-                     sb->span_bytes());
+        record_event(obs::EventKind::cache_push, 0, cls, span);
     }
 
     /**
@@ -2030,6 +2181,11 @@ class HoardAllocator final : public Allocator
         stats_.os_bytes.add(total);
         record_event(obs::EventKind::huge_alloc, 0, SizeClasses::kHuge,
                      size);
+        // Huge accounting charges the user size to in_use, so the
+        // profiler's "rounded" is the user size too — that keeps the
+        // live-bytes reconciliation exact across both paths.
+        profile_alloc(static_cast<char*>(memory) + offset, size, size,
+                      obs::HeapProfiler::kHugeClass);
         return static_cast<char*>(memory) + offset;
     }
 
@@ -2216,6 +2372,13 @@ class HoardAllocator final : public Allocator
     /// Identity stamped into every superblock this instance formats
     /// (the hardened free path's foreign-span check).
     const std::uint32_t arena_id_ = detail::next_arena_id();
+    /// Sampling heap profiler; non-null only when
+    /// Config::profile_sample_rate > 0 (see profile_alloc).  Declared
+    /// among the read-mostly members every allocation touches so the
+    /// unarmed null check shares their cache line, and destroyed
+    /// after the heaps (reverse declaration order) so teardown flushes
+    /// can still pair sampled frees.
+    std::unique_ptr<obs::HeapProfiler> profiler_;
     /// Hull of every span ever mapped for this instance; [max, 0)
     /// until the first map, so a fresh allocator rejects everything.
     std::atomic<std::uintptr_t> mapped_lo_{

@@ -31,11 +31,20 @@
 #define HOARD_OBS 1
 #endif
 
+// The sampling heap profiler gates independently (HOARD_PROFILER CMake
+// option): a build can keep site attribution while dropping tracing.
+#ifndef HOARD_PROFILER
+#define HOARD_PROFILER 1
+#endif
+
 namespace hoard {
 namespace obs {
 
 /** True when instrumentation is compiled into this build. */
 inline constexpr bool kCompiledIn = HOARD_OBS != 0;
+
+/** True when the sampling heap profiler is compiled into this build. */
+inline constexpr bool kProfilerCompiledIn = HOARD_PROFILER != 0;
 
 /** True when the HOARD_OBS environment variable requests tracing. */
 inline bool

@@ -1,0 +1,578 @@
+// dladdr is a glibc extension; this must precede every include.
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE 1
+#endif
+
+#include "obs/heap_profiler.h"
+
+#include <dlfcn.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "common/mathutil.h"
+
+namespace hoard {
+namespace obs {
+
+namespace {
+
+/** splitmix64 finalizer: the mixing stage shared with detail::Rng. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** FNV-1a over the frame words, then mixed; never returns 0. */
+std::uint64_t
+hash_frames(const std::uintptr_t* frames, int depth)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL ^
+                      static_cast<std::uint64_t>(depth);
+    for (int i = 0; i < depth; ++i) {
+        h ^= static_cast<std::uint64_t>(frames[i]);
+        h *= 0x100000001b3ULL;
+    }
+    h = mix64(h);
+    return h == 0 ? 1 : h;
+}
+
+/** Best-effort "name+0xoff (module)" for one return address. */
+std::string
+symbolize(std::uintptr_t addr)
+{
+    char buf[512];
+    Dl_info info;
+    if (dladdr(reinterpret_cast<void*>(addr), &info) != 0 &&
+        info.dli_sname != nullptr) {
+        const std::uintptr_t base =
+            reinterpret_cast<std::uintptr_t>(info.dli_saddr);
+        std::snprintf(buf, sizeof buf, "%s+0x%" PRIxPTR " (%s)",
+                      info.dli_sname, addr - base,
+                      info.dli_fname != nullptr ? info.dli_fname : "?");
+    } else {
+        std::snprintf(buf, sizeof buf, "0x%" PRIxPTR, addr);
+    }
+    return buf;
+}
+
+/** Symbol name alone (or the hex address) for the pprof Function. */
+std::string
+symbol_name(std::uintptr_t addr)
+{
+    Dl_info info;
+    if (dladdr(reinterpret_cast<void*>(addr), &info) != 0 &&
+        info.dli_sname != nullptr)
+        return info.dli_sname;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%" PRIxPTR, addr);
+    return buf;
+}
+
+/** Per-site Poisson sampling weight (see write_pprof_profile doc). */
+double
+sample_weight(double mean_bytes, double rate)
+{
+    if (rate <= 1.0 || mean_bytes <= 0.0)
+        return 1.0;
+    const double p = 1.0 - std::exp(-mean_bytes / rate);
+    return p > 0.0 ? 1.0 / p : 1.0;
+}
+
+/** One site copied out of the lock-free table for export. */
+struct SiteCopy
+{
+    const std::uintptr_t* frames;
+    int depth;
+    std::uint64_t cum_objects, cum_requested, cum_rounded;
+    std::uint64_t live_objects, live_requested, live_rounded;
+    std::uint64_t lifetime_sum, lifetime_count;
+};
+
+}  // namespace
+
+HeapProfiler::HeapProfiler(std::size_t sample_rate, std::size_t site_slots,
+                           std::size_t live_slots, int max_frames,
+                           std::uint32_t num_classes)
+    : rate_(sample_rate == 0 ? 1 : sample_rate),
+      site_slots_(site_slots),
+      live_slots_(live_slots),
+      max_frames_(std::min(max_frames, kMaxFrames)),
+      num_classes_(num_classes)
+{
+    HOARD_CHECK(detail::is_pow2(site_slots_) && site_slots_ >= 2);
+    HOARD_CHECK(detail::is_pow2(live_slots_) && live_slots_ >= 8);
+    HOARD_CHECK(max_frames_ >= 1);
+
+    threads_ = new ThreadState[kThreadSlots];
+    sites_ = new Site[site_slots_];
+    frames_store_ =
+        new std::uintptr_t[site_slots_ *
+                           static_cast<std::size_t>(max_frames_)]();
+    live_ = new LiveSlot[live_slots_];
+    classes_ = new ClassAccum[num_classes_ + 1];
+
+    // Deterministic per-slot RNG seeds (keyed by slot index, not by
+    // address or time) so sim runs replay bit-identically; arm every
+    // countdown with a fresh exponential draw.
+    for (int i = 0; i < kThreadSlots; ++i) {
+        threads_[i].rng.store(
+            mix64(0x9e3779b97f4a7c15ULL *
+                  (static_cast<std::uint64_t>(i) + 1)),
+            std::memory_order_relaxed);
+        threads_[i].countdown.store(next_threshold(threads_[i]),
+                                    std::memory_order_relaxed);
+    }
+}
+
+HeapProfiler::~HeapProfiler()
+{
+    delete[] threads_;
+    delete[] sites_;
+    delete[] frames_store_;
+    delete[] live_;
+    delete[] classes_;
+}
+
+std::int64_t
+HeapProfiler::next_threshold(ThreadState& t)
+{
+    // rate 1 is exact mode: every allocation of >= 1 byte crosses the
+    // threshold.  An exponential draw here would occasionally exceed
+    // the allocation size and *skip* one, breaking the tests that rely
+    // on sample == every allocation.
+    if (rate_ <= 1)
+        return 1;
+    std::uint64_t s = t.rng.load(std::memory_order_relaxed) +
+                      0x9e3779b97f4a7c15ULL;
+    t.rng.store(s, std::memory_order_relaxed);
+    const double u = (mix64(s) >> 11) * (1.0 / 9007199254740992.0);
+    const double gap =
+        -std::log(1.0 - u) * static_cast<double>(rate_);
+    // Clamp: >= 1 so progress is guaranteed, and well below the int64
+    // range so repeated subtraction can never wrap.
+    if (gap < 1.0)
+        return 1;
+    if (gap >= 9.0e18)
+        return std::int64_t{1} << 62;
+    return static_cast<std::int64_t>(gap);
+}
+
+std::ptrdiff_t
+HeapProfiler::site_find_or_claim(std::uint64_t hash,
+                                 const std::uintptr_t* frames, int depth)
+{
+    const std::size_t mask = site_slots_ - 1;
+    const std::size_t probes = std::min<std::size_t>(site_slots_, 32);
+    for (std::size_t i = 0; i < probes; ++i) {
+        const std::size_t idx = (hash + i) & mask;
+        Site& s = sites_[idx];
+        std::uint64_t cur = s.hash.load(std::memory_order_relaxed);
+        if (cur == hash)
+            return static_cast<std::ptrdiff_t>(idx);
+        if (cur != 0)
+            continue;
+        if (s.hash.compare_exchange_strong(cur, hash,
+                                           std::memory_order_relaxed)) {
+            const int kept = std::min(depth, max_frames_);
+            std::uintptr_t* dst =
+                frames_store_ +
+                idx * static_cast<std::size_t>(max_frames_);
+            for (int f = 0; f < kept; ++f)
+                dst[f] = frames[f];
+            s.depth = kept;
+            s.ready.store(true, std::memory_order_release);
+            site_count_.fetch_add(1, std::memory_order_relaxed);
+            return static_cast<std::ptrdiff_t>(idx);
+        }
+        if (cur == hash)  // lost the claim race to our own stack
+            return static_cast<std::ptrdiff_t>(idx);
+    }
+    return -1;
+}
+
+bool
+HeapProfiler::record_alloc(const void* ptr, std::size_t requested,
+                           std::size_t rounded, std::uint32_t cls,
+                           const std::uintptr_t* frames, int depth,
+                           std::uint64_t now)
+{
+    sampled_objects_.fetch_add(1, std::memory_order_relaxed);
+    sampled_requested_.fetch_add(requested, std::memory_order_relaxed);
+    sampled_rounded_.fetch_add(rounded, std::memory_order_relaxed);
+
+    ClassAccum& ca =
+        classes_[cls < num_classes_ ? cls : num_classes_];
+    ca.objects.fetch_add(1, std::memory_order_relaxed);
+    ca.requested.fetch_add(requested, std::memory_order_relaxed);
+    ca.rounded.fetch_add(rounded, std::memory_order_relaxed);
+
+    const std::uint64_t h = hash_frames(frames, depth);
+    const std::ptrdiff_t idx = site_find_or_claim(h, frames, depth);
+    if (idx < 0) {
+        site_drops_.fetch_add(1, std::memory_order_relaxed);
+        return false;  // no site => no live entry; stays exact
+    }
+    Site& s = sites_[idx];
+    s.cum_objects.fetch_add(1, std::memory_order_relaxed);
+    s.cum_requested.fetch_add(requested, std::memory_order_relaxed);
+    s.cum_rounded.fetch_add(rounded, std::memory_order_relaxed);
+    const std::uint32_t pos =
+        s.ts_pos.fetch_add(1, std::memory_order_relaxed);
+    s.ts_ring[pos & (kTimestampRing - 1)].store(
+        now, std::memory_order_relaxed);
+
+    // Live-map insert: probe the aligned 8-slot window for a free
+    // slot, claim it through the busy sentinel, publish values, then
+    // the key.  Live gauges are bumped before the key goes visible so
+    // a racing free's decrement cannot pass its own increment.
+    const std::uintptr_t key = reinterpret_cast<std::uintptr_t>(ptr);
+    const std::size_t base =
+        (mix64(key) & (live_slots_ - 1)) & ~std::size_t{7};
+    for (std::size_t i = 0; i < 8; ++i) {
+        LiveSlot& slot = live_[base + i];
+        std::uintptr_t expect = 0;
+        if (!slot.key.compare_exchange_strong(
+                expect, kBusy, std::memory_order_acquire,
+                std::memory_order_relaxed))
+            continue;
+        slot.site.store(static_cast<std::uint32_t>(idx),
+                        std::memory_order_relaxed);
+        slot.cls.store(cls, std::memory_order_relaxed);
+        slot.requested.store(requested, std::memory_order_relaxed);
+        slot.rounded.store(rounded, std::memory_order_relaxed);
+        slot.alloc_ts.store(now, std::memory_order_relaxed);
+        s.live_objects.fetch_add(1, std::memory_order_relaxed);
+        s.live_requested.fetch_add(requested, std::memory_order_relaxed);
+        s.live_rounded.fetch_add(rounded, std::memory_order_relaxed);
+        live_objects_.fetch_add(1, std::memory_order_relaxed);
+        live_requested_.fetch_add(requested, std::memory_order_relaxed);
+        live_rounded_.fetch_add(rounded, std::memory_order_relaxed);
+        slot.key.store(key, std::memory_order_release);
+        return true;
+    }
+    live_drops_.fetch_add(1, std::memory_order_relaxed);
+    live_drop_bytes_.fetch_add(rounded, std::memory_order_relaxed);
+    return false;
+}
+
+HeapProfiler::LiveSlot*
+HeapProfiler::live_claim(const void* ptr)
+{
+    const std::uintptr_t key = reinterpret_cast<std::uintptr_t>(ptr);
+    const std::size_t base =
+        (mix64(key) & (live_slots_ - 1)) & ~std::size_t{7};
+    for (std::size_t i = 0; i < 8; ++i) {
+        LiveSlot& slot = live_[base + i];
+        std::uintptr_t cur = slot.key.load(std::memory_order_relaxed);
+        if (cur != key)
+            continue;
+        if (slot.key.compare_exchange_strong(cur, kBusy,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed))
+            return &slot;
+    }
+    return nullptr;
+}
+
+void
+HeapProfiler::finish_free(LiveSlot* slot, std::uint64_t now)
+{
+    const std::uint32_t si = slot->site.load(std::memory_order_relaxed);
+    const std::uint64_t requested =
+        slot->requested.load(std::memory_order_relaxed);
+    const std::uint64_t rounded =
+        slot->rounded.load(std::memory_order_relaxed);
+    const std::uint64_t born =
+        slot->alloc_ts.load(std::memory_order_relaxed);
+
+    Site& s = sites_[si];
+    s.live_objects.fetch_sub(1, std::memory_order_relaxed);
+    s.live_requested.fetch_sub(requested, std::memory_order_relaxed);
+    s.live_rounded.fetch_sub(rounded, std::memory_order_relaxed);
+    s.lifetime_sum.fetch_add(now > born ? now - born : 0,
+                             std::memory_order_relaxed);
+    s.lifetime_count.fetch_add(1, std::memory_order_relaxed);
+    live_objects_.fetch_sub(1, std::memory_order_relaxed);
+    live_requested_.fetch_sub(requested, std::memory_order_relaxed);
+    live_rounded_.fetch_sub(rounded, std::memory_order_relaxed);
+    frees_paired_.fetch_add(1, std::memory_order_relaxed);
+
+    slot->key.store(0, std::memory_order_release);
+}
+
+ProfilerTotals
+HeapProfiler::totals() const
+{
+    ProfilerTotals t;
+    t.sampled_objects = sampled_objects_.load(std::memory_order_relaxed);
+    t.sampled_requested =
+        sampled_requested_.load(std::memory_order_relaxed);
+    t.sampled_rounded = sampled_rounded_.load(std::memory_order_relaxed);
+    t.live_objects = live_objects_.load(std::memory_order_relaxed);
+    t.live_bytes = live_rounded_.load(std::memory_order_relaxed);
+    t.live_requested = live_requested_.load(std::memory_order_relaxed);
+    t.frees_paired = frees_paired_.load(std::memory_order_relaxed);
+    t.sites = site_count_.load(std::memory_order_relaxed);
+    t.site_drops = site_drops_.load(std::memory_order_relaxed);
+    t.live_drops = live_drops_.load(std::memory_order_relaxed);
+    t.live_drop_bytes = live_drop_bytes_.load(std::memory_order_relaxed);
+    return t;
+}
+
+ClassProfile
+HeapProfiler::class_profile(std::uint32_t cls) const
+{
+    const ClassAccum& ca =
+        classes_[cls < num_classes_ ? cls : num_classes_];
+    ClassProfile p;
+    p.objects = ca.objects.load(std::memory_order_relaxed);
+    p.requested_bytes = ca.requested.load(std::memory_order_relaxed);
+    p.rounded_bytes = ca.rounded.load(std::memory_order_relaxed);
+    return p;
+}
+
+void
+HeapProfiler::write_pprof_profile(std::ostream& os) const
+{
+    std::vector<SiteCopy> sites;
+    for_each_site([&](const std::uintptr_t* frames, int depth,
+                      std::uint64_t co, std::uint64_t cr, std::uint64_t cb,
+                      std::uint64_t lo, std::uint64_t lr, std::uint64_t lb,
+                      std::uint64_t ls, std::uint64_t lc) {
+        sites.push_back({frames, depth, co, cr, cb, lo, lr, lb, ls, lc});
+    });
+
+    // String table: index 0 must be "" per the format.
+    std::vector<std::string> strings{""};
+    std::map<std::string, std::uint64_t> string_ids{{"", 0}};
+    auto intern = [&](const std::string& s) -> std::uint64_t {
+        auto [it, fresh] = string_ids.try_emplace(s, strings.size());
+        if (fresh)
+            strings.push_back(s);
+        return it->second;
+    };
+
+    // One Location (+ one Function) per distinct return address.
+    std::map<std::uintptr_t, std::uint64_t> location_ids;
+    for (const SiteCopy& s : sites)
+        for (int f = 0; f < s.depth; ++f)
+            location_ids.try_emplace(s.frames[f],
+                                     location_ids.size() + 1);
+
+    std::string profile;
+
+    auto put_value_type = [&](int field, const char* type,
+                              const char* unit) {
+        std::string vt;
+        pprof_put_field_varint(vt, 1, intern(type));
+        pprof_put_field_varint(vt, 2, intern(unit));
+        pprof_put_field_bytes(profile, field, vt);
+    };
+    put_value_type(1, "alloc_objects", "count");
+    put_value_type(1, "alloc_space", "bytes");
+    put_value_type(1, "inuse_objects", "count");
+    put_value_type(1, "inuse_space", "bytes");
+
+    const double rate = static_cast<double>(rate_);
+    for (const SiteCopy& s : sites) {
+        const double alloc_mean =
+            s.cum_objects > 0
+                ? static_cast<double>(s.cum_rounded) /
+                      static_cast<double>(s.cum_objects)
+                : 0.0;
+        const double live_mean =
+            s.live_objects > 0
+                ? static_cast<double>(s.live_rounded) /
+                      static_cast<double>(s.live_objects)
+                : 0.0;
+        const double wa = sample_weight(alloc_mean, rate);
+        const double wl = sample_weight(live_mean, rate);
+
+        std::string locs;
+        for (int f = 0; f < s.depth; ++f)
+            pprof_put_varint(locs, location_ids[s.frames[f]]);
+        std::string vals;
+        pprof_put_varint(
+            vals, static_cast<std::uint64_t>(
+                      std::llround(static_cast<double>(s.cum_objects) *
+                                   wa)));
+        pprof_put_varint(
+            vals, static_cast<std::uint64_t>(
+                      std::llround(static_cast<double>(s.cum_rounded) *
+                                   wa)));
+        pprof_put_varint(
+            vals, static_cast<std::uint64_t>(
+                      std::llround(static_cast<double>(s.live_objects) *
+                                   wl)));
+        pprof_put_varint(
+            vals, static_cast<std::uint64_t>(
+                      std::llround(static_cast<double>(s.live_rounded) *
+                                   wl)));
+        std::string sample;
+        pprof_put_field_bytes(sample, 1, locs);
+        pprof_put_field_bytes(sample, 2, vals);
+        pprof_put_field_bytes(profile, 2, sample);
+    }
+
+    // Minimal single mapping covering the address space; pprof only
+    // needs it to exist so locations have a home.
+    {
+        std::string mapping;
+        pprof_put_field_varint(mapping, 1, 1);  // id
+        pprof_put_field_varint(mapping, 2, 0);  // memory_start
+        pprof_put_field_varint(mapping, 3, ~std::uint64_t{0} >> 1);
+        pprof_put_field_varint(mapping, 5, intern("[hoard]"));
+        pprof_put_field_bytes(profile, 3, mapping);
+    }
+
+    for (const auto& [addr, id] : location_ids) {
+        std::string line;
+        pprof_put_field_varint(line, 1, id);  // function id == loc id
+        std::string loc;
+        pprof_put_field_varint(loc, 1, id);
+        pprof_put_field_varint(loc, 2, 1);  // mapping id
+        pprof_put_field_varint(loc, 3, static_cast<std::uint64_t>(addr));
+        pprof_put_field_bytes(loc, 4, line);
+        pprof_put_field_bytes(profile, 4, loc);
+    }
+    for (const auto& [addr, id] : location_ids) {
+        const std::string name = symbol_name(addr);
+        std::string fn;
+        pprof_put_field_varint(fn, 1, id);
+        pprof_put_field_varint(fn, 2, intern(name));
+        pprof_put_field_varint(fn, 3, intern(name));
+        pprof_put_field_bytes(profile, 5, fn);
+    }
+
+    for (const std::string& s : strings)
+        pprof_put_field_bytes(profile, 6, s);
+
+    {
+        std::string pt;
+        pprof_put_field_varint(pt, 1, intern("space"));
+        pprof_put_field_varint(pt, 2, intern("bytes"));
+        pprof_put_field_bytes(profile, 11, pt);
+    }
+    pprof_put_field_varint(profile, 12,
+                           static_cast<std::uint64_t>(rate_));
+
+    os.write(profile.data(),
+             static_cast<std::streamsize>(profile.size()));
+}
+
+std::size_t
+HeapProfiler::write_leak_report(std::ostream& os,
+                                std::size_t max_sites) const
+{
+    std::vector<SiteCopy> leaks;
+    for_each_site([&](const std::uintptr_t* frames, int depth,
+                      std::uint64_t co, std::uint64_t cr, std::uint64_t cb,
+                      std::uint64_t lo, std::uint64_t lr, std::uint64_t lb,
+                      std::uint64_t ls, std::uint64_t lc) {
+        if (lo > 0)
+            leaks.push_back(
+                {frames, depth, co, cr, cb, lo, lr, lb, ls, lc});
+    });
+    std::sort(leaks.begin(), leaks.end(),
+              [](const SiteCopy& a, const SiteCopy& b) {
+                  return a.live_rounded > b.live_rounded;
+              });
+
+    const ProfilerTotals t = totals();
+    os << "hoard leak report: " << leaks.size()
+       << " sampled site(s) with live objects, " << t.live_bytes
+       << " live bytes (" << t.live_objects << " objects, sample rate "
+       << rate_ << ")\n";
+    if (t.live_drops > 0) {
+        os << "  note: " << t.live_drops
+           << " sampled object(s) untracked (live map full), "
+           << t.live_drop_bytes << " bytes not attributed\n";
+    }
+    if (leaks.empty()) {
+        os << "  no leaks detected among sampled allocations\n";
+        return 0;
+    }
+
+    const double rate = static_cast<double>(rate_);
+    std::size_t shown = 0;
+    for (const SiteCopy& s : leaks) {
+        if (shown++ >= max_sites) {
+            os << "  ... " << leaks.size() - max_sites
+               << " more site(s)\n";
+            break;
+        }
+        const double mean =
+            static_cast<double>(s.live_rounded) /
+            static_cast<double>(s.live_objects);
+        const double w = sample_weight(mean, rate);
+        os << "LEAK: " << s.live_rounded << " bytes in "
+           << s.live_objects << " sampled objects (est. "
+           << static_cast<std::uint64_t>(
+                  std::llround(static_cast<double>(s.live_rounded) * w))
+           << " bytes total) at\n";
+        for (int f = 0; f < s.depth; ++f)
+            os << "    #" << f << " " << symbolize(s.frames[f]) << "\n";
+    }
+    return leaks.size();
+}
+
+void
+HeapProfiler::write_prometheus(std::ostream& os) const
+{
+    const ProfilerTotals t = totals();
+    os << "# TYPE hoard_profiler_sampled_objects_total counter\n"
+       << "hoard_profiler_sampled_objects_total " << t.sampled_objects
+       << "\n"
+       << "# TYPE hoard_profiler_sampled_requested_bytes_total counter\n"
+       << "hoard_profiler_sampled_requested_bytes_total "
+       << t.sampled_requested << "\n"
+       << "# TYPE hoard_profiler_sampled_rounded_bytes_total counter\n"
+       << "hoard_profiler_sampled_rounded_bytes_total "
+       << t.sampled_rounded << "\n"
+       << "# TYPE hoard_profiler_live_objects gauge\n"
+       << "hoard_profiler_live_objects " << t.live_objects << "\n"
+       << "# TYPE hoard_profiler_live_bytes gauge\n"
+       << "hoard_profiler_live_bytes " << t.live_bytes << "\n"
+       << "# TYPE hoard_profiler_live_requested_bytes gauge\n"
+       << "hoard_profiler_live_requested_bytes " << t.live_requested
+       << "\n"
+       << "# TYPE hoard_profiler_sites gauge\n"
+       << "hoard_profiler_sites " << t.sites << "\n"
+       << "# TYPE hoard_profiler_site_drops_total counter\n"
+       << "hoard_profiler_site_drops_total " << t.site_drops << "\n"
+       << "# TYPE hoard_profiler_live_drops_total counter\n"
+       << "hoard_profiler_live_drops_total " << t.live_drops << "\n";
+
+    os << "# TYPE hoard_profiler_class_objects_total counter\n"
+       << "# TYPE hoard_profiler_class_requested_bytes_total counter\n"
+       << "# TYPE hoard_profiler_class_rounded_bytes_total counter\n";
+    for (std::uint32_t cls = 0; cls <= num_classes_; ++cls) {
+        const ClassProfile p = class_profile(cls);
+        if (p.objects == 0)
+            continue;
+        char label[32];
+        if (cls == num_classes_)
+            std::snprintf(label, sizeof label, "huge");
+        else
+            std::snprintf(label, sizeof label, "%u", cls);
+        os << "hoard_profiler_class_objects_total{class=\"" << label
+           << "\"} " << p.objects << "\n"
+           << "hoard_profiler_class_requested_bytes_total{class=\""
+           << label << "\"} " << p.requested_bytes << "\n"
+           << "hoard_profiler_class_rounded_bytes_total{class=\""
+           << label << "\"} " << p.rounded_bytes << "\n";
+    }
+}
+
+}  // namespace obs
+}  // namespace hoard

@@ -63,6 +63,18 @@ struct TimeSample
     std::uint64_t bin_misses = 0;    ///< bin probes finding the class empty
     std::uint64_t cache_pushes = 0;  ///< empties retired to the reuse cache
     std::uint64_t cache_pops = 0;    ///< empties recycled from the cache
+    /// @name Hardened-free rejections (schema hoard-timeline-v2).
+    /// @{
+    std::uint64_t bad_free_wild = 0;
+    std::uint64_t bad_free_foreign = 0;
+    std::uint64_t bad_free_interior = 0;
+    std::uint64_t bad_free_double = 0;
+    /// @}
+    /// @name Heap-profiler sampled totals (v2; zero when disarmed).
+    /// @{
+    std::uint64_t prof_requested = 0;  ///< sampled requested bytes
+    std::uint64_t prof_rounded = 0;    ///< sampled size-class bytes
+    /// @}
     std::vector<HeapPoint> heaps;    ///< [0] is the global heap
 
     /** A/U blowup at this instant (0 when nothing is live). */
@@ -196,6 +208,28 @@ class TimeSeriesSampler
         }
 
         void
+        set_bad_frees(std::uint64_t wild, std::uint64_t foreign,
+                      std::uint64_t interior, std::uint64_t dbl)
+        {
+            slot_->bad_free_wild.store(wild, std::memory_order_relaxed);
+            slot_->bad_free_foreign.store(foreign,
+                                          std::memory_order_relaxed);
+            slot_->bad_free_interior.store(interior,
+                                           std::memory_order_relaxed);
+            slot_->bad_free_double.store(dbl, std::memory_order_relaxed);
+        }
+
+        void
+        set_profiler(std::uint64_t sampled_requested,
+                     std::uint64_t sampled_rounded)
+        {
+            slot_->prof_requested.store(sampled_requested,
+                                        std::memory_order_relaxed);
+            slot_->prof_rounded.store(sampled_rounded,
+                                      std::memory_order_relaxed);
+        }
+
+        void
         set_heap(std::size_t index, std::uint64_t in_use,
                  std::uint64_t held)
         {
@@ -280,6 +314,18 @@ class TimeSeriesSampler
                 slot.cache_pushes.load(std::memory_order_relaxed);
             sample.cache_pops =
                 slot.cache_pops.load(std::memory_order_relaxed);
+            sample.bad_free_wild =
+                slot.bad_free_wild.load(std::memory_order_relaxed);
+            sample.bad_free_foreign =
+                slot.bad_free_foreign.load(std::memory_order_relaxed);
+            sample.bad_free_interior =
+                slot.bad_free_interior.load(std::memory_order_relaxed);
+            sample.bad_free_double =
+                slot.bad_free_double.load(std::memory_order_relaxed);
+            sample.prof_requested =
+                slot.prof_requested.load(std::memory_order_relaxed);
+            sample.prof_rounded =
+                slot.prof_rounded.load(std::memory_order_relaxed);
             sample.heaps.resize(heap_slots_);
             for (std::size_t h = 0; h < heap_slots_; ++h) {
                 sample.heaps[h].in_use = slot.heap_words[h * 2].load(
@@ -308,6 +354,12 @@ class TimeSeriesSampler
         std::atomic<std::uint64_t> bin_misses{0};
         std::atomic<std::uint64_t> cache_pushes{0};
         std::atomic<std::uint64_t> cache_pops{0};
+        std::atomic<std::uint64_t> bad_free_wild{0};
+        std::atomic<std::uint64_t> bad_free_foreign{0};
+        std::atomic<std::uint64_t> bad_free_interior{0};
+        std::atomic<std::uint64_t> bad_free_double{0};
+        std::atomic<std::uint64_t> prof_requested{0};
+        std::atomic<std::uint64_t> prof_rounded{0};
         /// u/a pairs, heap_slots entries of two words each.
         std::unique_ptr<std::atomic<std::uint64_t>[]> heap_words;
     };

@@ -38,7 +38,7 @@ write_chrome_trace(std::ostream& os, const EventRecorder& recorder,
         if (!first)
             os << ",";
         first = false;
-        os << "\n{\"name\":\"" << to_string(ev.kind)
+        os << "\n{\"name\":\"" << json_escape(to_string(ev.kind))
            << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << ev.tid
            << ",\"ts\":";
         put_double(os, static_cast<double>(ev.timestamp) / ts_per_us);
@@ -82,16 +82,22 @@ void
 write_timeseries_jsonl(std::ostream& os, const TimeSeriesSampler& sampler)
 {
     for (const TimeSample& s : sampler.collect()) {
-        os << "{\"schema\":\"hoard-timeline-v1\",\"ts\":" << s.timestamp
+        os << "{\"schema\":\"hoard-timeline-v2\",\"ts\":" << s.timestamp
            << ",\"in_use\":" << s.in_use << ",\"held\":" << s.held
            << ",\"os\":" << s.os_bytes << ",\"cached\":" << s.cached_bytes
            << ",\"allocs\":" << s.allocs << ",\"frees\":" << s.frees
            << ",\"transfers\":" << s.transfers
            << ",\"global_fetches\":" << s.global_fetches
-           << ",\"bin_hits\":" << s.bin_hits
-           << ",\"bin_misses\":" << s.bin_misses
+           << ",\"global_bin_hits\":" << s.bin_hits
+           << ",\"global_bin_misses\":" << s.bin_misses
            << ",\"cache_pushes\":" << s.cache_pushes
            << ",\"cache_pops\":" << s.cache_pops
+           << ",\"bad_free_wild\":" << s.bad_free_wild
+           << ",\"bad_free_foreign\":" << s.bad_free_foreign
+           << ",\"bad_free_interior\":" << s.bad_free_interior
+           << ",\"bad_free_double\":" << s.bad_free_double
+           << ",\"prof_sampled_requested\":" << s.prof_requested
+           << ",\"prof_sampled_rounded\":" << s.prof_rounded
            << ",\"blowup\":";
         put_double(os, s.blowup());
         os << ",\"heaps\":[";
@@ -144,6 +150,68 @@ write_prometheus(std::ostream& os, const AllocatorSnapshot& snap)
             os << "hoard_heap_superblocks{heap=\"" << h.index
                << "\",size_class=\"" << c.size_class << "\"} "
                << c.superblocks << '\n';
+        }
+    }
+
+    // Occupancy CDF: cumulative superblock counts per fullness band,
+    // aggregated over all heaps, one histogram per size class.  Band g
+    // of kFullnessBands covers fullness [g/8, (g+1)/8); the trailing
+    // full group lands in le="1".  This is the fragmentation signal
+    // purge policies key on (ROADMAP item 2): mass in the low buckets
+    // is reclaimable, mass at le="1" is dense and should stay put.
+    prom_header(os, "hoard_superblock_occupancy", "histogram",
+                "fullness CDF of superblocks per size class");
+    {
+        struct ClassCdf
+        {
+            int size_class = 0;
+            std::vector<std::uint64_t> groups;
+        };
+        std::vector<ClassCdf> cdfs;
+        for (const HeapSnapshot& h : snap.heaps) {
+            for (const ClassSnapshot& c : h.classes) {
+                ClassCdf* cdf = nullptr;
+                for (ClassCdf& seen : cdfs) {
+                    if (seen.size_class == c.size_class) {
+                        cdf = &seen;
+                        break;
+                    }
+                }
+                if (cdf == nullptr) {
+                    cdfs.push_back({c.size_class, {}});
+                    cdf = &cdfs.back();
+                }
+                if (cdf->groups.size() < c.group_counts.size())
+                    cdf->groups.resize(c.group_counts.size(), 0);
+                for (std::size_t g = 0; g < c.group_counts.size(); ++g)
+                    cdf->groups[g] += c.group_counts[g];
+            }
+        }
+        for (const ClassCdf& cdf : cdfs) {
+            const std::size_t bands =
+                cdf.groups.size() > 1 ? cdf.groups.size() - 1 : 1;
+            std::uint64_t cumulative = 0;
+            for (std::size_t g = 0; g < cdf.groups.size(); ++g) {
+                cumulative += cdf.groups[g];
+                // The final two groups (band 7 and "full") share the
+                // le="1" boundary; emit only the full one there.
+                if (g + 2 == cdf.groups.size())
+                    continue;
+                os << "hoard_superblock_occupancy_bucket{size_class=\""
+                   << cdf.size_class << "\",le=\"";
+                if (g + 1 == cdf.groups.size())
+                    os << "1";
+                else
+                    put_double(os,
+                               static_cast<double>(g + 1) /
+                                   static_cast<double>(bands));
+                os << "\"} " << cumulative << '\n';
+            }
+            os << "hoard_superblock_occupancy_bucket{size_class=\""
+               << cdf.size_class << "\",le=\"+Inf\"} " << cumulative
+               << '\n'
+               << "hoard_superblock_occupancy_count{size_class=\""
+               << cdf.size_class << "\"} " << cumulative << '\n';
         }
     }
 

@@ -18,6 +18,7 @@
 #define HOARD_OBS_TRACE_EXPORT_H_
 
 #include <ostream>
+#include <string>
 
 #include "obs/event_ring.h"
 #include "obs/snapshot.h"
@@ -25,6 +26,51 @@
 
 namespace hoard {
 namespace obs {
+
+/**
+ * Escapes @p text for embedding inside a JSON string literal: quotes,
+ * backslashes, and control characters.  Symbolized C++ names can carry
+ * both (operator\"\"_x literals, lambda manglings), so every exporter
+ * that quotes a non-constant name routes through this.  Local to
+ * src/obs because hoard_obs cannot link the metrics JSON library
+ * (hoard_metrics depends on hoard_core depends on hoard_obs);
+ * metrics/json_value.h round-trips what this produces.
+ */
+inline std::string
+json_escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                const char* hex = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xF];
+                out += hex[c & 0xF];
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
 
 /**
  * Writes the recorder's retained events as Chrome trace JSON
@@ -41,10 +87,14 @@ void write_chrome_trace(std::ostream& os, const EventRecorder& recorder,
 
 /**
  * Writes the sampler's retained samples as JSONL, one
- * {"schema":"hoard-timeline-v1", ...} object per line, oldest first:
+ * {"schema":"hoard-timeline-v2", ...} object per line, oldest first:
  * policy-time timestamp, the global gauges and counters, blowup, and
  * a "heaps" array of per-heap {"u":..,"a":..} points (index 0 is the
- * global heap).
+ * global heap).  v2 renames v1's "bin_hits"/"bin_misses" to
+ * "global_bin_hits"/"global_bin_misses" and adds the "bad_free_*"
+ * rejection counters and the profiler's "prof_sampled_requested"/
+ * "prof_sampled_rounded" byte totals; bench_compare --timeline reads
+ * both schemas.
  */
 void write_timeseries_jsonl(std::ostream& os,
                             const TimeSeriesSampler& sampler);

@@ -29,14 +29,31 @@ namespace hoard {
 class ThreadRegistry
 {
   public:
-    /** Index of the calling thread, assigning one if needed. */
-    static int index();
+    /**
+     * Index of the calling thread, assigning one if needed.  The hot
+     * path — one TLS load and a predicted branch — is inline because
+     * the heap profiler's armed sampling countdown runs it on every
+     * allocation; only first-use assignment leaves the header.
+     */
+    static int
+    index()
+    {
+        const int idx = t_index;
+        if (idx >= 0) [[likely]]
+            return idx;
+        return assign_index();
+    }
 
     /** Rebinds the calling thread's index (models a fresh thread). */
     static void rebind(int index);
 
     /** Highest index assigned so far plus one. */
     static int count();
+
+  private:
+    static int assign_index();
+
+    static inline thread_local int t_index = -1;
 };
 
 /** One-shot broadcast event for real threads. */
@@ -86,6 +103,24 @@ struct NativePolicy
      * allocator in an instrumented build (bench/micro_obs_overhead.cc).
      */
     static constexpr bool kObsEnabled = obs::kCompiledIn;
+
+    /**
+     * Whether the sampling heap profiler is compiled into allocators
+     * instantiated with this policy (HOARD_PROFILER CMake option).
+     * Overridable to false for uninstrumented bench baselines, exactly
+     * like kObsEnabled.
+     */
+    static constexpr bool kProfilerEnabled = obs::kProfilerCompiledIn;
+
+    /**
+     * Captures the calling thread's backtrace into @p frames (at most
+     * @p max entries) by walking the frame-pointer chain; returns the
+     * number captured.  No allocation, no libunwind — the tree builds
+     * with -fno-omit-frame-pointer precisely so this stays a dozen
+     * loads.  noinline so the walk's own frame is a stable first entry
+     * to skip.  Defined out of line (native_policy.cc).
+     */
+    static int profile_backtrace(std::uintptr_t* frames, int max);
 
     /** Timestamp for trace events and wait timing: steady-clock ns. */
     static std::uint64_t

@@ -30,6 +30,30 @@ struct SimPolicy
     /** @see NativePolicy::kObsEnabled */
     static constexpr bool kObsEnabled = obs::kCompiledIn;
 
+    /** @see NativePolicy::kProfilerEnabled */
+    static constexpr bool kProfilerEnabled = obs::kProfilerCompiledIn;
+
+    /**
+     * Deterministic "backtrace" for profiler tests: frame 0 is the
+     * fiber's site token (set by the workload via
+     * Machine::set_profile_site), frame 1 tags the logical thread.
+     * Two identical runs therefore produce bit-identical site tables —
+     * the sim analogue of a real stack walk.
+     */
+    static int
+    profile_backtrace(std::uintptr_t* frames, int max)
+    {
+        sim::Machine* m = sim::Machine::current();
+        int n = 0;
+        if (max >= 1)
+            frames[n++] = static_cast<std::uintptr_t>(m->profile_site());
+        if (max >= 2) {
+            frames[n++] = static_cast<std::uintptr_t>(0x51700000u) |
+                          static_cast<std::uintptr_t>(m->current_tid());
+        }
+        return n;
+    }
+
     /**
      * Timestamp for trace events and wait timing: the calling simulated
      * thread's virtual clock, in cycles.  Only valid inside a run.

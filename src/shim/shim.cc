@@ -53,9 +53,13 @@
  */
 
 #include <cerrno>
+#include <csignal>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include <unistd.h>
 
@@ -170,6 +174,63 @@ aligned_impl(std::size_t align, std::size_t size)
     return p;
 }
 
+/// @name Heap-profile dumping (docs/PROFILING.md).
+/// Armed when HOARD_PROFILE_RATE enables the profiler: SIGUSR2 dumps
+/// a pprof profile on demand, and HOARD_PROFILE_DUMP=<prefix> adds an
+/// exit-time dump plus a leak report.  Every dump body runs under a
+/// DepthGuard so its own allocations (ofstream buffers, the pprof
+/// string) land in the bootstrap arena and never re-enter the
+/// allocator being profiled — which is also what makes the SIGUSR2
+/// handler safe against the "signal arrived inside malloc" case.
+/// @{
+
+char g_profile_prefix[224];
+std::atomic<int> g_profile_seq{0};
+
+/** Writes profile (and optionally the leak report) under @p prefix;
+    filenames carry the pid so forked children never collide. */
+void
+profile_dump(bool with_leak_report)
+{
+    DepthGuard guard;
+    const int seq =
+        g_profile_seq.fetch_add(1, std::memory_order_relaxed);
+    const long pid = static_cast<long>(::getpid());
+    char path[256];
+    std::snprintf(path, sizeof path, "%s.%ld.%d.pb", g_profile_prefix,
+                  pid, seq);
+    {
+        std::ofstream out(path, std::ios::binary);
+        if (out)
+            hoard::hoard_write_heap_profile(out);
+    }
+    if (with_leak_report) {
+        std::snprintf(path, sizeof path, "%s.%ld.leaks.txt",
+                      g_profile_prefix, pid);
+        std::ofstream out(path);
+        if (out)
+            hoard::hoard_write_leak_report(out);
+    }
+}
+
+void
+profile_sigusr2(int /* signo */)
+{
+    // Not strictly async-signal-safe (file I/O), but re-entry into the
+    // allocator — the actual deadlock risk — is routed to the arena by
+    // the DepthGuard inside.  Same trade every sampling profiler makes
+    // for an on-demand dump signal.
+    profile_dump(/*with_leak_report=*/false);
+}
+
+void
+profile_atexit()
+{
+    profile_dump(/*with_leak_report=*/true);
+}
+
+/// @}
+
 /** Forces the singleton alive and registers the atfork handlers
     before main() — bootstrap allocations go to the arena. */
 __attribute__((constructor)) void
@@ -177,6 +238,20 @@ shim_init()
 {
     DepthGuard guard;
     hoard::hoard_install_atfork();
+    if (hoard::hoard_profiler() != nullptr) {
+        const char* prefix = std::getenv("HOARD_PROFILE_DUMP");
+        std::snprintf(g_profile_prefix, sizeof g_profile_prefix, "%s",
+                      prefix != nullptr && prefix[0] != '\0'
+                          ? prefix
+                          : "hoard-profile");
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof sa);
+        sa.sa_handler = &profile_sigusr2;
+        sa.sa_flags = SA_RESTART;
+        ::sigaction(SIGUSR2, &sa, nullptr);
+        if (prefix != nullptr && prefix[0] != '\0')
+            std::atexit(&profile_atexit);
+    }
 }
 
 }  // namespace

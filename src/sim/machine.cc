@@ -201,6 +201,20 @@ Machine::thread_cache_slot()
     return running_->cache_slot_;
 }
 
+std::uint64_t
+Machine::profile_site() const
+{
+    HOARD_DCHECK(running_ != nullptr);
+    return running_->profile_site_;
+}
+
+void
+Machine::set_profile_site(std::uint64_t token)
+{
+    HOARD_DCHECK(running_ != nullptr);
+    running_->profile_site_ = token;
+}
+
 void
 Machine::set_thread_exit_hook(void (*hook)(void*))
 {

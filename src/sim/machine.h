@@ -53,6 +53,7 @@ class SimThread
 
     std::unique_ptr<Fiber> fiber_;
     void* cache_slot_ = nullptr;  ///< per-fiber allocator cache root
+    std::uint64_t profile_site_ = 0;  ///< deterministic backtrace token
     std::uint64_t clock_ = 0;
     std::uint64_t pending_ = 0;   ///< charged but not yet committed
     std::uint64_t seq_ = 0;       ///< tie-break key, set on each enqueue
@@ -125,6 +126,15 @@ class Machine
      * fibers share one OS thread.
      */
     void*& thread_cache_slot();
+
+    /**
+     * The calling fiber's profile-site token: frame 0 of the
+     * deterministic "backtrace" SimPolicy::profile_backtrace reports.
+     * Simulated workloads set it before an allocation phase the way a
+     * real program's call site is implied by its stack.
+     */
+    std::uint64_t profile_site() const;
+    void set_profile_site(std::uint64_t token);
 
     /// @}
 

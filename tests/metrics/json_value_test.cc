@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/trace_export.h"
 #include "tests/common/json_check.h"
 
 namespace hoard {
@@ -114,6 +115,36 @@ TEST(JsonValue, WriteJsonStringEscapesControls)
     std::ostringstream os;
     write_json_string(os, std::string("a\001b\t"));
     EXPECT_EQ(os.str(), "\"a\\u0001b\\t\"");
+}
+
+TEST(JsonValue, ObsEscapedStringsRoundTrip)
+{
+    // The obs exporters escape with obs::json_escape (header-only —
+    // hoard_obs cannot link this library), so prove the contract
+    // end-to-end here: text escaped by its rules parses back to the
+    // original through this parser, for every class of character it
+    // special-cases (quotes, backslashes, \n\r\t, raw controls).
+    const std::string nasty =
+        std::string("quote\" back\\slash\nnew\rline\ttab") +
+        '\x01' + "operator\"\"_x";
+    const std::string quoted = '"' + obs::json_escape(nasty) + '"';
+    ASSERT_TRUE(testutil::json_valid(quoted)) << quoted;
+    JsonValue parsed = JsonValue::parse(quoted);
+    ASSERT_TRUE(parsed.is_string());
+    EXPECT_EQ(parsed.as_string(), nasty);
+
+    // write_json_string (this library's escaper) agrees byte-for-byte
+    // on everything json_escape special-cases.
+    std::ostringstream os;
+    write_json_string(os, nasty);
+    EXPECT_EQ(os.str(), quoted);
+
+    // The same text embedded as an object member survives a document
+    // round trip (parse(write(v)) == v).
+    JsonValue doc = JsonValue::make_object();
+    doc.set("name", JsonValue::make_string(nasty));
+    JsonValue reparsed = JsonValue::parse(doc.to_string());
+    EXPECT_EQ(reparsed.string_or("name", ""), nasty);
 }
 
 }  // namespace

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for the sampling heap profiler (obs/heap_profiler.h):
+ * golden bytes for the hand-rolled pprof varint encoder, the sampling
+ * distribution's mean, site-table collision/drop behavior, exact
+ * free pairing through the live map, and the shape of the three
+ * exports (pprof, leak report, Prometheus).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/heap_profiler.h"
+
+namespace hoard {
+namespace obs {
+namespace {
+
+std::string
+bytes(std::initializer_list<unsigned char> v)
+{
+    return std::string(v.begin(), v.end());
+}
+
+std::string
+varint(std::uint64_t v)
+{
+    std::string out;
+    pprof_put_varint(out, v);
+    return out;
+}
+
+TEST(PprofWire, VarintGoldenBytes)
+{
+    // protobuf.dev/programming-guides/encoding reference vectors.
+    EXPECT_EQ(varint(0), bytes({0x00}));
+    EXPECT_EQ(varint(1), bytes({0x01}));
+    EXPECT_EQ(varint(127), bytes({0x7F}));
+    EXPECT_EQ(varint(128), bytes({0x80, 0x01}));
+    EXPECT_EQ(varint(300), bytes({0xAC, 0x02}));
+    EXPECT_EQ(varint(16384), bytes({0x80, 0x80, 0x01}));
+    // The widest case: 10 bytes, 9 continuations then the top bit.
+    EXPECT_EQ(varint(~std::uint64_t{0}),
+              bytes({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                     0xFF, 0x01}));
+}
+
+TEST(PprofWire, FieldEncodings)
+{
+    std::string out;
+    pprof_put_field_varint(out, 1, 2);  // tag = (1<<3)|0
+    EXPECT_EQ(out, bytes({0x08, 0x02}));
+
+    out.clear();
+    pprof_put_field_varint(out, 12, 300);  // tag 0x60
+    EXPECT_EQ(out, bytes({0x60, 0xAC, 0x02}));
+
+    out.clear();
+    pprof_put_field_bytes(out, 6, "abc");  // tag = (6<<3)|2
+    EXPECT_EQ(out, bytes({0x32, 0x03}) + "abc");
+}
+
+/** A fake one-frame stack, distinct per @p token. */
+std::uintptr_t
+site_token(unsigned token)
+{
+    return 0x1000u + 0x40u * token;
+}
+
+/** Records one sampled allocation with a single-frame stack. */
+void
+record(HeapProfiler& prof, const void* ptr, std::size_t requested,
+       std::size_t rounded, unsigned token, std::uint64_t now = 10)
+{
+    const std::uintptr_t frames[1] = {site_token(token)};
+    prof.record_alloc(ptr, requested, rounded, /*cls=*/0, frames, 1,
+                      now);
+}
+
+TEST(HeapProfilerSampling, ExactModeSamplesEveryAllocation)
+{
+    HeapProfiler prof(/*rate=*/1, 64, 64, 8, 4);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(prof.tick(0, 8));
+    // Even a zero-byte charge trips the armed threshold of 1 at most
+    // one allocation late; with any positive charge it trips every
+    // time, which is what makes rate==1 an exact census.
+}
+
+TEST(HeapProfilerSampling, MeanGapMatchesRate)
+{
+    // The RNG is seeded deterministically per countdown slot, so the
+    // sample count for a fixed call sequence is reproducible; the
+    // bounds below are ~6 standard deviations wide.
+    constexpr std::size_t kRate = 4096;
+    constexpr std::size_t kBytes = 64;
+    constexpr int kTicks = 200000;
+    HeapProfiler prof(kRate, 64, 64, 8, 4);
+    int samples = 0;
+    for (int i = 0; i < kTicks; ++i)
+        samples += prof.tick(/*thread_index=*/0, kBytes) ? 1 : 0;
+
+    const double expected =
+        static_cast<double>(kTicks) * kBytes / kRate;  // 3125
+    EXPECT_GT(samples, expected * 0.88);
+    EXPECT_LT(samples, expected * 1.12);
+}
+
+TEST(HeapProfilerSampling, ThreadSlotsAreIndependent)
+{
+    constexpr std::size_t kRate = 1024;
+    HeapProfiler prof(kRate, 64, 64, 8, 4);
+    // Each slot draws its own exponential sequence; a slot that never
+    // ticks stays armed and contributes nothing.
+    int samples0 = 0, samples7 = 0;
+    for (int i = 0; i < 50000; ++i) {
+        samples0 += prof.tick(0, 32) ? 1 : 0;
+        samples7 += prof.tick(7, 32) ? 1 : 0;
+    }
+    EXPECT_GT(samples0, 0);
+    EXPECT_GT(samples7, 0);
+    const double expected = 50000.0 * 32 / kRate;
+    EXPECT_LT(std::abs(samples0 - expected), expected * 0.25);
+    EXPECT_LT(std::abs(samples7 - expected), expected * 0.25);
+}
+
+TEST(HeapProfilerSites, SameStackMergesDifferentStacksSplit)
+{
+    HeapProfiler prof(1, 64, 64, 8, 4);
+    int x1, x2, x3;
+    record(prof, &x1, 10, 16, /*token=*/1);
+    record(prof, &x2, 12, 16, /*token=*/1);
+    record(prof, &x3, 20, 32, /*token=*/2);
+
+    ProfilerTotals t = prof.totals();
+    EXPECT_EQ(t.sampled_objects, 3u);
+    EXPECT_EQ(t.sampled_requested, 42u);
+    EXPECT_EQ(t.sampled_rounded, 64u);
+    EXPECT_EQ(t.sites, 2u);
+    EXPECT_EQ(t.site_drops, 0u);
+
+    std::size_t visited = 0;
+    prof.for_each_site([&](const std::uintptr_t* frames, int depth,
+                           std::uint64_t objects, std::uint64_t req,
+                           std::uint64_t rounded, std::uint64_t live,
+                           std::uint64_t, std::uint64_t, std::uint64_t,
+                           std::uint64_t) {
+        ++visited;
+        ASSERT_EQ(depth, 1);
+        if (frames[0] == site_token(1)) {
+            EXPECT_EQ(objects, 2u);
+            EXPECT_EQ(req, 22u);
+            EXPECT_EQ(rounded, 32u);
+            EXPECT_EQ(live, 2u);
+        } else {
+            EXPECT_EQ(frames[0], site_token(2));
+            EXPECT_EQ(objects, 1u);
+        }
+    });
+    EXPECT_EQ(visited, 2u);
+}
+
+TEST(HeapProfilerSites, FullTableDropsIntoCounterWithoutLiveInsert)
+{
+    // Two slots, bounded probing: token floods past capacity must land
+    // in site_drops, and dropped samples must NOT touch the live
+    // gauges (otherwise live attribution would leak estimates with no
+    // site to charge them to).
+    HeapProfiler prof(1, /*site_slots=*/2, 64, 8, 4);
+    std::vector<int> anchors(100);
+    for (unsigned i = 0; i < anchors.size(); ++i)
+        record(prof, &anchors[i], 8, 8, /*token=*/i);
+
+    ProfilerTotals t = prof.totals();
+    EXPECT_EQ(t.sampled_objects, 100u);
+    EXPECT_LE(t.sites, 2u);
+    EXPECT_GE(t.site_drops, 98u);
+    // A dropped sample never enters the live map, so live attribution
+    // stays exact: inserts + drops account for every sample.
+    EXPECT_EQ(t.live_objects + t.site_drops, 100u);
+}
+
+TEST(HeapProfilerLiveMap, FreePairingIsExact)
+{
+    HeapProfiler prof(1, 256, 256, 8, 4);
+    std::vector<long> blocks(50);
+    for (unsigned i = 0; i < blocks.size(); ++i)
+        record(prof, &blocks[i], 24, 32, /*token=*/i % 4,
+               /*now=*/100 + i);
+
+    ProfilerTotals before = prof.totals();
+    ASSERT_EQ(before.live_objects, 50u);
+    ASSERT_EQ(before.live_bytes, 50u * 32);
+    ASSERT_EQ(before.live_requested, 50u * 24);
+    ASSERT_EQ(before.live_drops, 0u);
+
+    // A pointer that was never sampled misses without reading the
+    // clock.
+    long unsampled;
+    bool clock_read = false;
+    EXPECT_FALSE(prof.on_free(&unsampled, [&] {
+        clock_read = true;
+        return std::uint64_t{0};
+    }));
+    EXPECT_FALSE(clock_read);
+
+    // Every sampled pointer pairs exactly once.
+    for (unsigned i = 0; i < blocks.size(); ++i)
+        EXPECT_TRUE(
+            prof.on_free(&blocks[i], [] { return std::uint64_t{500}; }))
+            << i;
+    for (unsigned i = 0; i < blocks.size(); ++i)
+        EXPECT_FALSE(
+            prof.on_free(&blocks[i], [] { return std::uint64_t{501}; }))
+            << "double pairing " << i;
+
+    ProfilerTotals after = prof.totals();
+    EXPECT_EQ(after.live_objects, 0u);
+    EXPECT_EQ(after.live_bytes, 0u);
+    EXPECT_EQ(after.live_requested, 0u);
+    EXPECT_EQ(after.frees_paired, 50u);
+
+    // Lifetimes were recorded against the sites.
+    std::uint64_t lifetime_count = 0;
+    prof.for_each_site([&](const std::uintptr_t*, int, std::uint64_t,
+                           std::uint64_t, std::uint64_t, std::uint64_t,
+                           std::uint64_t, std::uint64_t, std::uint64_t,
+                           std::uint64_t count) {
+        lifetime_count += count;
+    });
+    EXPECT_EQ(lifetime_count, 50u);
+}
+
+TEST(HeapProfilerLiveMap, WindowOverflowDropsAreCountedNotMisattributed)
+{
+    // live_slots == 8 collapses the map to a single 8-slot window:
+    // the ninth insert must be dropped and counted, and the eight that
+    // did land must all still pair.
+    HeapProfiler prof(1, 64, /*live_slots=*/8, 8, 4);
+    std::vector<int> blocks(9);
+    for (unsigned i = 0; i < blocks.size(); ++i)
+        record(prof, &blocks[i], 16, 16, /*token=*/0);
+
+    ProfilerTotals t = prof.totals();
+    EXPECT_EQ(t.live_drops, 1u);
+    EXPECT_EQ(t.live_drop_bytes, 16u);
+    EXPECT_EQ(t.live_objects, 8u);
+
+    int paired = 0;
+    for (unsigned i = 0; i < blocks.size(); ++i)
+        paired +=
+            prof.on_free(&blocks[i], [] { return std::uint64_t{9}; })
+                ? 1
+                : 0;
+    EXPECT_EQ(paired, 8);
+    EXPECT_EQ(prof.totals().live_objects, 0u);
+}
+
+TEST(HeapProfilerExport, PprofStartsWithSampleTypeAndParses)
+{
+    HeapProfiler prof(1, 64, 64, 8, 4);
+    int anchor;
+    record(prof, &anchor, 100, 128, 1);
+
+    std::ostringstream os;
+    prof.write_pprof_profile(os);
+    const std::string profile = os.str();
+    ASSERT_GT(profile.size(), 16u);
+    // Field 1 (sample_type), wiretype 2: the fixed header every pprof
+    // reader keys on — also what the CI preload smoke checks.
+    EXPECT_EQ(static_cast<unsigned char>(profile[0]), 0x0Au);
+    // Four sample types, each a 4-byte ValueType submessage referring
+    // to interned strings: the first is {type=1, unit=2}.
+    EXPECT_EQ(profile.substr(0, 6),
+              bytes({0x0A, 0x04, 0x08, 0x01, 0x10, 0x02}));
+
+    // Serialization is deterministic for a fixed site table.
+    std::ostringstream again;
+    prof.write_pprof_profile(again);
+    EXPECT_EQ(profile, again.str());
+}
+
+TEST(HeapProfilerExport, LeakReportListsLiveSitesThenGoesQuiet)
+{
+    HeapProfiler prof(1, 64, 64, 8, 4);
+    std::vector<int> blocks(3);
+    for (unsigned i = 0; i < blocks.size(); ++i)
+        record(prof, &blocks[i], 40, 64, /*token=*/i);
+
+    std::ostringstream leaks;
+    EXPECT_EQ(prof.write_leak_report(leaks), 3u);
+    EXPECT_NE(leaks.str().find("LEAK:"), std::string::npos);
+
+    for (unsigned i = 0; i < blocks.size(); ++i)
+        ASSERT_TRUE(
+            prof.on_free(&blocks[i], [] { return std::uint64_t{1}; }));
+
+    std::ostringstream clean;
+    EXPECT_EQ(prof.write_leak_report(clean), 0u);
+    EXPECT_NE(clean.str().find("no leaks detected"), std::string::npos);
+}
+
+TEST(HeapProfilerExport, PrometheusCarriesClassFragmentation)
+{
+    HeapProfiler prof(1, 64, 64, 8, /*num_classes=*/4);
+    int a, b;
+    const std::uintptr_t frames[1] = {site_token(9)};
+    prof.record_alloc(&a, 24, 32, /*cls=*/2, frames, 1, 5);
+    prof.record_alloc(&b, 4096, 4096, HeapProfiler::kHugeClass, frames,
+                      1, 6);
+
+    ClassProfile cls2 = prof.class_profile(2);
+    EXPECT_EQ(cls2.objects, 1u);
+    EXPECT_EQ(cls2.requested_bytes, 24u);
+    EXPECT_EQ(cls2.rounded_bytes, 32u);
+    ClassProfile huge = prof.class_profile(prof.num_classes());
+    EXPECT_EQ(huge.objects, 1u);
+
+    std::ostringstream os;
+    prof.write_prometheus(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("hoard_profiler_sampled_objects_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("class=\"2\""), std::string::npos);
+    EXPECT_NE(text.find("class=\"huge\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hoard
