@@ -20,11 +20,12 @@
  *
  *   ./build/bench/bench_compare --timeline RUN.jsonl
  *
- * accepts both the v1 schema (hoard-timeline-v1, with the old
- * "bin_hits"/"bin_misses" keys) and v2 (global_bin_hits/misses,
- * bad_free_* counters, profiler byte totals), so timelines captured
- * before the rename stay readable.  Exits 0 on a clean read, 2 on
- * parse errors or an unknown schema.
+ * accepts the v1 schema (hoard-timeline-v1, with the old
+ * "bin_hits"/"bin_misses" keys), v2 (global_bin_hits/misses,
+ * bad_free_* counters, profiler byte totals), and v3 (per-path
+ * "lat_<path>_n"/"lat_<path>_p99" latency series), so timelines
+ * captured before either extension stay readable.  Exits 0 on a clean
+ * read, 2 on parse errors or an unknown schema.
  */
 
 #include <algorithm>
@@ -75,7 +76,8 @@ usage(std::ostream& os)
           " (default 10),\n"
        << "  1 on regression, 2 on usage/parse errors\n"
        << "  --timeline summarizes a gauge timeline (schema\n"
-       << "  hoard-timeline-v1 or -v2) instead of diffing reports\n";
+       << "  hoard-timeline-v1, -v2, or -v3) instead of diffing"
+          " reports\n";
 }
 
 /**
@@ -97,6 +99,7 @@ summarize_timeline(const std::string& path)
     double peak_in_use = 0.0, peak_held = 0.0, peak_blowup = 0.0;
     JsonValue last;
     bool v1_seen = false;
+    bool v3_seen = false;
     std::string line;
     for (std::size_t lineno = 1; std::getline(is, line); ++lineno) {
         if (line.empty())
@@ -110,12 +113,14 @@ summarize_timeline(const std::string& path)
         }
         const std::string schema = doc.string_or("schema", "");
         if (schema != "hoard-timeline-v1" &&
-            schema != "hoard-timeline-v2") {
+            schema != "hoard-timeline-v2" &&
+            schema != "hoard-timeline-v3") {
             std::cerr << path << ":" << lineno << ": unknown schema '"
                       << schema << "'\n";
             return 2;
         }
         v1_seen = v1_seen || schema == "hoard-timeline-v1";
+        v3_seen = v3_seen || schema == "hoard-timeline-v3";
         if (samples == 0)
             first_ts = static_cast<std::uint64_t>(
                 doc.number_or("ts", 0.0));
@@ -173,6 +178,32 @@ summarize_timeline(const std::string& path)
                     "bytes\n",
                     last.number_or("prof_sampled_requested", 0.0),
                     last.number_or("prof_sampled_rounded", 0.0));
+    }
+    if (v3_seen) {
+        // The v3 latency keys mirror obs::LatencyPath; names are part
+        // of the schema, so they are spelled out here rather than
+        // linking the obs library into the comparer.
+        static const char* const kLatPaths[] = {
+            "malloc_fast",      "malloc_refill",
+            "malloc_global_fetch", "malloc_fresh_map",
+            "free_fast",        "free_spill",
+            "free_remote_push", "owner_drain"};
+        bool any = false;
+        for (const char* name : kLatPaths) {
+            const double n =
+                last.number_or(std::string("lat_") + name + "_n", 0.0);
+            if (n <= 0.0)
+                continue;
+            if (!any)
+                std::printf("  latency p99 (cycles):\n");
+            any = true;
+            std::printf("    %-20s n=%-12.0f p99=%.0f\n", name, n,
+                        last.number_or(
+                            std::string("lat_") + name + "_p99", 0.0));
+        }
+        if (!any)
+            std::printf("  latency: histograms disarmed (all-zero "
+                        "series)\n");
     }
     return 0;
 }

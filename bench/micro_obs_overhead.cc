@@ -26,7 +26,11 @@
  * unarmed (rate 0, the default) must stay under the 2% budget against
  * a kProfilerEnabled=false build, and armed at the production default
  * rate (512 KiB mean between samples) under 5%
- * (HOARD_PROF_TOLERANCE_PCT).
+ * (HOARD_PROF_TOLERANCE_PCT).  The per-path latency histograms
+ * (obs/latency.h) follow the profiler's contract: disarmed
+ * (latency_histograms=false, the default) under 2% against a
+ * kObsEnabled=false build, armed at the default sample period under
+ * 5% (HOARD_LAT_TOLERANCE_PCT).
  * Measurements interleave repetitions across variants and compare
  * medians, so clock drift and frequency steps cancel instead of
  * biasing one variant.  Each repetition constructs a fresh allocator:
@@ -207,6 +211,11 @@ main(int argc, char** argv)
     armed_prof_config.profile_sample_rate = std::size_t{512} * 1024;
     const double prof_tolerance_pct =
         env_double("HOARD_PROF_TOLERANCE_PCT", 5.0);
+    Config armed_lat_config = config;
+    // Armed at the default fast-path sample period (Config doc).
+    armed_lat_config.latency_histograms = true;
+    const double lat_tolerance_pct =
+        env_double("HOARD_LAT_TOLERANCE_PCT", 5.0);
 
     // Each rep times every variant twice in ABBA order per gated
     // pair, on a fresh allocator per measurement (placement re-rolled
@@ -216,6 +225,8 @@ main(int argc, char** argv)
     std::vector<double> unhardened_ns, hardened_ns;
     std::vector<double> noprof_off_ns, prof_off_ns;
     std::vector<double> noprof_on_ns, prof_on_ns;
+    std::vector<double> nolat_off_ns, lat_off_ns;
+    std::vector<double> nolat_on_ns, lat_on_ns;
     // Each huge pair is an mmap/munmap round trip; scale the count so
     // the huge loop costs about as much wall clock as the hot path.
     const std::size_t huge_pairs = pairs / 256 + 1;
@@ -267,6 +278,25 @@ main(int argc, char** argv)
         HoardAllocator<NativePolicy> prof_on(armed_prof_config);
         prof_on_ns.push_back(time_pairs(prof_on, pairs));
     };
+    // Latency-histogram pairs: same quartet shape as the profiler's.
+    // The disarmed leg's baseline is kObsEnabled=false — the null
+    // check on latency_ is part of what the 2% budget buys.
+    auto run_nolat_off = [&] {
+        HoardAllocator<NoObsPolicy> nolat(config);
+        nolat_off_ns.push_back(time_pairs(nolat, pairs));
+    };
+    auto run_lat_off = [&] {
+        HoardAllocator<NativePolicy> lat_off(config);
+        lat_off_ns.push_back(time_pairs(lat_off, pairs));
+    };
+    auto run_nolat_on = [&] {
+        HoardAllocator<NoObsPolicy> nolat(config);
+        nolat_on_ns.push_back(time_pairs(nolat, pairs));
+    };
+    auto run_lat_on = [&] {
+        HoardAllocator<NativePolicy> lat_on(armed_lat_config);
+        lat_on_ns.push_back(time_pairs(lat_on, pairs));
+    };
     for (int r = 0; r < reps; ++r) {
         run_base();
         run_disabled();
@@ -288,6 +318,14 @@ main(int argc, char** argv)
         run_prof_on();
         run_prof_on();
         run_noprof_on();
+        run_nolat_off();
+        run_lat_off();
+        run_lat_off();
+        run_nolat_off();
+        run_nolat_on();
+        run_lat_on();
+        run_lat_on();
+        run_nolat_on();
     }
 
     const double base = best(base_ns);
@@ -314,6 +352,11 @@ main(int argc, char** argv)
     const double prof_on = best(prof_on_ns);
     const double prof_on_pct =
         median_paired_pct(noprof_on_ns, prof_on_ns);
+    const double lat_off = best(lat_off_ns);
+    const double lat_off_pct =
+        median_paired_pct(nolat_off_ns, lat_off_ns);
+    const double lat_on = best(lat_on_ns);
+    const double lat_on_pct = median_paired_pct(nolat_on_ns, lat_on_ns);
 
     std::printf("malloc hot path, 64 B pairs, best of %d x %zu:\n",
                 reps, pairs);
@@ -352,6 +395,14 @@ main(int argc, char** argv)
     std::printf("  armed at 512 KiB mean rate:         %7.2f ns/pair "
                 "(%+.2f%%)\n",
                 prof_on, prof_on_pct);
+    std::printf("latency histograms, 64 B pairs, best of %d x %zu:\n",
+                reps, pairs);
+    std::printf("  disarmed (default):                 %7.2f ns/pair "
+                "(%+.2f%%)\n",
+                lat_off, lat_off_pct);
+    std::printf("  armed at default sample period:     %7.2f ns/pair "
+                "(%+.2f%%)\n",
+                lat_on, lat_on_pct);
 
     if (check) {
         bool failed = false;
@@ -414,6 +465,26 @@ main(int argc, char** argv)
             std::printf("PASS: armed-profiler overhead %.2f%% within "
                         "%.2f%%\n",
                         prof_on_pct, prof_tolerance_pct);
+        }
+        if (lat_off_pct > tolerance_pct) {
+            std::printf("FAIL: disarmed-latency overhead %.2f%% "
+                        "exceeds %.2f%%\n",
+                        lat_off_pct, tolerance_pct);
+            failed = true;
+        } else {
+            std::printf("PASS: disarmed-latency overhead %.2f%% within "
+                        "%.2f%%\n",
+                        lat_off_pct, tolerance_pct);
+        }
+        if (lat_on_pct > lat_tolerance_pct) {
+            std::printf("FAIL: armed-latency overhead %.2f%% exceeds "
+                        "%.2f%%\n",
+                        lat_on_pct, lat_tolerance_pct);
+            failed = true;
+        } else {
+            std::printf("PASS: armed-latency overhead %.2f%% within "
+                        "%.2f%%\n",
+                        lat_on_pct, lat_tolerance_pct);
         }
         if (failed)
             return 1;

@@ -54,6 +54,8 @@ struct Options
     std::string timeline_path;
     std::string profile_path;
     std::string snapshot_path;  // empty: human dump to stdout
+    std::uint64_t outlier_cycles = 0;  // --latency outlier threshold
+    bool latency = false;
     bool quiet = false;
 };
 
@@ -88,7 +90,7 @@ main(int argc, char** argv)
                       &opt.prom_path);
     parser.add_string("--timeline", "FILE",
                       "write the gauge timeline as JSONL\n"
-                      "(schema hoard-timeline-v2)",
+                      "(schema hoard-timeline-v3)",
                       &opt.timeline_path);
     parser.add_uint64("--interval", "N",
                       "nanoseconds between timeline samples\n"
@@ -107,6 +109,16 @@ main(int argc, char** argv)
                       "write the human-readable snapshot\n"
                       "(default: stdout)",
                       &opt.snapshot_path);
+    parser.add_flag("--latency",
+                    "arm the per-path latency histograms\n"
+                    "(exact mode: every op timed) and print\n"
+                    "the per-path percentile table",
+                    &opt.latency);
+    parser.add_uint64("--outlier", "N",
+                      "with --latency: trace ops slower than\n"
+                      "N cycles into the event ring (default\n"
+                      "0 = off)",
+                      &opt.outlier_cycles, 1);
     parser.add_flag("--quiet", "verdicts only", &opt.quiet);
     parser.parse(argc, argv);
 
@@ -144,6 +156,13 @@ main(int argc, char** argv)
         // distorting the run.
         config.profile_sample_rate = static_cast<std::size_t>(
             opt.profile_rate != 0 ? opt.profile_rate : 65536);
+    }
+    if (opt.latency) {
+        config.latency_histograms = true;
+        // Exact mode: a diagnosis run wants every op in the histogram,
+        // not one in 64 — the few-percent overhead is irrelevant here.
+        config.latency_sample_period = 1;
+        config.latency_outlier_cycles = opt.outlier_cycles;
     }
     HoardAllocator<NativePolicy> allocator(config);
 
@@ -218,6 +237,28 @@ main(int argc, char** argv)
                             totals.sampled_objects),
                         static_cast<unsigned long long>(
                             totals.live_objects));
+        }
+    }
+
+    if (opt.latency && snap.latency_armed && !opt.quiet) {
+        std::printf("latency (cycles, %llu ops, %llu outliers):\n",
+                    static_cast<unsigned long long>(
+                        snap.latency.total_count()),
+                    static_cast<unsigned long long>(
+                        snap.latency.outliers));
+        std::printf("  %-18s %12s %10s %10s %10s %12s\n", "path", "n",
+                    "p50", "p99", "p99.9", "max");
+        for (int p = 0; p < obs::kLatencyPathCount; ++p) {
+            const auto path = static_cast<obs::LatencyPath>(p);
+            const obs::LatencyHistogram& h = snap.latency.path(path);
+            if (h.count() == 0)
+                continue;
+            std::printf("  %-18s %12llu %10.0f %10.0f %10.0f %12llu\n",
+                        obs::to_string(path),
+                        static_cast<unsigned long long>(h.count()),
+                        h.percentile(50.0), h.percentile(99.0),
+                        h.percentile(99.9),
+                        static_cast<unsigned long long>(h.max()));
         }
     }
 

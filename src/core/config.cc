@@ -64,6 +64,10 @@ Config::validate() const
         HOARD_FATAL("profile_max_frames (%d) must be in [1, 64]",
                     profile_max_frames);
     }
+    if (latency_sample_period < 1) {
+        HOARD_FATAL("latency_sample_period (%u) must be >= 1",
+                    latency_sample_period);
+    }
 }
 
 }  // namespace hoard

@@ -198,6 +198,42 @@ struct Config
     int profile_max_frames = 24;
 
     /**
+     * Runtime switch for the tail-latency histograms (src/obs/
+     * latency.h): per-path log-linear cycle histograms with
+     * deepest-stage attribution on the slow paths.  OR-ed with the
+     * HOARD_LATENCY environment variable by the facade.  Off by
+     * default: the hot-path residue is one null check on the same
+     * read-mostly cache line as the profiler pointer (nothing at all
+     * when the HOARD_OBS build option is off).
+     */
+    bool latency_histograms = false;
+
+    /**
+     * When the latency histograms are armed, time one in this many
+     * *fast-path* operations per thread (magazine hit, magazine park,
+     * owner-locked free).  Slow-path operations (refill and deeper,
+     * spill, remote push, huge) are always timed — they are rare and
+     * they are the tail.  1 times every operation (exact mode: path
+     * counts reconcile with the allocator's op counters, used by the
+     * integration tests and required for byte-identical sim replay);
+     * the default keeps the armed overhead inside the
+     * micro_obs_overhead 5% gate.  Must be >= 1.
+     */
+    std::uint32_t latency_sample_period = 256;
+
+    /**
+     * Timed operations at or above this many cycles emit an outlier
+     * record: a latency_outlier trace event (when tracing is on) plus
+     * an entry in the collector's outlier ring carrying the deepest
+     * stage reached and a frame-pointer backtrace.  0 (the default)
+     * disables outlier capture.  Only operations that were timed are
+     * considered, so with the default sample period a fast-path
+     * outlier can be missed; slow-path operations — where real
+     * outliers live — are always timed.
+     */
+    std::uint64_t latency_outlier_cycles = 0;
+
+    /**
      * What deallocate() does when the hardened free path rejects a
      * pointer (wild, foreign-arena, interior, or double free).
      */

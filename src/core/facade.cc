@@ -43,6 +43,27 @@ global_allocator()
                 config.profile_sample_rate =
                     static_cast<std::size_t>(rate);
         }
+        // HOARD_LATENCY=1 arms the per-path latency histograms
+        // (obs::latency_env_enabled is also checked in the allocator
+        // constructor, so the config knob here is belt-and-braces);
+        // HOARD_LATENCY_PERIOD tunes the fast-path timing sample
+        // period (1 = time every op), and HOARD_LATENCY_OUTLIER sets
+        // the outlier-trace threshold in cycles (docs/OBSERVABILITY.md).
+        if (obs::latency_env_enabled())
+            config.latency_histograms = true;
+        if (const char* v = std::getenv("HOARD_LATENCY_PERIOD")) {
+            char* end = nullptr;
+            unsigned long long period = std::strtoull(v, &end, 10);
+            if (end != v && period >= 1)
+                config.latency_sample_period =
+                    static_cast<std::uint32_t>(period);
+        }
+        if (const char* v = std::getenv("HOARD_LATENCY_OUTLIER")) {
+            char* end = nullptr;
+            unsigned long long cycles = std::strtoull(v, &end, 10);
+            if (end != v)
+                config.latency_outlier_cycles = cycles;
+        }
         return new HoardAllocator<NativePolicy>(config);
     }();
     return *instance;
@@ -216,6 +237,12 @@ const obs::HeapProfiler*
 hoard_profiler()
 {
     return global_allocator().profiler();
+}
+
+const obs::LatencyCollector*
+hoard_latency()
+{
+    return global_allocator().latency();
 }
 
 bool

@@ -106,6 +106,13 @@ void hoard_write_prometheus(std::ostream& os);
 const obs::HeapProfiler* hoard_profiler();
 
 /**
+ * The global instance's per-path latency collector, or nullptr unless
+ * armed (Config::latency_histograms or the HOARD_LATENCY env var at
+ * first use, with HOARD_OBS compiled in).
+ */
+const obs::LatencyCollector* hoard_latency();
+
+/**
  * Serializes the heap profile in pprof profile.proto wire format
  * (uncompressed; `pprof -http=: <file>` renders it).  Returns false
  * without writing when the profiler is off.

@@ -71,6 +71,7 @@
 #include "obs/event_ring.h"
 #include "obs/gating.h"
 #include "obs/heap_profiler.h"
+#include "obs/latency.h"
 #include "obs/snapshot.h"
 #include "obs/timeseries.h"
 #include "os/page_provider.h"
@@ -149,6 +150,18 @@ class HoardAllocator final : public Allocator
                         config_.obs_sample_slots, heaps_.size() + 1,
                         config_.obs_sample_interval);
                 }
+            }
+        }
+        // The latency histograms gate independently of observability,
+        // like the profiler: disarmed leaves latency_ null, so the hot
+        // paths keep one never-taken null check on the same read-mostly
+        // cache line as the profiler pointer.
+        if constexpr (Policy::kObsEnabled) {
+            if (config_.latency_histograms ||
+                obs::latency_env_enabled()) {
+                latency_ = std::make_unique<obs::LatencyCollector>(
+                    config_.latency_sample_period,
+                    config_.latency_outlier_cycles);
             }
         }
         // The profiler gates independently of observability: a
@@ -656,6 +669,15 @@ class HoardAllocator final : public Allocator
         snap.stats.bad_free_foreign = stats_.bad_free_foreign.get();
         snap.stats.bad_free_interior = stats_.bad_free_interior.get();
         snap.stats.bad_free_double = stats_.bad_free_double.get();
+        if constexpr (Policy::kObsEnabled) {
+            // Merged per-path latency histograms: fixed arrays, so no
+            // allocation here either; exact at quiescence like the
+            // counters above.
+            if (latency_ != nullptr) {
+                snap.latency = latency_->snapshot();
+                snap.latency_armed = true;
+            }
+        }
         fill_global_snapshot(snap.heaps[0]);
         for (std::size_t i = 0; i < heaps_.size(); ++i)
             fill_heap_snapshot(*heaps_[i], snap.heaps[i + 1]);
@@ -805,6 +827,14 @@ class HoardAllocator final : public Allocator
      * any time; counters are exact only at quiescence.
      */
     const obs::HeapProfiler* profiler() const { return profiler_.get(); }
+
+    /**
+     * The latency collector, or null when disarmed
+     * (Config::latency_histograms off and HOARD_LATENCY unset, or
+     * observability compiled out).  Lock-free throughout; snapshots
+     * are exact at quiescence.
+     */
+    const obs::LatencyCollector* latency() const { return latency_.get(); }
 
   private:
     static const Config&
@@ -967,27 +997,76 @@ class HoardAllocator final : public Allocator
     magazine_pop(detail::MagazineNode* node, int cls)
     {
         auto& mag = node->mags[static_cast<std::size_t>(cls)];
-        if (mag.head != nullptr) {
-            if (tracing()) {
-                record_event(obs::EventKind::cache_hit,
-                             my_heap_index(), cls,
-                             classes_.block_size(cls));
-            }
-        } else {
-            if (tracing()) {
-                record_event(obs::EventKind::cache_miss,
-                             my_heap_index(), cls,
-                             classes_.block_size(cls));
-            }
-            if (refill_magazine(node, cls) == 0)
-                return nullptr;
+        if (mag.head == nullptr) [[unlikely]]
+            return magazine_pop_slow(node, cls);
+        if (tracing()) {
+            record_event(obs::EventKind::cache_hit, my_heap_index(),
+                         cls, classes_.block_size(cls));
         }
+        if constexpr (Policy::kObsEnabled) {
+            if (latency_ != nullptr && lat_tick(node)) [[unlikely]]
+                return magazine_pop_timed(node, cls);
+        }
+        return magazine_pop_take(node, mag, cls);
+    }
+
+    /** The magazine-hit pop tail: two pointer moves and one relaxed
+        occupancy update — no lock, no shared-gauge write. */
+    void*
+    magazine_pop_take(detail::MagazineNode* node,
+                      detail::MagazineNode::Magazine& mag, int cls)
+    {
         void* block = mag.head;
         Policy::touch(block, sizeof(void*), false);
         mag.head = *static_cast<void**>(block);
         --mag.count;
         node->occupancy_bytes.fetch_sub(classes_.block_size(cls),
                                         std::memory_order_relaxed);
+        return block;
+    }
+
+    /** A sampled magazine hit: the same pop tail bracketed by the
+        cycle clock.  noinline: one in latency_sample_period ops, and
+        keeping it out of line holds magazine_pop to its unarmed size
+        (see refill_magazine on inlining parity). */
+    __attribute__((noinline)) void*
+    magazine_pop_timed(detail::MagazineNode* node, int cls)
+    {
+        auto& mag = node->mags[static_cast<std::size_t>(cls)];
+        const std::uint64_t t0 = Policy::cycle_timestamp();
+        void* block = magazine_pop_take(node, mag, cls);
+        latency_commit(obs::LatencyPath::malloc_fast, t0);
+        return block;
+    }
+
+    /** The magazine-miss path: refill one batch, then pop.  Always
+        timed when armed — this is a slow-path op, and the refill tags
+        the deepest stage it reached (local carve, global fetch, or
+        fresh map).  nullptr means the OS refused memory; the caller
+        takes the reclaiming slow path (which does its own timing), so
+        nothing is recorded here for a failed op.  noinline: see
+        refill_magazine. */
+    __attribute__((noinline)) void*
+    magazine_pop_slow(detail::MagazineNode* node, int cls)
+    {
+        if (tracing()) {
+            record_event(obs::EventKind::cache_miss, my_heap_index(),
+                         cls, classes_.block_size(cls));
+        }
+        obs::LatencyPath stage = obs::LatencyPath::malloc_refill;
+        [[maybe_unused]] std::uint64_t t0 = 0;
+        if constexpr (Policy::kObsEnabled) {
+            if (latency_ != nullptr)
+                t0 = Policy::cycle_timestamp();
+        }
+        if (refill_magazine(node, cls, &stage) == 0)
+            return nullptr;
+        auto& mag = node->mags[static_cast<std::size_t>(cls)];
+        void* block = magazine_pop_take(node, mag, cls);
+        if constexpr (Policy::kObsEnabled) {
+            if (latency_ != nullptr)
+                latency_commit(stage, t0);
+        }
         return block;
     }
 
@@ -1002,14 +1081,63 @@ class HoardAllocator final : public Allocator
         void* block = sb->block_start(p);
         int cls = sb->size_class();
         auto& mag = node->mags[static_cast<std::size_t>(cls)];
-        if (mag.count >= config_.thread_cache_blocks)
-            spill_magazine(node, cls);
+        if (mag.count >= config_.thread_cache_blocks) [[unlikely]] {
+            magazine_push_spill(node, sb, cls, block);
+            return;
+        }
+        if constexpr (Policy::kObsEnabled) {
+            if (latency_ != nullptr && lat_tick(node)) [[unlikely]] {
+                magazine_push_timed(node, sb, cls, block);
+                return;
+            }
+        }
+        magazine_park(node, mag, sb, block);
+    }
+
+    /** The magazine-park tail: link the block, bump the counts. */
+    void
+    magazine_park(detail::MagazineNode* node,
+                  detail::MagazineNode::Magazine& mag, Superblock* sb,
+                  void* block)
+    {
         Policy::touch(block, sizeof(void*), true);
         *static_cast<void**>(block) = mag.head;
         mag.head = block;
         ++mag.count;
         node->occupancy_bytes.fetch_add(sb->block_bytes(),
                                         std::memory_order_relaxed);
+    }
+
+    /** A sampled magazine park (free fast path).  noinline: see
+        magazine_pop_timed. */
+    __attribute__((noinline)) void
+    magazine_push_timed(detail::MagazineNode* node, Superblock* sb,
+                        int cls, void* block)
+    {
+        auto& mag = node->mags[static_cast<std::size_t>(cls)];
+        const std::uint64_t t0 = Policy::cycle_timestamp();
+        magazine_park(node, mag, sb, block);
+        latency_commit(obs::LatencyPath::free_fast, t0);
+    }
+
+    /** A full magazine: spill one batch, then park.  Always timed
+        when armed (slow-path op).  noinline: see refill_magazine. */
+    __attribute__((noinline)) void
+    magazine_push_spill(detail::MagazineNode* node, Superblock* sb,
+                        int cls, void* block)
+    {
+        [[maybe_unused]] std::uint64_t t0 = 0;
+        if constexpr (Policy::kObsEnabled) {
+            if (latency_ != nullptr)
+                t0 = Policy::cycle_timestamp();
+        }
+        spill_magazine(node, cls);
+        auto& mag = node->mags[static_cast<std::size_t>(cls)];
+        magazine_park(node, mag, sb, block);
+        if constexpr (Policy::kObsEnabled) {
+            if (latency_ != nullptr)
+                latency_commit(obs::LatencyPath::free_spill, t0);
+        }
     }
 
     /**
@@ -1026,9 +1154,13 @@ class HoardAllocator final : public Allocator
      * two-pointer-move size in every policy instantiation — otherwise
      * instrumentation growth tips GCC's inlining budget differently
      * per variant and the overhead gate compares unlike hot paths.
+     *
+     * @p stage is raised to the deepest stage the refill reached
+     * (global fetch, fresh map) for latency attribution; may be null.
      */
     __attribute__((noinline)) std::uint32_t
-    refill_magazine(detail::MagazineNode* node, int cls)
+    refill_magazine(detail::MagazineNode* node, int cls,
+                    obs::LatencyPath* stage = nullptr)
     {
         const std::size_t block_bytes = classes_.block_size(cls);
         Heap& heap = my_heap();
@@ -1043,12 +1175,18 @@ class HoardAllocator final : public Allocator
                 Policy::work(CostKind::list_op);
             if (sb == nullptr) {
                 sb = fetch_from_global(cls, heap);
-                if (sb == nullptr) {
+                if (sb != nullptr) {
+                    if (stage != nullptr &&
+                        *stage < obs::LatencyPath::malloc_global_fetch)
+                        *stage = obs::LatencyPath::malloc_global_fetch;
+                } else {
                     if (got > 0)
                         break;  // have blocks; don't map just to top up
                     sb = fresh_superblock(cls);
                     if (sb == nullptr)
                         break;  // OS exhausted; caller reclaims
+                    if (stage != nullptr)
+                        *stage = obs::LatencyPath::malloc_fresh_map;
                     adopt(heap, sb);
                     record_event(obs::EventKind::class_refill,
                                  heap.index, cls, sb->span_bytes());
@@ -1271,6 +1409,15 @@ class HoardAllocator final : public Allocator
     {
         if (!home.remote_pending())
             return 0;
+        // Always timed when armed (the pending probe above keeps the
+        // no-work case clock-free): the owner settling its remote
+        // queue is a distinct slow-path stage, nested inside whichever
+        // op visited the lock.
+        [[maybe_unused]] std::uint64_t t0 = 0;
+        if constexpr (Policy::kObsEnabled) {
+            if (latency_ != nullptr)
+                t0 = Policy::cycle_timestamp();
+        }
         void* chain = home.remote_drain();
         std::size_t drained = 0;
         while (chain != nullptr) {
@@ -1288,8 +1435,13 @@ class HoardAllocator final : public Allocator
             Policy::work(CostKind::list_op);
             ++drained;
         }
-        if (drained != 0)
+        if (drained != 0) {
             stats_.remote_drains.add(drained);
+            if constexpr (Policy::kObsEnabled) {
+                if (latency_ != nullptr)
+                    latency_commit(obs::LatencyPath::owner_drain, t0);
+            }
+        }
         return drained;
     }
 
@@ -1379,6 +1531,89 @@ class HoardAllocator final : public Allocator
         }
     }
 
+    /// @name Latency instrumentation (obs/latency.h).
+    ///
+    /// Timing discipline: *slow-path* operations (magazine refill and
+    /// anything deeper, spills, huge allocs/frees, owner drains) are
+    /// always timed when armed — they are rare and they are where the
+    /// tail lives.  *Fast-path* operations (magazine hit/park, locked
+    /// local alloc/free) are timed one in Config::latency_sample_period
+    /// per thread, so the armed overhead of an untimed fast op is one
+    /// null check plus one in-cache countdown decrement (on the
+    /// magazine node when there is one, a thread_local otherwise;
+    /// lat_tick below).  Period 1
+    /// times everything: histogram counts then reconcile exactly with
+    /// the allocator's op counters (the integration tests' mode).
+    /// Every record is made at most once per operation, and only for
+    /// operations the op counters count (an OOM-null allocation or a
+    /// rejected bad free records nothing).
+    /// @{
+
+    /**
+     * Fast-path sampling countdown for magazine ops.  Same cadence as
+     * LatencyCollector::tick() but the counter lives on the caller's
+     * magazine node — the node pointer is already in a register and
+     * its cache line already dirty, so the untimed armed cost is one
+     * L1 RMW plus a predicted branch (a thread_local would add a GOT
+     * load and a %fs-relative access).  Caller has checked latency_.
+     */
+    bool
+    lat_tick(detail::MagazineNode* node)
+    {
+        if (--node->lat_countdown != 0) [[likely]]
+            return false;
+        node->lat_countdown = latency_->sample_period();
+        return true;
+    }
+
+    /**
+     * Records one timed op ending now.  Caller has checked latency_.
+     * The outlier test rides the same branch misprediction budget:
+     * with the knob unset is_outlier is one always-false compare.
+     */
+    void
+    latency_commit(obs::LatencyPath path, std::uint64_t t0)
+    {
+        if constexpr (Policy::kObsEnabled) {
+            const std::uint64_t elapsed =
+                Policy::cycle_timestamp() - t0;
+            latency_->record(Policy::thread_index(), path, elapsed);
+            if (latency_->is_outlier(elapsed)) [[unlikely]]
+                latency_outlier_slow(path, elapsed);
+        } else {
+            (void)path;
+            (void)t0;
+        }
+    }
+
+    /**
+     * Outlier capture: an event-ring trace record (stage in the
+     * size_class field, cycles in bytes) plus a collector-ring entry
+     * with a frame-pointer backtrace.  noinline+cold: never on the
+     * non-outlier path's inlining budget.
+     */
+    __attribute__((noinline, cold)) void
+    latency_outlier_slow(obs::LatencyPath path, std::uint64_t elapsed)
+    {
+        if constexpr (Policy::kObsEnabled) {
+            std::uintptr_t
+                frames[obs::LatencyCollector::kMaxOutlierFrames];
+            int n = Policy::profile_backtrace(
+                frames, obs::LatencyCollector::kMaxOutlierFrames);
+            latency_->record_outlier(Policy::timestamp(),
+                                     Policy::thread_index(), path,
+                                     elapsed, frames, n);
+            record_event(obs::EventKind::latency_outlier,
+                         my_heap_index(), static_cast<int>(path),
+                         elapsed);
+        } else {
+            (void)path;
+            (void)elapsed;
+        }
+    }
+
+    /// @}
+
     /// Frees between cadence checks.  The residue rides only on
     /// deallocate() (one thread_local decrement per free, a clock read
     /// every kSampleCheckPeriod frees) to stay inside the
@@ -1459,6 +1694,17 @@ class HoardAllocator final : public Allocator
                     writer.set_profiler(pt.sampled_requested,
                                         pt.sampled_rounded);
                 }
+            }
+            if (latency_ != nullptr) {
+                // LatencySnapshot is fixed-size arrays on the stack —
+                // no allocation, so the no-alloc contract above holds.
+                const obs::LatencySnapshot lat = latency_->snapshot();
+                for (int p = 0; p < obs::kLatencyPathCount; ++p)
+                    writer.set_latency(
+                        p, lat.paths[static_cast<std::size_t>(p)].count(),
+                        static_cast<std::uint64_t>(
+                            lat.paths[static_cast<std::size_t>(p)]
+                                .percentile(99.0)));
             }
             writer.set_heap(0, heap_in_use(0), heap_held(0));
             for (std::size_t i = 0; i < heaps_.size(); ++i) {
@@ -1568,6 +1814,10 @@ class HoardAllocator final : public Allocator
     void*
     allocate_from_class(int cls)
     {
+        if constexpr (Policy::kObsEnabled) {
+            if (latency_ != nullptr) [[unlikely]]
+                return allocate_from_class_timed(cls);
+        }
         void* block = try_allocate_from_class(cls);
         if (block == nullptr) {
             stats_.oom_reclaims.add();
@@ -1581,9 +1831,42 @@ class HoardAllocator final : public Allocator
         return block;
     }
 
-    /** malloc slow+fast path for a non-huge class (paper Figure 2). */
+    /**
+     * allocate_from_class with the latency probe threaded through.
+     * With magazines off this is malloc's per-op path, so the local
+     * hit is *sampled* (tick); the probe self-arms at slow-path entry
+     * regardless, so refills/fetches/maps are always timed — from op
+     * start when the countdown selected the op, from slow-path entry
+     * otherwise (exact mode, period 1, always times from the start).
+     * Records only ops that return a block, like the counters.
+     * noinline: armed-only, off the disarmed comparison's budget.
+     */
+    __attribute__((noinline)) void*
+    allocate_from_class_timed(int cls)
+    {
+        obs::LatencyProbe probe;
+        if (latency_->tick())
+            probe.begin(Policy::cycle_timestamp());
+        void* block = try_allocate_from_class(cls, &probe);
+        if (block == nullptr) {
+            stats_.oom_reclaims.add();
+            record_event(obs::EventKind::oom_reclaim, my_heap_index(),
+                         cls, classes_.block_size(cls));
+            release_free_memory();
+            block = try_allocate_from_class(cls, &probe);
+            if (block == nullptr)
+                stats_.oom_failures.add();
+        }
+        if (block != nullptr && probe.active)
+            latency_commit(probe.stage, probe.t0);
+        return block;
+    }
+
+    /** malloc slow+fast path for a non-huge class (paper Figure 2).
+        @p probe, when non-null, is armed at slow-path entry and
+        raised to the deepest stage reached. */
     void*
-    try_allocate_from_class(int cls)
+    try_allocate_from_class(int cls, obs::LatencyProbe* probe = nullptr)
     {
         const std::size_t block_bytes = classes_.block_size(cls);
         Heap& heap = my_heap();
@@ -1595,11 +1878,25 @@ class HoardAllocator final : public Allocator
             Policy::work(CostKind::list_op);
 
         if (sb == nullptr) {
+            if constexpr (Policy::kObsEnabled) {
+                if (probe != nullptr)
+                    probe->begin(Policy::cycle_timestamp());
+            }
             sb = fetch_from_global(cls, heap);
-            if (sb == nullptr) {
+            if (sb != nullptr) {
+                if constexpr (Policy::kObsEnabled) {
+                    if (probe != nullptr)
+                        probe->raise(
+                            obs::LatencyPath::malloc_global_fetch);
+                }
+            } else {
                 sb = fresh_superblock(cls);
                 if (sb == nullptr)
                     return nullptr;  // OS exhausted
+                if constexpr (Policy::kObsEnabled) {
+                    if (probe != nullptr)
+                        probe->raise(obs::LatencyPath::malloc_fresh_map);
+                }
                 // A fresh superblock is invisible to other threads (no
                 // block of it has escaped), so adopting it outside the
                 // global lock is race-free.
@@ -1639,11 +1936,29 @@ class HoardAllocator final : public Allocator
     __attribute__((noinline)) bool
     free_block(Superblock* sb, void* p)
     {
+        // Sampled timing: with magazines off this is free's per-op
+        // path.  The countdown decides up front; the stage is whichever
+        // branch the op takes (owner-locked accept = free_fast, busy
+        // owner = free_remote_push).  A rejected double free records
+        // nothing, matching the untouched op counters.
+        [[maybe_unused]] std::uint64_t t0 = 0;
+        [[maybe_unused]] bool timed = false;
+        if constexpr (Policy::kObsEnabled) {
+            if (latency_ != nullptr && latency_->tick()) [[unlikely]] {
+                timed = true;
+                t0 = Policy::cycle_timestamp();
+            }
+        }
         void* block = sb->block_start(p);
         for (;;) {
             Base* home = static_cast<Base*>(sb->owner());
             if (home->mutex.is_locked_hint()) {
                 remote_free(*home, sb, block);
+                if constexpr (Policy::kObsEnabled) {
+                    if (timed)
+                        latency_commit(
+                            obs::LatencyPath::free_remote_push, t0);
+                }
                 return true;
             }
             // The hint can go stale before the acquire; then we block
@@ -1667,6 +1982,10 @@ class HoardAllocator final : public Allocator
             free_into_locked(*home, sb, block);
             Policy::work(CostKind::list_op);
             settle_and_unlock(*home);
+            if constexpr (Policy::kObsEnabled) {
+                if (timed)
+                    latency_commit(obs::LatencyPath::free_fast, t0);
+            }
             return true;
         }
     }
@@ -2134,10 +2453,17 @@ class HoardAllocator final : public Allocator
         return bytes;
     }
 
-    /** Huge path with the same reclaim-then-retry-once OOM handling. */
+    /** Huge path with the same reclaim-then-retry-once OOM handling.
+        Always timed when armed, attributed to malloc_fresh_map (every
+        huge allocation maps fresh memory); records on success only. */
     void*
     allocate_huge(std::size_t size, std::size_t align)
     {
+        [[maybe_unused]] std::uint64_t t0 = 0;
+        if constexpr (Policy::kObsEnabled) {
+            if (latency_ != nullptr)
+                t0 = Policy::cycle_timestamp();
+        }
         void* p = try_allocate_huge(size, align);
         if (p == nullptr) {
             stats_.oom_reclaims.add();
@@ -2147,6 +2473,10 @@ class HoardAllocator final : public Allocator
             p = try_allocate_huge(size, align);
             if (p == nullptr)
                 stats_.oom_failures.add();
+        }
+        if constexpr (Policy::kObsEnabled) {
+            if (p != nullptr && latency_ != nullptr)
+                latency_commit(obs::LatencyPath::malloc_fresh_map, t0);
         }
         return p;
     }
@@ -2192,6 +2522,14 @@ class HoardAllocator final : public Allocator
     void
     deallocate_huge(Superblock* sb)
     {
+        // Always timed when armed; recorded as free_fast (a huge free
+        // is rare, and its munmap cost is genuine free-path latency —
+        // docs/OBSERVABILITY.md documents the attribution).
+        [[maybe_unused]] std::uint64_t t0 = 0;
+        if constexpr (Policy::kObsEnabled) {
+            if (latency_ != nullptr)
+                t0 = Policy::cycle_timestamp();
+        }
         Policy::work(CostKind::os_map);
         {
             HugeStripe& stripe = huge_stripe_for(sb);
@@ -2206,6 +2544,10 @@ class HoardAllocator final : public Allocator
         stats_.os_bytes.sub(total);
         sb->~Superblock();
         provider_.unmap(sb, total);
+        if constexpr (Policy::kObsEnabled) {
+            if (latency_ != nullptr)
+                latency_commit(obs::LatencyPath::free_fast, t0);
+        }
     }
 
     /** Destructor support: unmaps every superblock still held. */
@@ -2379,6 +2721,10 @@ class HoardAllocator final : public Allocator
     /// after the heaps (reverse declaration order) so teardown flushes
     /// can still pair sampled frees.
     std::unique_ptr<obs::HeapProfiler> profiler_;
+    /// Per-path latency histograms; non-null only when armed
+    /// (Config::latency_histograms or HOARD_LATENCY).  Read-mostly
+    /// like profiler_, for the same disarmed-null-check reason.
+    std::unique_ptr<obs::LatencyCollector> latency_;
     /// Hull of every span ever mapped for this instance; [max, 0)
     /// until the first map, so a fresh allocator rejects everything.
     std::atomic<std::uintptr_t> mapped_lo_{

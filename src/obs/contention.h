@@ -7,9 +7,11 @@
  * manual lock()/unlock() sites work unchanged.  When profiling is off
  * (the default) the wrapper forwards with zero added work; when on, it
  * counts acquisitions, detects contention with a try_lock fast path,
- * and accumulates the wait time of contended acquisitions into a
- * LatencyHistogram — virtual cycles under SimPolicy, steady_clock
+ * and accumulates the wait time of contended acquisitions into an
+ * obs::LatencyHistogram — virtual cycles under SimPolicy, steady_clock
  * nanoseconds under NativePolicy (Policy::timestamp supplies both).
+ * The log-linear histogram keeps full tail resolution, so per-heap
+ * lock-wait P99 goes out through Prometheus, not just counts/totals.
  *
  * The statistics are mutated only while the wrapped mutex is held, so
  * they need no atomics; readers must hold the lock too (the snapshot
@@ -27,8 +29,8 @@
 #include <atomic>
 #include <cstdint>
 
-#include "metrics/latency.h"
 #include "obs/gating.h"
+#include "obs/latency.h"
 
 namespace hoard {
 namespace obs {
@@ -38,7 +40,7 @@ struct LockStats
 {
     std::uint64_t acquires = 0;   ///< successful lock() / try_lock()
     std::uint64_t contended = 0;  ///< acquisitions that had to wait
-    metrics::LatencyHistogram wait;  ///< wait time of contended ones
+    obs::LatencyHistogram wait;   ///< wait time of contended ones
 };
 
 /**

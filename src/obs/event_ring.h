@@ -53,6 +53,7 @@ enum class EventKind : std::uint16_t
     cache_push,           ///< empty superblock retired to the reuse cache
     cache_pop,            ///< reuse cache supplied a recycled superblock
     bad_free,             ///< hardened free path rejected a pointer
+    latency_outlier,      ///< op exceeded Config::latency_outlier_cycles
     kCount
 };
 
@@ -87,6 +88,8 @@ to_string(EventKind kind)
         return "cache_pop";
       case EventKind::bad_free:
         return "bad_free";
+      case EventKind::latency_outlier:
+        return "latency_outlier";
       case EventKind::kCount:
         break;
     }

@@ -60,6 +60,21 @@ env_enabled()
     return enabled;
 }
 
+/** True when the HOARD_LATENCY environment variable arms the latency
+    histograms (same value grammar as HOARD_OBS). */
+inline bool
+latency_env_enabled()
+{
+    static const bool enabled = [] {
+        const char* v = std::getenv("HOARD_LATENCY");
+        if (v == nullptr)
+            return false;
+        return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+               std::strcmp(v, "on") == 0;
+    }();
+    return enabled;
+}
+
 }  // namespace obs
 }  // namespace hoard
 

@@ -197,6 +197,16 @@ struct AllocatorSnapshot
 
     StatsSummary stats;
 
+    /**
+     * Per-path operation-latency histograms (obs/latency.h), merged
+     * across threads at snapshot time.  Populated only when the
+     * allocator was armed (Config::latency_histograms or
+     * HOARD_LATENCY); latency_armed distinguishes "off" from
+     * "armed but nothing recorded yet".
+     */
+    LatencySnapshot latency;
+    bool latency_armed = false;
+
     /** Sum of u_i over all heaps. */
     std::uint64_t
     sum_in_use() const

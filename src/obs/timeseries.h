@@ -28,6 +28,7 @@
 #ifndef HOARD_OBS_TIMESERIES_H_
 #define HOARD_OBS_TIMESERIES_H_
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -36,6 +37,7 @@
 
 #include "common/failure.h"
 #include "common/mathutil.h"
+#include "obs/latency.h"
 
 namespace hoard {
 namespace obs {
@@ -74,6 +76,13 @@ struct TimeSample
     /// @{
     std::uint64_t prof_requested = 0;  ///< sampled requested bytes
     std::uint64_t prof_rounded = 0;    ///< sampled size-class bytes
+    /// @}
+    /// @name Per-path latency series (schema hoard-timeline-v3;
+    /// zeros when the latency histograms are disarmed).  Indexed by
+    /// LatencyPath; p99 is in policy cycles, cumulative-to-date.
+    /// @{
+    std::array<std::uint64_t, kLatencyPathCount> lat_counts{};
+    std::array<std::uint64_t, kLatencyPathCount> lat_p99{};
     /// @}
     std::vector<HeapPoint> heaps;    ///< [0] is the global heap
 
@@ -230,6 +239,17 @@ class TimeSeriesSampler
         }
 
         void
+        set_latency(int path, std::uint64_t count, std::uint64_t p99)
+        {
+            if (path < 0 || path >= kLatencyPathCount)
+                return;
+            const auto i = static_cast<std::size_t>(path);
+            slot_->lat_counts[i].store(count,
+                                       std::memory_order_relaxed);
+            slot_->lat_p99[i].store(p99, std::memory_order_relaxed);
+        }
+
+        void
         set_heap(std::size_t index, std::uint64_t in_use,
                  std::uint64_t held)
         {
@@ -326,6 +346,12 @@ class TimeSeriesSampler
                 slot.prof_requested.load(std::memory_order_relaxed);
             sample.prof_rounded =
                 slot.prof_rounded.load(std::memory_order_relaxed);
+            for (std::size_t p = 0; p < sample.lat_counts.size(); ++p) {
+                sample.lat_counts[p] =
+                    slot.lat_counts[p].load(std::memory_order_relaxed);
+                sample.lat_p99[p] =
+                    slot.lat_p99[p].load(std::memory_order_relaxed);
+            }
             sample.heaps.resize(heap_slots_);
             for (std::size_t h = 0; h < heap_slots_; ++h) {
                 sample.heaps[h].in_use = slot.heap_words[h * 2].load(
@@ -360,6 +386,10 @@ class TimeSeriesSampler
         std::atomic<std::uint64_t> bad_free_double{0};
         std::atomic<std::uint64_t> prof_requested{0};
         std::atomic<std::uint64_t> prof_rounded{0};
+        std::array<std::atomic<std::uint64_t>, kLatencyPathCount>
+            lat_counts{};
+        std::array<std::atomic<std::uint64_t>, kLatencyPathCount>
+            lat_p99{};
         /// u/a pairs, heap_slots entries of two words each.
         std::unique_ptr<std::atomic<std::uint64_t>[]> heap_words;
     };

@@ -26,6 +26,39 @@ prom_header(std::ostream& os, const char* name, const char* type,
        << "# TYPE " << name << ' ' << type << '\n';
 }
 
+/**
+ * Emits one LatencyHistogram as a Prometheus cumulative histogram:
+ * `<name>_bucket{<labels>,le="..."}` for every bucket boundary that
+ * closes a non-empty bucket (empty buckets are skipped — a cumulative
+ * histogram stays valid under any subset of boundaries, and 189
+ * boundaries per series would swamp the exposition), then +Inf,
+ * `<name>_count`, and `<name>_sum`.  @p labels is either empty or a
+ * `key="value"` list without braces.
+ */
+void
+prom_cycle_histogram(std::ostream& os, const char* name,
+                     const std::string& labels,
+                     const LatencyHistogram& h)
+{
+    const std::string sep = labels.empty() ? "" : ",";
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < LatencyHistogram::kBuckets - 1; ++b) {
+        const std::uint64_t n = h.bucket(b);
+        if (n == 0)
+            continue;
+        cumulative += n;
+        // Bucket b covers [lower, upper); cycles are integers, so the
+        // inclusive Prometheus boundary is upper - 1.
+        os << name << "_bucket{" << labels << sep << "le=\""
+           << LatencyHistogram::bucket_upper(b) - 1 << "\"} "
+           << cumulative << '\n';
+    }
+    os << name << "_bucket{" << labels << sep << "le=\"+Inf\"} "
+       << h.count() << '\n'
+       << name << "_count{" << labels << "} " << h.count() << '\n'
+       << name << "_sum{" << labels << "} " << h.sum() << '\n';
+}
+
 }  // namespace
 
 void
@@ -82,7 +115,7 @@ void
 write_timeseries_jsonl(std::ostream& os, const TimeSeriesSampler& sampler)
 {
     for (const TimeSample& s : sampler.collect()) {
-        os << "{\"schema\":\"hoard-timeline-v2\",\"ts\":" << s.timestamp
+        os << "{\"schema\":\"hoard-timeline-v3\",\"ts\":" << s.timestamp
            << ",\"in_use\":" << s.in_use << ",\"held\":" << s.held
            << ",\"os\":" << s.os_bytes << ",\"cached\":" << s.cached_bytes
            << ",\"allocs\":" << s.allocs << ",\"frees\":" << s.frees
@@ -97,8 +130,14 @@ write_timeseries_jsonl(std::ostream& os, const TimeSeriesSampler& sampler)
            << ",\"bad_free_interior\":" << s.bad_free_interior
            << ",\"bad_free_double\":" << s.bad_free_double
            << ",\"prof_sampled_requested\":" << s.prof_requested
-           << ",\"prof_sampled_rounded\":" << s.prof_rounded
-           << ",\"blowup\":";
+           << ",\"prof_sampled_rounded\":" << s.prof_rounded;
+        for (int p = 0; p < kLatencyPathCount; ++p) {
+            const char* name = to_string(static_cast<LatencyPath>(p));
+            const auto i = static_cast<std::size_t>(p);
+            os << ",\"lat_" << name << "_n\":" << s.lat_counts[i]
+               << ",\"lat_" << name << "_p99\":" << s.lat_p99[i];
+        }
+        os << ",\"blowup\":";
         put_double(os, s.blowup());
         os << ",\"heaps\":[";
         for (std::size_t h = 0; h < s.heaps.size(); ++h) {
@@ -252,6 +291,64 @@ write_prometheus(std::ostream& os, const AllocatorSnapshot& snap)
         }
     }
 
+    prom_header(os, "hoard_lock_wait_cycles", "histogram",
+                "contended lock-wait time per heap (policy time units)");
+    for (const HeapSnapshot& h : snap.heaps) {
+        prom_cycle_histogram(os, "hoard_lock_wait_cycles",
+                             "heap=\"" + std::to_string(h.index) + "\"",
+                             h.lock.wait);
+    }
+
+    if (snap.latency_armed) {
+        prom_header(os, "hoard_latency_cycles", "histogram",
+                    "operation latency per allocator path (cycles)");
+        for (int p = 0; p < kLatencyPathCount; ++p) {
+            const auto path = static_cast<LatencyPath>(p);
+            prom_cycle_histogram(
+                os, "hoard_latency_cycles",
+                std::string("path=\"") + to_string(path) + "\"",
+                snap.latency.path(path));
+        }
+
+        prom_header(os, "hoard_latency", "gauge",
+                    "operation-latency percentiles per path (cycles)");
+        static const struct
+        {
+            double p;
+            const char* label;
+        } kQuantiles[] = {{50.0, "0.5"},
+                          {90.0, "0.9"},
+                          {99.0, "0.99"},
+                          {99.9, "0.999"}};
+        for (int p = 0; p < kLatencyPathCount; ++p) {
+            const auto path = static_cast<LatencyPath>(p);
+            for (const auto& q : kQuantiles) {
+                os << "hoard_latency{path=\"" << to_string(path)
+                   << "\",quantile=\"" << q.label << "\"} ";
+                put_double(os, snap.latency.path(path).percentile(q.p));
+                os << '\n';
+            }
+        }
+
+        prom_header(os, "hoard_latency_max_cycles", "gauge",
+                    "worst observed operation latency per path");
+        for (int p = 0; p < kLatencyPathCount; ++p) {
+            const auto path = static_cast<LatencyPath>(p);
+            os << "hoard_latency_max_cycles{path=\"" << to_string(path)
+               << "\"} " << snap.latency.path(path).max() << '\n';
+        }
+
+        prom_header(os, "hoard_latency_outliers_total", "counter",
+                    "ops exceeding Config::latency_outlier_cycles");
+        os << "hoard_latency_outliers_total " << snap.latency.outliers
+           << '\n';
+
+        prom_header(os, "hoard_latency_sample_period", "gauge",
+                    "fast-path timing sample period (1 = exact)");
+        os << "hoard_latency_sample_period "
+           << snap.latency.sample_period << '\n';
+    }
+
     const StatsSummary& s = snap.stats;
     prom_header(os, "hoard_allocs_total", "counter", "allocate() calls");
     os << "hoard_allocs_total " << s.allocs << '\n';
@@ -352,6 +449,25 @@ write_human(std::ostream& os, const AllocatorSnapshot& snap)
        << ", invariant: "
        << (snap.all_heaps_satisfy_invariant() ? "ok" : "VIOLATED")
        << "\n";
+    if (snap.latency_armed) {
+        os << "  latency (cycles, sample period "
+           << snap.latency.sample_period << ", outliers "
+           << snap.latency.outliers << "):\n";
+        for (int p = 0; p < kLatencyPathCount; ++p) {
+            const auto path = static_cast<LatencyPath>(p);
+            const LatencyHistogram& h = snap.latency.path(path);
+            if (h.count() == 0)
+                continue;
+            os << "    " << to_string(path) << ": n=" << h.count()
+               << " p50=";
+            put_double(os, h.percentile(50.0));
+            os << " p99=";
+            put_double(os, h.percentile(99.0));
+            os << " p99.9=";
+            put_double(os, h.percentile(99.9));
+            os << " max=" << h.max() << "\n";
+        }
+    }
     for (const HeapSnapshot& h : snap.heaps) {
         os << (h.index == 0 ? "  heap 0 (global)" : "  heap ")
            << (h.index == 0 ? "" : std::to_string(h.index)) << ": u="

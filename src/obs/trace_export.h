@@ -87,14 +87,17 @@ void write_chrome_trace(std::ostream& os, const EventRecorder& recorder,
 
 /**
  * Writes the sampler's retained samples as JSONL, one
- * {"schema":"hoard-timeline-v2", ...} object per line, oldest first:
+ * {"schema":"hoard-timeline-v3", ...} object per line, oldest first:
  * policy-time timestamp, the global gauges and counters, blowup, and
  * a "heaps" array of per-heap {"u":..,"a":..} points (index 0 is the
  * global heap).  v2 renames v1's "bin_hits"/"bin_misses" to
  * "global_bin_hits"/"global_bin_misses" and adds the "bad_free_*"
  * rejection counters and the profiler's "prof_sampled_requested"/
- * "prof_sampled_rounded" byte totals; bench_compare --timeline reads
- * both schemas.
+ * "prof_sampled_rounded" byte totals.  v3 adds per-path operation
+ * latency: "lat_<path>_n" (cumulative op count) and "lat_<path>_p99"
+ * (cumulative P99 in policy cycles) for each obs::LatencyPath, zeros
+ * when the latency histograms are disarmed; bench_compare --timeline
+ * reads all three schemas.
  */
 void write_timeseries_jsonl(std::ostream& os,
                             const TimeSeriesSampler& sampler);

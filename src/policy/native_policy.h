@@ -132,6 +132,29 @@ struct NativePolicy
                 .count());
     }
 
+    /**
+     * Cheap cycle counter for latency histograms (obs/latency.h): the
+     * raw TSC on x86-64, the virtual counter on aarch64 — a few cycles
+     * either way, versus the vDSO call behind timestamp().  Unserialized
+     * by design: a stray out-of-order read costs a bucket of noise,
+     * serializing would cost more than some paths being measured.
+     * Monotonic per thread on every machine this tree targets
+     * (constant_tsc is assumed, as every modern x86 provides).
+     */
+    static std::uint64_t
+    cycle_timestamp()
+    {
+#if defined(__x86_64__) || defined(__i386__)
+        return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+        std::uint64_t cnt;
+        asm volatile("mrs %0, cntvct_el0" : "=r"(cnt));
+        return cnt;
+#else
+        return timestamp();
+#endif
+    }
+
     /** Computation charge: free under native execution. */
     static void work(std::uint64_t /* cycles */) {}
 

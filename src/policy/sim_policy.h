@@ -64,6 +64,17 @@ struct SimPolicy
         return sim::Machine::current()->current_clock();
     }
 
+    /**
+     * Cycle clock for latency histograms: virtual time, same as
+     * timestamp().  Identical runs read identical clocks, which is
+     * what makes sim latency histograms byte-identical on replay.
+     */
+    static std::uint64_t
+    cycle_timestamp()
+    {
+        return sim::Machine::current()->current_clock();
+    }
+
     static void
     work(std::uint64_t cycles)
     {
