@@ -22,10 +22,12 @@
  *
  * accepts the v1 schema (hoard-timeline-v1, with the old
  * "bin_hits"/"bin_misses" keys), v2 (global_bin_hits/misses,
- * bad_free_* counters, profiler byte totals), and v3 (per-path
- * "lat_<path>_n"/"lat_<path>_p99" latency series), so timelines
- * captured before either extension stay readable.  Exits 0 on a clean
- * read, 2 on parse errors or an unknown schema.
+ * bad_free_* counters, profiler byte totals), v3 (per-path
+ * "lat_<path>_n"/"lat_<path>_p99" latency series), and v4 (the
+ * committed/reserved/purged footprint split; "os" stays as an alias
+ * of committed), so timelines captured before any extension stay
+ * readable.  Exits 0 on a clean read, 2 on parse errors or an
+ * unknown schema.
  */
 
 #include <algorithm>
@@ -76,7 +78,7 @@ usage(std::ostream& os)
           " (default 10),\n"
        << "  1 on regression, 2 on usage/parse errors\n"
        << "  --timeline summarizes a gauge timeline (schema\n"
-       << "  hoard-timeline-v1, -v2, or -v3) instead of diffing"
+       << "  hoard-timeline-v1 through -v4) instead of diffing"
           " reports\n";
 }
 
@@ -100,6 +102,7 @@ summarize_timeline(const std::string& path)
     JsonValue last;
     bool v1_seen = false;
     bool v3_seen = false;
+    bool v4_seen = false;
     std::string line;
     for (std::size_t lineno = 1; std::getline(is, line); ++lineno) {
         if (line.empty())
@@ -114,13 +117,16 @@ summarize_timeline(const std::string& path)
         const std::string schema = doc.string_or("schema", "");
         if (schema != "hoard-timeline-v1" &&
             schema != "hoard-timeline-v2" &&
-            schema != "hoard-timeline-v3") {
+            schema != "hoard-timeline-v3" &&
+            schema != "hoard-timeline-v4") {
             std::cerr << path << ":" << lineno << ": unknown schema '"
                       << schema << "'\n";
             return 2;
         }
         v1_seen = v1_seen || schema == "hoard-timeline-v1";
-        v3_seen = v3_seen || schema == "hoard-timeline-v3";
+        v3_seen = v3_seen || schema == "hoard-timeline-v3" ||
+                  schema == "hoard-timeline-v4";
+        v4_seen = v4_seen || schema == "hoard-timeline-v4";
         if (samples == 0)
             first_ts = static_cast<std::uint64_t>(
                 doc.number_or("ts", 0.0));
@@ -156,6 +162,16 @@ summarize_timeline(const std::string& path)
                 last.number_or("in_use", 0.0),
                 last.number_or("held", 0.0), last.number_or("os", 0.0),
                 last.number_or("cached", 0.0));
+    if (v4_seen) {
+        // The v4 footprint split: "os" above is the deprecated alias
+        // of committed; reserved and purged complete the picture
+        // (committed + purged == held at quiescence).
+        std::printf("  final committed %.0f, reserved %.0f, purged "
+                    "%.0f bytes\n",
+                    last.number_or("committed", 0.0),
+                    last.number_or("reserved", 0.0),
+                    last.number_or("purged", 0.0));
+    }
     std::printf("  peak in_use %.0f, peak held %.0f, peak blowup "
                 "%.3f\n",
                 peak_in_use, peak_held, peak_blowup);

@@ -55,6 +55,8 @@
 #include <vector>
 
 #include "core/hoard_allocator.h"
+#include "os/page_provider.h"
+#include "os/reserved_arena.h"
 #include "policy/native_policy.h"
 
 namespace {
@@ -123,6 +125,32 @@ time_huge_pairs(AllocatorT& allocator, std::size_t pairs)
         void* p = allocator.allocate(kHugeBytes);
         keep(p);
         allocator.deallocate(p);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           static_cast<double>(pairs);
+}
+
+/**
+ * ns per map/touch/unmap round trip of an S-aligned superblock span
+ * straight against a page provider — the cost a fresh-superblock miss
+ * pays below the allocator.  The touch forces the first page fault so
+ * a provider that merely defers work to the first access cannot win
+ * by cheating.  The reserved-arena provider recycles spans from its
+ * free stacks (unmap = one madvise, map = lock-free pop with no
+ * syscall); the mmap provider pays a full mmap/munmap VMA round trip
+ * per pair.
+ */
+double
+time_span_pairs(os::PageProvider& provider, std::size_t pairs)
+{
+    constexpr std::size_t kSpan = 64 * 1024;
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < pairs; ++i) {
+        void* p = provider.map(kSpan, kSpan);
+        keep(p);
+        *static_cast<volatile char*>(p) = 1;
+        provider.unmap(p, kSpan);
     }
     auto t1 = std::chrono::steady_clock::now();
     return std::chrono::duration<double, std::nano>(t1 - t0).count() /
@@ -297,6 +325,22 @@ main(int argc, char** argv)
         HoardAllocator<NativePolicy> lat_on(armed_lat_config);
         lat_on_ns.push_back(time_pairs(lat_on, pairs));
     };
+    // Fresh-map quartet (page layer): superblock-span round trips
+    // against each provider.  Fresh providers per measurement, like
+    // the allocator pairs; the arena provider's one-time reservation
+    // is amortized inside its own measurement, which only makes the
+    // gate harder to pass.
+    std::vector<double> mmap_span_ns, arena_span_ns;
+    auto run_mmap_span = [&] {
+        os::MmapPageProvider mmap_provider;
+        mmap_span_ns.push_back(
+            time_span_pairs(mmap_provider, huge_pairs));
+    };
+    auto run_arena_span = [&] {
+        os::ReservedArenaProvider arena_provider;
+        arena_span_ns.push_back(
+            time_span_pairs(arena_provider, huge_pairs));
+    };
     for (int r = 0; r < reps; ++r) {
         run_base();
         run_disabled();
@@ -326,6 +370,10 @@ main(int argc, char** argv)
         run_lat_on();
         run_lat_on();
         run_nolat_on();
+        run_mmap_span();
+        run_arena_span();
+        run_arena_span();
+        run_mmap_span();
     }
 
     const double base = best(base_ns);
@@ -357,6 +405,10 @@ main(int argc, char** argv)
         median_paired_pct(nolat_off_ns, lat_off_ns);
     const double lat_on = best(lat_on_ns);
     const double lat_on_pct = median_paired_pct(nolat_on_ns, lat_on_ns);
+    const double mmap_span = best(mmap_span_ns);
+    const double arena_span = best(arena_span_ns);
+    const double arena_span_pct =
+        median_paired_pct(mmap_span_ns, arena_span_ns);
 
     std::printf("malloc hot path, 64 B pairs, best of %d x %zu:\n",
                 reps, pairs);
@@ -403,6 +455,14 @@ main(int argc, char** argv)
     std::printf("  armed at default sample period:     %7.2f ns/pair "
                 "(%+.2f%%)\n",
                 lat_on, lat_on_pct);
+    std::printf("page layer, 64 KiB span map/touch/unmap, best of "
+                "%d x %zu:\n",
+                reps, huge_pairs);
+    std::printf("  mmap provider (over-map + trim):    %7.2f ns/pair\n",
+                mmap_span);
+    std::printf("  reserved-arena provider:            %7.2f ns/pair "
+                "(%+.2f%%)\n",
+                arena_span, arena_span_pct);
 
     if (check) {
         bool failed = false;
@@ -485,6 +545,20 @@ main(int argc, char** argv)
             std::printf("PASS: armed-latency overhead %.2f%% within "
                         "%.2f%%\n",
                         lat_on_pct, lat_tolerance_pct);
+        }
+        // The arena carve must beat the mmap path outright — span
+        // recycling exists to delete the VMA round trip, and a
+        // regression to syscall parity would silently undo the page
+        // layer's reason to exist.
+        if (arena_span_pct >= 0.0) {
+            std::printf("FAIL: arena span carve %+.2f%% vs mmap — "
+                        "must be faster\n",
+                        arena_span_pct);
+            failed = true;
+        } else {
+            std::printf("PASS: arena span carve %.2f%% faster than "
+                        "mmap path\n",
+                        -arena_span_pct);
         }
         if (failed)
             return 1;

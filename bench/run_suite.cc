@@ -42,6 +42,7 @@ const char* const kBenches[] = {
     "tbl_taxonomy",           "tbl_uniprocessor",
     "tbl_synthetic_frag",     "micro_remote_free",
     "micro_global_contention", "macro_preload",
+    "macro_rss",
 };
 
 std::string

@@ -55,7 +55,9 @@ struct Options
     std::string profile_path;
     std::string snapshot_path;  // empty: human dump to stdout
     std::uint64_t outlier_cycles = 0;  // --latency outlier threshold
+    std::uint64_t rss_target = 0;      // --rss committed-bytes target
     bool latency = false;
+    bool do_purge = false;
     bool quiet = false;
 };
 
@@ -90,7 +92,7 @@ main(int argc, char** argv)
                       &opt.prom_path);
     parser.add_string("--timeline", "FILE",
                       "write the gauge timeline as JSONL\n"
-                      "(schema hoard-timeline-v3)",
+                      "(schema hoard-timeline-v4)",
                       &opt.timeline_path);
     parser.add_uint64("--interval", "N",
                       "nanoseconds between timeline samples\n"
@@ -119,6 +121,16 @@ main(int argc, char** argv)
                       "N cycles into the event ring (default\n"
                       "0 = off)",
                       &opt.outlier_cycles, 1);
+    parser.add_flag("--purge",
+                    "after the churn, force one purge pass\n"
+                    "(madvise decommit of idle empties) and\n"
+                    "print the bytes decommitted",
+                    &opt.do_purge);
+    parser.add_uint64("--rss", "BYTES",
+                      "arm RSS targeting: automatic purge\n"
+                      "passes while committed bytes exceed\n"
+                      "BYTES (default 0 = off)",
+                      &opt.rss_target, 1);
     parser.add_flag("--quiet", "verdicts only", &opt.quiet);
     parser.parse(argc, argv);
 
@@ -164,6 +176,12 @@ main(int argc, char** argv)
         config.latency_sample_period = 1;
         config.latency_outlier_cycles = opt.outlier_cycles;
     }
+    if (opt.rss_target != 0) {
+        config.rss_target_bytes =
+            static_cast<std::size_t>(opt.rss_target);
+        // React within the run, not once per default interval.
+        config.purge_interval_ticks = 1;
+    }
     HoardAllocator<NativePolicy> allocator(config);
 
     workloads::LarsonParams params;
@@ -174,6 +192,20 @@ main(int argc, char** argv)
     workloads::native_run(opt.threads, [&allocator, &params](int tid) {
         workloads::larson_thread<NativePolicy>(allocator, params, tid);
     });
+
+    if (opt.do_purge) {
+        std::size_t purged = allocator.purge(/*force=*/true);
+        if (!opt.quiet) {
+            std::printf("purge: %llu bytes decommitted (committed "
+                        "%llu, purged gauge %llu)\n",
+                        static_cast<unsigned long long>(purged),
+                        static_cast<unsigned long long>(
+                            allocator.stats()
+                                .committed_bytes.current()),
+                        static_cast<unsigned long long>(
+                            allocator.stats().purged_bytes.current()));
+        }
+    }
 
     allocator.sample_now();  // flush the timeline with a final sample
     obs::AllocatorSnapshot snap = allocator.take_snapshot();

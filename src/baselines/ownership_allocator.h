@@ -207,7 +207,7 @@ class OwnershipAllocator final : public Allocator
         if (memory == nullptr)
             return nullptr;
         stats_.superblock_allocs.add();
-        stats_.os_bytes.add(config_.superblock_bytes);
+        stats_.committed_bytes.add(config_.superblock_bytes);
         stats_.held_bytes.add(config_.superblock_bytes);
         return Superblock::create(
             memory, config_.superblock_bytes, cls,
@@ -231,7 +231,7 @@ class OwnershipAllocator final : public Allocator
         stats_.requested_bytes.add(size);
         stats_.in_use_bytes.add(size);
         stats_.held_bytes.add(total);
-        stats_.os_bytes.add(total);
+        stats_.committed_bytes.add(total);
         return static_cast<char*>(memory) + offset;
     }
 
@@ -243,7 +243,7 @@ class OwnershipAllocator final : public Allocator
         stats_.frees.add();
         stats_.in_use_bytes.sub(sb->huge_user_bytes());
         stats_.held_bytes.sub(total);
-        stats_.os_bytes.sub(total);
+        stats_.committed_bytes.sub(total);
         sb->~Superblock();
         provider_.unmap(sb, total);
     }

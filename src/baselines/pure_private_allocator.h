@@ -183,7 +183,7 @@ class PurePrivateAllocator final : public Allocator
         sb->set_owner(&heap);
         heap.superblocks.push_back(sb);
         stats_.superblock_allocs.add();
-        stats_.os_bytes.add(config_.superblock_bytes);
+        stats_.committed_bytes.add(config_.superblock_bytes);
         stats_.held_bytes.add(config_.superblock_bytes);
         return sb;
     }
@@ -205,7 +205,7 @@ class PurePrivateAllocator final : public Allocator
         stats_.requested_bytes.add(size);
         stats_.in_use_bytes.add(size);
         stats_.held_bytes.add(total);
-        stats_.os_bytes.add(total);
+        stats_.committed_bytes.add(total);
         return static_cast<char*>(memory) + offset;
     }
 
@@ -217,7 +217,7 @@ class PurePrivateAllocator final : public Allocator
         stats_.frees.add();
         stats_.in_use_bytes.sub(sb->huge_user_bytes());
         stats_.held_bytes.sub(total);
-        stats_.os_bytes.sub(total);
+        stats_.committed_bytes.sub(total);
         sb->~Superblock();
         provider_.unmap(sb, total);
     }

@@ -108,7 +108,10 @@ struct AllocatorStats
     Gauge requested_bytes;       ///< exact bytes the client asked for
     Gauge in_use_bytes;          ///< block-rounded bytes currently live (U)
     Gauge held_bytes;            ///< bytes held in superblocks (A)
-    Gauge os_bytes;              ///< bytes currently mapped from the OS
+    Gauge committed_bytes;       ///< OS-committed bytes (RSS ground truth);
+                                 ///< held_bytes == committed + purged
+    Gauge purged_bytes;          ///< held bytes whose pages were returned
+                                 ///< to the OS by the purge pass
     Gauge cached_bytes;          ///< bytes parked in thread caches
     Counter superblock_allocs;   ///< fresh superblocks fetched from the OS
     Counter superblock_transfers;///< per-proc heap -> global heap moves
@@ -124,6 +127,9 @@ struct AllocatorStats
     Counter global_bin_misses;   ///< bin probes that found the class empty
     Counter cache_pushes;        ///< empty superblocks pushed to the reuse cache
     Counter cache_pops;          ///< empty superblocks popped from the reuse cache
+    Counter purge_passes;        ///< purge sweeps over idle superblocks
+    Counter purged_superblocks;  ///< superblock payloads decommitted by purge
+    Counter revived_superblocks; ///< purged superblocks put back into service
     Counter bad_free_wild;       ///< frees of pointers outside any superblock
     Counter bad_free_foreign;    ///< frees of another allocator's memory
     Counter bad_free_interior;   ///< frees of misaligned/interior pointers

@@ -68,6 +68,11 @@ Config::validate() const
         HOARD_FATAL("latency_sample_period (%u) must be >= 1",
                     latency_sample_period);
     }
+    if (purge_interval_ticks < 1) {
+        HOARD_FATAL("purge_interval_ticks (%llu) must be >= 1",
+                    static_cast<unsigned long long>(
+                        purge_interval_ticks));
+    }
 }
 
 }  // namespace hoard

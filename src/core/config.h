@@ -234,6 +234,36 @@ struct Config
     std::uint64_t latency_outlier_cycles = 0;
 
     /**
+     * Age threshold for the purge pass, in policy time (steady-clock
+     * nanoseconds under NativePolicy, virtual cycles under SimPolicy):
+     * an empty superblock idle in the reuse cache or a global band-0
+     * bin for at least this long has its payload pages decommitted
+     * (madvise) while the span stays mapped and formatted for O(1)
+     * revival.  0 (the default) means age alone never triggers a
+     * purge.  The purge pass is armed when this or rss_target_bytes is
+     * nonzero; HOARD_PURGE_AGE under the facade.
+     */
+    std::uint64_t purge_age_ticks = 0;
+
+    /**
+     * Committed-bytes (RSS) target for the purge pass: while
+     * stats.committed_bytes exceeds this, the pass decommits idle
+     * superblocks regardless of age, oldest first.  0 (the default)
+     * disables targeting.  A best-effort pressure valve, not a hard
+     * cap — memory the program is actively using is never purged.
+     * HOARD_RSS_TARGET under the facade.
+     */
+    std::size_t rss_target_bytes = 0;
+
+    /**
+     * Minimum policy-time gap between automatic purge passes (the
+     * deallocate-tail check rides the same cadence machinery as the
+     * time-series sampler).  Only meaningful when the pass is armed.
+     * Must be >= 1.
+     */
+    std::uint64_t purge_interval_ticks = 1 << 20;
+
+    /**
      * What deallocate() does when the hardened free path rejects a
      * pointer (wild, foreign-arena, interior, or double free).
      */

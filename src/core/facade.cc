@@ -64,6 +64,55 @@ global_allocator()
             if (end != v)
                 config.latency_outlier_cycles = cycles;
         }
+        // HOARD_SUPERBLOCK_BYTES=<pow2 >= 1024> overrides S without a
+        // rebuild (macro_rss runs the shim at 64 KiB so a purged
+        // superblock gives back everything but its header page).
+        // Invalid values are ignored rather than validated fatally —
+        // an env typo must not abort every process on the machine.
+        if (const char* v = std::getenv("HOARD_SUPERBLOCK_BYTES")) {
+            char* end = nullptr;
+            unsigned long long bytes = std::strtoull(v, &end, 10);
+            if (end != v && bytes >= 1024 &&
+                (bytes & (bytes - 1)) == 0 &&
+                config.min_block_bytes < bytes / 4)
+                config.superblock_bytes =
+                    static_cast<std::size_t>(bytes);
+        }
+        // HOARD_RSS_TARGET=<bytes> and HOARD_PURGE_AGE=<ns> arm the
+        // purge pass (docs/SHIM.md): automatic madvise decommit of
+        // idle empty superblocks, by committed-bytes target and/or
+        // idle age.  HOARD_PURGE_INTERVAL=<ns> tunes the minimum gap
+        // between automatic passes.
+        if (const char* v = std::getenv("HOARD_RSS_TARGET")) {
+            char* end = nullptr;
+            unsigned long long bytes = std::strtoull(v, &end, 10);
+            if (end != v)
+                config.rss_target_bytes =
+                    static_cast<std::size_t>(bytes);
+        }
+        if (const char* v = std::getenv("HOARD_PURGE_AGE")) {
+            char* end = nullptr;
+            unsigned long long ticks = std::strtoull(v, &end, 10);
+            if (end != v)
+                config.purge_age_ticks = ticks;
+        }
+        if (const char* v = std::getenv("HOARD_PURGE_INTERVAL")) {
+            char* end = nullptr;
+            unsigned long long ticks = std::strtoull(v, &end, 10);
+            if (end != v && ticks >= 1)
+                config.purge_interval_ticks = ticks;
+        }
+        // HOARD_TIMELINE=<path> arms the gauge time-series sampler so
+        // the LD_PRELOAD shim can dump the v4 timeline there at exit
+        // (docs/SHIM.md); the 1 ms default interval keeps a long run's
+        // ring meaningful without measurable sampling cost.
+        if (const char* v = std::getenv("HOARD_TIMELINE")) {
+            if (v[0] != '\0') {
+                config.observability = true;
+                if (config.obs_sample_interval == 0)
+                    config.obs_sample_interval = 1000000;
+            }
+        }
         return new HoardAllocator<NativePolicy>(config);
     }();
     return *instance;
@@ -150,6 +199,30 @@ std::size_t
 hoard_release_free_memory()
 {
     return global_allocator().release_free_memory();
+}
+
+std::size_t
+hoard_purge(bool force)
+{
+    return global_allocator().purge(force);
+}
+
+std::size_t
+hoard_committed_bytes()
+{
+    return global_allocator().stats().committed_bytes.current();
+}
+
+std::size_t
+hoard_reserved_bytes()
+{
+    return global_allocator().provider().reserved_bytes();
+}
+
+std::size_t
+hoard_purged_bytes()
+{
+    return global_allocator().stats().purged_bytes.current();
 }
 
 namespace {
@@ -252,6 +325,17 @@ hoard_write_heap_profile(std::ostream& os)
     if (prof == nullptr)
         return false;
     prof->write_pprof_profile(os);
+    return true;
+}
+
+bool
+hoard_write_timeline(std::ostream& os)
+{
+    HoardAllocator<NativePolicy>& allocator = global_allocator();
+    if (allocator.sampler() == nullptr)
+        return false;
+    allocator.sample_now();
+    obs::write_timeseries_jsonl(os, *allocator.sampler());
     return true;
 }
 

@@ -58,6 +58,27 @@ std::size_t hoard_usable_size(const void* p);
 std::size_t hoard_release_free_memory();
 
 /**
+ * Runs one purge pass over the global instance: decommits idle
+ * completely-empty superblocks (madvise) while keeping them mapped and
+ * formatted for O(1) revival.  @p force ignores the age/RSS
+ * thresholds and purges every idle empty.  Returns the bytes
+ * decommitted.  Milder than hoard_release_free_memory(): the address
+ * space and superblock metadata survive, so a later burst pays page
+ * faults instead of map syscalls.  Automatic passes ride the free
+ * path when HOARD_PURGE_AGE or HOARD_RSS_TARGET is set (docs/SHIM.md).
+ */
+std::size_t hoard_purge(bool force);
+
+/** Committed bytes of the global instance — the RSS ground truth. */
+std::size_t hoard_committed_bytes();
+
+/** Reserved virtual address space of the global instance's provider. */
+std::size_t hoard_reserved_bytes();
+
+/** Held-but-decommitted bytes (committed + purged == held). */
+std::size_t hoard_purged_bytes();
+
+/**
  * Registers pthread_atfork handlers that make the global instance
  * fork-safe in a multithreaded parent: the prepare handler acquires
  * the magazine liveness registry and then every allocator lock in a
@@ -125,6 +146,15 @@ bool hoard_write_heap_profile(std::ostream& os);
  * when the profiler is off.
  */
 std::size_t hoard_write_leak_report(std::ostream& os);
+
+/**
+ * Takes one final sample and writes the gauge timeline
+ * (hoard-timeline-v4 JSONL) of the global instance, or returns false
+ * when the sampler is disarmed.  Armed by Config::obs_sample_interval
+ * or the HOARD_TIMELINE env var at first use; the LD_PRELOAD shim
+ * dumps to the HOARD_TIMELINE path at process exit.
+ */
+bool hoard_write_timeline(std::ostream& os);
 
 /// @}
 

@@ -269,9 +269,10 @@ class HoardAllocator final : public Allocator
             stats_.frees.add();
             stats_.in_use_bytes.sub(block_bytes);
         }
-        // Tail position: no locks held here, so a due sample may take
-        // heap locks without self-deadlock risk.
+        // Tail position: no locks held here, so a due sample or purge
+        // pass may take heap/bin locks without self-deadlock risk.
         maybe_sample();
+        maybe_purge();
     }
 
     std::size_t
@@ -404,6 +405,69 @@ class HoardAllocator final : public Allocator
             released += release_to_provider(chain);
             chain = next;
         }
+        return released;
+    }
+
+    /**
+     * Purge pass: decommits the payload pages of idle completely-empty
+     * superblocks (the reuse cache plus the global bins' retained
+     * band-0 empties) via the provider's purge(), keeping each span
+     * mapped and its header formatted for O(1) revival.  Milder than
+     * release_free_memory() — nothing is unmapped, the next same-class
+     * fetch costs one unpurge() gauge move instead of a map syscall.
+     * Eligibility: @p force takes everything; otherwise a superblock
+     * must have sat idle for Config::purge_age_ticks, or
+     * committed_bytes must still exceed Config::rss_target_bytes
+     * (re-read per superblock, so targeting stops at the line).
+     * Serialized by purge_mutex_; safe against concurrent allocation
+     * (cache entries are detached while marked, bin entries are marked
+     * under their bin's lock).  Returns the bytes decommitted.
+     */
+    std::size_t
+    purge(bool force = false)
+    {
+        std::lock_guard<typename Policy::Mutex> guard(purge_mutex_);
+        const std::uint64_t now = force ? 0 : Policy::timestamp();
+        auto eligible = [&](Superblock* sb) {
+            if (sb->purged())
+                return false;
+            if (force)
+                return true;
+            if (config_.purge_age_ticks != 0 &&
+                now >= sb->retire_tick() + config_.purge_age_ticks)
+                return true;
+            return config_.rss_target_bytes != 0 &&
+                   stats_.committed_bytes.current() >
+                       config_.rss_target_bytes;
+        };
+        std::size_t released = 0;
+        // The cross-class reuse cache: detach everything (so no popper
+        // can adopt a half-purged span), purge the eligible, push all
+        // back.  Pushing re-publishes purged spans; the fetch path
+        // revives them before first use.
+        Superblock* chain = reuse_cache_.drain();
+        while (chain != nullptr) {
+            Superblock* next =
+                chain->cache_next.load(std::memory_order_relaxed);
+            if (eligible(chain))
+                released += purge_superblock(chain);
+            reuse_cache_.push(chain);
+            chain = next;
+        }
+        // Class-retentive empties inside the global bins: band 0 only
+        // (the one band that can hold used == 0 spans), under each
+        // bin's own lock.
+        for (auto& bin_ptr : global_bins_) {
+            Bin& bin = *bin_ptr;
+            std::lock_guard<typename Bin::Mutex> bguard(bin.mutex);
+            auto& group = bin.groups[0];
+            for (Superblock* sb = group.front(); sb != nullptr;
+                 sb = group.next(sb)) {
+                if (sb->empty() && eligible(sb))
+                    released += purge_superblock(sb);
+            }
+        }
+        stats_.purge_passes.add();
         return released;
     }
 
@@ -648,7 +712,9 @@ class HoardAllocator final : public Allocator
         snap.stats.frees = stats_.frees.get();
         snap.stats.in_use_bytes = stats_.in_use_bytes.current();
         snap.stats.held_bytes = stats_.held_bytes.current();
-        snap.stats.os_bytes = stats_.os_bytes.current();
+        snap.stats.committed_bytes = stats_.committed_bytes.current();
+        snap.stats.purged_bytes = stats_.purged_bytes.current();
+        snap.stats.reserved_bytes = provider_.reserved_bytes();
         snap.stats.cached_bytes = stats_.cached_bytes.current();
         snap.stats.superblock_allocs = stats_.superblock_allocs.get();
         snap.stats.superblock_transfers =
@@ -665,6 +731,10 @@ class HoardAllocator final : public Allocator
         snap.stats.global_bin_misses = stats_.global_bin_misses.get();
         snap.stats.cache_pushes = stats_.cache_pushes.get();
         snap.stats.cache_pops = stats_.cache_pops.get();
+        snap.stats.purge_passes = stats_.purge_passes.get();
+        snap.stats.purged_superblocks = stats_.purged_superblocks.get();
+        snap.stats.revived_superblocks =
+            stats_.revived_superblocks.get();
         snap.stats.bad_free_wild = stats_.bad_free_wild.get();
         snap.stats.bad_free_foreign = stats_.bad_free_foreign.get();
         snap.stats.bad_free_interior = stats_.bad_free_interior.get();
@@ -711,6 +781,9 @@ class HoardAllocator final : public Allocator
      * unset, or observability compiled out).
      */
     const obs::EventRecorder* recorder() const { return recorder_.get(); }
+
+    /** The page substrate this instance maps through. */
+    const os::PageProvider& provider() const { return provider_; }
 
     /** True when event tracing and lock profiling are active. */
     bool observability_enabled() const { return recorder_ != nullptr; }
@@ -1676,7 +1749,9 @@ class HoardAllocator final : public Allocator
                 sampler_->begin_sample(now);
             writer.set_gauges(stats_.in_use_bytes.current(),
                               stats_.held_bytes.current(),
-                              stats_.os_bytes.current(), cached);
+                              stats_.committed_bytes.current(), cached);
+            writer.set_vm(provider_.reserved_bytes(),
+                          stats_.purged_bytes.current());
             writer.set_counters(stats_.allocs.get(), stats_.frees.get(),
                                 stats_.superblock_transfers.get(),
                                 stats_.global_fetches.get());
@@ -2122,15 +2197,17 @@ class HoardAllocator final : public Allocator
      * child is single-threaded here, magazines are already flushed and
      * remote queues settled, so the sums are exact: in_use is heap u_i
      * plus bin u_i plus huge user bytes; held adds the reuse cache's
-     * spans; os equals held (every map/unmap site moves both together).
-     * Event counters and requested_bytes are left alone — they are
-     * diagnostics, not reconciled.
+     * spans; committed is held minus whatever the purge pass has
+     * decommitted (summed span-by-span over the only two places purged
+     * superblocks live).  Event counters and requested_bytes are left
+     * alone — they are diagnostics, not reconciled.
      */
     void
     repair_after_fork()
     {
         std::uint64_t in_use = 0;
         std::uint64_t held = 0;
+        std::uint64_t purged = 0;
         for (auto& heap : heaps_) {
             in_use += heap->in_use;
             held += heap->held;
@@ -2138,8 +2215,24 @@ class HoardAllocator final : public Allocator
         for (auto& bin : global_bins_) {
             in_use += bin->in_use;
             held += bin->held;
+            // Only band 0 can hold purged (empty) superblocks.
+            auto& group = bin->groups[0];
+            for (Superblock* sb = group.front(); sb != nullptr;
+                 sb = group.next(sb))
+                purged += sb->purged_bytes();
         }
-        held += reuse_cache_.size() * config_.superblock_bytes;
+        // Walk the reuse cache (single-threaded child: the
+        // drain/re-push pair cannot race anyone) so purged spans are
+        // counted span-exactly, not just by cache size.
+        Superblock* chain = reuse_cache_.drain();
+        while (chain != nullptr) {
+            Superblock* next =
+                chain->cache_next.load(std::memory_order_relaxed);
+            held += chain->span_bytes();
+            purged += chain->purged_bytes();
+            reuse_cache_.push(chain);
+            chain = next;
+        }
         for (auto& stripe : huge_stripes_) {
             for (Superblock* sb = stripe.list.front(); sb != nullptr;
                  sb = stripe.list.next(sb)) {
@@ -2158,7 +2251,8 @@ class HoardAllocator final : public Allocator
         // Heap u_i counts magazine-parked blocks; the gauge does not.
         stats_.in_use_bytes.set(in_use - cached);
         stats_.held_bytes.set(held);
-        stats_.os_bytes.set(held);
+        stats_.committed_bytes.set(held - purged);
+        stats_.purged_bytes.set(purged);
         stats_.cached_bytes.set(cached);
     }
 
@@ -2218,8 +2312,11 @@ class HoardAllocator final : public Allocator
             release_to_provider(sb);
             return;
         }
-        if (sb->empty())
+        if (sb->empty()) {
             bin_empties_.fetch_add(1, std::memory_order_relaxed);
+            if (purge_armed_)
+                sb->set_retire_tick(Policy::timestamp());
+        }
         bin.relink(sb, old_group);
     }
 
@@ -2345,6 +2442,7 @@ class HoardAllocator final : public Allocator
                 if (sb->empty())
                     bin_empties_.fetch_sub(1,
                                            std::memory_order_relaxed);
+                revive_superblock(sb);
                 stats_.global_fetches.add();
                 adopt(dest, sb);
                 record_event(obs::EventKind::fetch_from_global,
@@ -2365,6 +2463,7 @@ class HoardAllocator final : public Allocator
         stats_.cache_pops.add();
         record_event(obs::EventKind::cache_pop, dest.index,
                      sb->size_class(), sb->span_bytes());
+        revive_superblock(sb);
         if (sb->size_class() != cls) {
             Policy::work(CostKind::superblock_init);
             sb->reformat(cls, static_cast<std::uint32_t>(
@@ -2389,7 +2488,7 @@ class HoardAllocator final : public Allocator
             return nullptr;
         note_mapped_range(memory, config_.superblock_bytes);
         stats_.superblock_allocs.add();
-        stats_.os_bytes.add(config_.superblock_bytes);
+        stats_.committed_bytes.add(config_.superblock_bytes);
         stats_.held_bytes.add(config_.superblock_bytes);
         return Superblock::create(
             memory, config_.superblock_bytes, cls,
@@ -2422,6 +2521,8 @@ class HoardAllocator final : public Allocator
             return;
         }
         sb->set_owner(nullptr);
+        if (purge_armed_)
+            sb->set_retire_tick(Policy::timestamp());
         // Capture event fields before the push publishes the
         // superblock: a concurrent popper may reformat it immediately.
         const int cls = sb->size_class();
@@ -2429,6 +2530,93 @@ class HoardAllocator final : public Allocator
         reuse_cache_.push(sb);
         stats_.cache_pushes.add();
         record_event(obs::EventKind::cache_push, 0, cls, span);
+    }
+
+    /**
+     * Decommits one empty superblock's payload (everything past the
+     * page-aligned header) through the provider, moving its bytes from
+     * the committed gauge to the purged gauge.  The caller owns @p sb
+     * exclusively (detached from the cache, or under its bin's lock).
+     * Returns the bytes decommitted — 0 when the span is too small to
+     * have a whole payload page or the provider refused (then nothing
+     * changed and the superblock is whole again).
+     */
+    std::size_t
+    purge_superblock(Superblock* sb)
+    {
+        Superblock::PurgeRegion region =
+            sb->prepare_purge(os::page_bytes());
+        if (region.bytes == 0)
+            return 0;
+        Policy::work(CostKind::os_purge);
+        if (!provider_.purge(region.p, region.bytes)) {
+            sb->revive();  // roll the mark back; no gauge moved yet
+            return 0;
+        }
+        stats_.committed_bytes.sub(region.bytes);
+        stats_.purged_bytes.add(region.bytes);
+        stats_.purged_superblocks.add();
+        return region.bytes;
+    }
+
+    /**
+     * Moves a purged superblock's bytes back from the purged gauge to
+     * committed and tells the provider (the pages themselves refault
+     * zeroed on first touch — no syscall).  No-op on unpurged spans,
+     * so every path that puts a superblock back to work calls this
+     * unconditionally.  @p into_service distinguishes a real revival
+     * (counted, costed as a commit) from the bookkeeping restore
+     * release_to_provider does just before the span dies.
+     */
+    void
+    revive_superblock(Superblock* sb, bool into_service = true)
+    {
+        const std::size_t bytes = sb->revive();
+        if (bytes == 0)
+            return;
+        char* payload = reinterpret_cast<char*>(sb) +
+                        (sb->span_bytes() - bytes);
+        provider_.unpurge(payload, bytes);
+        stats_.purged_bytes.sub(bytes);
+        stats_.committed_bytes.add(bytes);
+        if (into_service) {
+            Policy::work(CostKind::os_commit);
+            stats_.revived_superblocks.add();
+        }
+    }
+
+    /// Frees between purge-cadence checks.  Coarser than the sampler's
+    /// period: a due check still costs a timestamp, and a due pass
+    /// takes bin locks and issues madvise.
+    static constexpr unsigned kPurgeCheckPeriod = 1024;
+
+    /**
+     * Deallocate-tail hook: every kPurgeCheckPeriod frees per thread,
+     * check whether a purge pass is due (policy time has passed
+     * next_purge_tick_) and run one.  The CAS elects a single thread
+     * per interval; losers — and winners — never block here beyond the
+     * pass itself.  Compiled to a single predicted-not-taken branch
+     * when the pass is disarmed.
+     */
+    void
+    maybe_purge()
+    {
+        if (!purge_armed_) [[likely]]
+            return;
+        thread_local unsigned countdown = kPurgeCheckPeriod;
+        if (--countdown != 0) [[likely]]
+            return;
+        countdown = kPurgeCheckPeriod;
+        const std::uint64_t now = Policy::timestamp();
+        std::uint64_t due =
+            next_purge_tick_.load(std::memory_order_relaxed);
+        if (now < due)
+            return;
+        if (!next_purge_tick_.compare_exchange_strong(
+                due, now + config_.purge_interval_ticks,
+                std::memory_order_relaxed))
+            return;
+        purge();
     }
 
     /**
@@ -2444,9 +2632,13 @@ class HoardAllocator final : public Allocator
     release_to_provider(Superblock* sb)
     {
         reuse_cache_.await_poppers();
+        // A purged span's committed accounting must be restored before
+        // the unmap so the provider's whole-span decommit books
+        // symmetrically (not a revival into service — the span dies).
+        revive_superblock(sb, /*into_service=*/false);
         std::size_t bytes = sb->span_bytes();
         stats_.held_bytes.sub(bytes);
-        stats_.os_bytes.sub(bytes);
+        stats_.committed_bytes.sub(bytes);
         Policy::work(CostKind::os_map);
         sb->~Superblock();
         provider_.unmap(sb, bytes);
@@ -2508,7 +2700,7 @@ class HoardAllocator final : public Allocator
         stats_.requested_bytes.add(size);
         stats_.in_use_bytes.add(size);
         stats_.held_bytes.add(total);
-        stats_.os_bytes.add(total);
+        stats_.committed_bytes.add(total);
         record_event(obs::EventKind::huge_alloc, 0, SizeClasses::kHuge,
                      size);
         // Huge accounting charges the user size to in_use, so the
@@ -2541,7 +2733,7 @@ class HoardAllocator final : public Allocator
         stats_.frees.add();
         stats_.in_use_bytes.sub(user);
         stats_.held_bytes.sub(total);
-        stats_.os_bytes.sub(total);
+        stats_.committed_bytes.sub(total);
         sb->~Superblock();
         provider_.unmap(sb, total);
         if constexpr (Policy::kObsEnabled) {
@@ -2584,6 +2776,7 @@ class HoardAllocator final : public Allocator
     void
     unmap_superblock(Superblock* sb)
     {
+        revive_superblock(sb, /*into_service=*/false);
         std::size_t bytes = sb->span_bytes();
         sb->~Superblock();
         provider_.unmap(sb, bytes);
@@ -2752,6 +2945,15 @@ class HoardAllocator final : public Allocator
     std::uint64_t magazine_id_ = 0;   ///< 0 = caching disabled
     std::uint32_t batch_blocks_ = 1;  ///< N of the batched fast path
     HugeStripe huge_stripes_[kHugeStripes];
+    /// True when any purge trigger is configured; hoisted so the
+    /// deallocate tail's maybe_purge() costs one predictable branch.
+    const bool purge_armed_ = config_.purge_age_ticks != 0 ||
+                              config_.rss_target_bytes != 0;
+    /// Serializes purge passes (manual purge() vs. the cadence hook).
+    typename Policy::Mutex purge_mutex_;
+    /// Policy time before which no automatic pass runs; the CAS in
+    /// maybe_purge() elects one thread per interval.
+    std::atomic<std::uint64_t> next_purge_tick_{0};
     detail::AllocatorStats stats_;
     /// Event rings; non-null only while tracing is enabled.
     std::unique_ptr<obs::EventRecorder> recorder_;

@@ -261,6 +261,75 @@ class Superblock
      */
     void* free_list_head() const { return free_list_; }
 
+    /// @name Purge state (virtual-memory-first page layer).
+    ///
+    /// The purge pass decommits an *empty* superblock's payload pages
+    /// while the span stays mapped and the header page stays committed,
+    /// so the superblock remains discoverable (magic/owner/class intact)
+    /// and revival is O(1): re-account the bytes and let the payload
+    /// refault zeroed on first touch.  The freed-block LIFO threads
+    /// through payload first words, so purging destroys it — the carve
+    /// state is reset to never-carved (bump_ = 0, free_list_ = null),
+    /// exactly the state allocate() already handles.
+    /// @{
+
+    /** Payload region a purge would decommit. */
+    struct PurgeRegion
+    {
+        void* p = nullptr;
+        std::size_t bytes = 0;
+    };
+
+    /**
+     * Transitions an empty, unpurged superblock to purged: resets the
+     * carve state and records the decommittable payload region (from
+     * the first page boundary past the header to the span end).
+     * Returns a zero region when the span has no whole page to give
+     * back (then nothing was changed).  The caller performs the actual
+     * provider purge and owns the accounting.
+     * @pre empty() && !purged()
+     */
+    PurgeRegion
+    prepare_purge(std::size_t page_bytes)
+    {
+        HOARD_DCHECK(used_ == 0);
+        HOARD_DCHECK(purged_bytes_ == 0);
+        std::size_t offset = detail::align_up(header_bytes(), page_bytes);
+        if (offset >= span_bytes_)
+            return PurgeRegion{};
+        free_list_ = nullptr;
+        bump_ = 0;
+        purged_bytes_ = span_bytes_ - offset;
+        return PurgeRegion{
+            const_cast<char*>(reinterpret_cast<const char*>(this)) +
+                offset,
+            purged_bytes_};
+    }
+
+    /**
+     * Clears the purged mark before the superblock re-enters service
+     * (or is unmapped), returning the byte count the caller must move
+     * from the purged gauge back to committed.
+     */
+    std::size_t
+    revive()
+    {
+        std::size_t bytes = purged_bytes_;
+        purged_bytes_ = 0;
+        return bytes;
+    }
+
+    bool purged() const { return purged_bytes_ != 0; }
+    std::size_t purged_bytes() const { return purged_bytes_; }
+
+    /** Policy-time stamp of when this superblock went idle (retired to
+        the reuse cache or went empty in a global bin); the purge pass
+        ages against it. */
+    void set_retire_tick(std::uint64_t tick) { retire_tick_ = tick; }
+    std::uint64_t retire_tick() const { return retire_tick_; }
+
+    /// @}
+
     /** Bytes of payload currently handed out. */
     std::size_t
     used_bytes() const
@@ -366,6 +435,8 @@ class Superblock
     std::atomic<std::uint32_t> sampled_{0};  ///< live profiler samples
     std::size_t span_bytes_ = 0;
     std::size_t huge_user_bytes_ = 0;
+    std::size_t purged_bytes_ = 0;    ///< payload bytes decommitted by purge
+    std::uint64_t retire_tick_ = 0;   ///< policy time the span went idle
 };
 
 using SuperblockList =

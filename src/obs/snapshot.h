@@ -140,7 +140,9 @@ struct StatsSummary
     std::uint64_t frees = 0;
     std::uint64_t in_use_bytes = 0;
     std::uint64_t held_bytes = 0;
-    std::uint64_t os_bytes = 0;
+    std::uint64_t committed_bytes = 0;  ///< OS-committed (RSS ground truth)
+    std::uint64_t purged_bytes = 0;     ///< held but decommitted by purge
+    std::uint64_t reserved_bytes = 0;   ///< provider address space held
     std::uint64_t cached_bytes = 0;
     std::uint64_t superblock_allocs = 0;
     std::uint64_t superblock_transfers = 0;
@@ -156,6 +158,9 @@ struct StatsSummary
     std::uint64_t global_bin_misses = 0;
     std::uint64_t cache_pushes = 0;
     std::uint64_t cache_pops = 0;
+    std::uint64_t purge_passes = 0;
+    std::uint64_t purged_superblocks = 0;
+    std::uint64_t revived_superblocks = 0;
     std::uint64_t bad_free_wild = 0;
     std::uint64_t bad_free_foreign = 0;
     std::uint64_t bad_free_interior = 0;
@@ -234,7 +239,10 @@ struct AllocatorSnapshot
      *
      *   sum(u_i) + huge_user == in_use_bytes + cached_bytes
      *   sum(a_i) + huge_span == held_bytes
+     *   committed_bytes + purged_bytes == held_bytes
      *
+     * The third line is the virtual-memory split: every held byte is
+     * either OS-committed or parked decommitted by the purge pass.
      * Only guaranteed on a quiesced allocator.
      */
     bool
@@ -242,7 +250,9 @@ struct AllocatorSnapshot
     {
         return sum_in_use() + huge_user_bytes ==
                    stats.in_use_bytes + cached_bytes &&
-               sum_held() + huge_span_bytes == stats.held_bytes;
+               sum_held() + huge_span_bytes == stats.held_bytes &&
+               stats.committed_bytes + stats.purged_bytes ==
+                   stats.held_bytes;
     }
 
     /** True when every per-processor heap satisfies emptiness_ok(). */

@@ -55,7 +55,15 @@ struct TimeSample
     std::uint64_t timestamp = 0;
     std::uint64_t in_use = 0;        ///< global gauge U
     std::uint64_t held = 0;          ///< global gauge A
-    std::uint64_t os_bytes = 0;
+    /// @name Virtual-memory split (schema hoard-timeline-v4).
+    /// committed is the RSS ground truth; reserved is provider address
+    /// space; purged is held-but-decommitted.  committed + purged ==
+    /// held at quiescence.
+    /// @{
+    std::uint64_t committed_bytes = 0;
+    std::uint64_t reserved_bytes = 0;
+    std::uint64_t purged_bytes = 0;
+    /// @}
     std::uint64_t cached_bytes = 0;
     std::uint64_t allocs = 0;        ///< cumulative counters
     std::uint64_t frees = 0;
@@ -183,12 +191,21 @@ class TimeSeriesSampler
       public:
         void
         set_gauges(std::uint64_t in_use, std::uint64_t held,
-                   std::uint64_t os_bytes, std::uint64_t cached)
+                   std::uint64_t committed, std::uint64_t cached)
         {
             slot_->in_use.store(in_use, std::memory_order_relaxed);
             slot_->held.store(held, std::memory_order_relaxed);
-            slot_->os_bytes.store(os_bytes, std::memory_order_relaxed);
+            slot_->committed.store(committed,
+                                   std::memory_order_relaxed);
             slot_->cached.store(cached, std::memory_order_relaxed);
+        }
+
+        /** Virtual-memory split gauges (schema v4). */
+        void
+        set_vm(std::uint64_t reserved, std::uint64_t purged)
+        {
+            slot_->reserved.store(reserved, std::memory_order_relaxed);
+            slot_->purged.store(purged, std::memory_order_relaxed);
         }
 
         void
@@ -316,8 +333,12 @@ class TimeSeriesSampler
                 slot.timestamp.load(std::memory_order_relaxed);
             sample.in_use = slot.in_use.load(std::memory_order_relaxed);
             sample.held = slot.held.load(std::memory_order_relaxed);
-            sample.os_bytes =
-                slot.os_bytes.load(std::memory_order_relaxed);
+            sample.committed_bytes =
+                slot.committed.load(std::memory_order_relaxed);
+            sample.reserved_bytes =
+                slot.reserved.load(std::memory_order_relaxed);
+            sample.purged_bytes =
+                slot.purged.load(std::memory_order_relaxed);
             sample.cached_bytes =
                 slot.cached.load(std::memory_order_relaxed);
             sample.allocs = slot.allocs.load(std::memory_order_relaxed);
@@ -370,7 +391,9 @@ class TimeSeriesSampler
         std::atomic<std::uint64_t> timestamp{0};
         std::atomic<std::uint64_t> in_use{0};
         std::atomic<std::uint64_t> held{0};
-        std::atomic<std::uint64_t> os_bytes{0};
+        std::atomic<std::uint64_t> committed{0};
+        std::atomic<std::uint64_t> reserved{0};
+        std::atomic<std::uint64_t> purged{0};
         std::atomic<std::uint64_t> cached{0};
         std::atomic<std::uint64_t> allocs{0};
         std::atomic<std::uint64_t> frees{0};

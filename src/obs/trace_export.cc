@@ -89,7 +89,10 @@ write_chrome_trace(std::ostream& os, const EventRecorder& recorder,
             put_double(os,
                        static_cast<double>(s.timestamp) / ts_per_us);
             os << ",\"args\":{\"in_use\":" << s.in_use
-               << ",\"held\":" << s.held << ",\"os\":" << s.os_bytes
+               << ",\"held\":" << s.held
+               << ",\"committed\":" << s.committed_bytes
+               << ",\"reserved\":" << s.reserved_bytes
+               << ",\"purged\":" << s.purged_bytes
                << ",\"cached\":" << s.cached_bytes << "}},"
                << "\n{\"name\":\"hoard_blowup\",\"ph\":\"C\",\"pid\":1"
                << ",\"ts\":";
@@ -115,9 +118,14 @@ void
 write_timeseries_jsonl(std::ostream& os, const TimeSeriesSampler& sampler)
 {
     for (const TimeSample& s : sampler.collect()) {
-        os << "{\"schema\":\"hoard-timeline-v3\",\"ts\":" << s.timestamp
+        // "os" is kept as an alias of committed for v1-v3 consumers.
+        os << "{\"schema\":\"hoard-timeline-v4\",\"ts\":" << s.timestamp
            << ",\"in_use\":" << s.in_use << ",\"held\":" << s.held
-           << ",\"os\":" << s.os_bytes << ",\"cached\":" << s.cached_bytes
+           << ",\"os\":" << s.committed_bytes
+           << ",\"committed\":" << s.committed_bytes
+           << ",\"reserved\":" << s.reserved_bytes
+           << ",\"purged\":" << s.purged_bytes
+           << ",\"cached\":" << s.cached_bytes
            << ",\"allocs\":" << s.allocs << ",\"frees\":" << s.frees
            << ",\"transfers\":" << s.transfers
            << ",\"global_fetches\":" << s.global_fetches
@@ -361,8 +369,28 @@ write_prometheus(std::ostream& os, const AllocatorSnapshot& snap)
                 "bytes held in superblocks (A)");
     os << "hoard_held_bytes " << s.held_bytes << '\n';
     prom_header(os, "hoard_os_bytes", "gauge",
-                "bytes currently mapped from the OS");
-    os << "hoard_os_bytes " << s.os_bytes << '\n';
+                "deprecated alias of hoard_committed_bytes");
+    os << "hoard_os_bytes " << s.committed_bytes << '\n';
+    prom_header(os, "hoard_committed_bytes", "gauge",
+                "OS-committed bytes (RSS ground truth)");
+    os << "hoard_committed_bytes " << s.committed_bytes << '\n';
+    prom_header(os, "hoard_reserved_bytes", "gauge",
+                "virtual address space held by the page provider");
+    os << "hoard_reserved_bytes " << s.reserved_bytes << '\n';
+    prom_header(os, "hoard_purged_bytes", "gauge",
+                "held bytes returned to the OS by the purge pass");
+    os << "hoard_purged_bytes " << s.purged_bytes << '\n';
+    prom_header(os, "hoard_purge_passes_total", "counter",
+                "purge sweeps over idle superblocks");
+    os << "hoard_purge_passes_total " << s.purge_passes << '\n';
+    prom_header(os, "hoard_purged_superblocks_total", "counter",
+                "superblock payloads decommitted by purge");
+    os << "hoard_purged_superblocks_total " << s.purged_superblocks
+       << '\n';
+    prom_header(os, "hoard_revived_superblocks_total", "counter",
+                "purged superblocks put back into service");
+    os << "hoard_revived_superblocks_total " << s.revived_superblocks
+       << '\n';
     prom_header(os, "hoard_cached_bytes", "gauge",
                 "bytes parked in thread caches");
     os << "hoard_cached_bytes " << s.cached_bytes << '\n';
@@ -427,10 +455,12 @@ write_human(std::ostream& os, const AllocatorSnapshot& snap)
        << " K=" << snap.slack_superblocks << " P=" << snap.heap_count
        << "\n";
     os << "  totals: in-use " << snap.stats.in_use_bytes << " held "
-       << snap.stats.held_bytes << " os " << snap.stats.os_bytes
-       << " cached " << snap.cached_bytes << " huge " << snap.huge_count
-       << " (" << snap.huge_user_bytes << "/" << snap.huge_span_bytes
-       << " B)\n";
+       << snap.stats.held_bytes << " committed "
+       << snap.stats.committed_bytes << " purged "
+       << snap.stats.purged_bytes << " reserved "
+       << snap.stats.reserved_bytes << " cached " << snap.cached_bytes
+       << " huge " << snap.huge_count << " (" << snap.huge_user_bytes
+       << "/" << snap.huge_span_bytes << " B)\n";
     os << "  slow path: transfers " << snap.stats.superblock_transfers
        << " fetches " << snap.stats.global_fetches << " (bin hits "
        << snap.stats.global_bin_hits << " misses "

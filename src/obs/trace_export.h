@@ -87,7 +87,7 @@ void write_chrome_trace(std::ostream& os, const EventRecorder& recorder,
 
 /**
  * Writes the sampler's retained samples as JSONL, one
- * {"schema":"hoard-timeline-v3", ...} object per line, oldest first:
+ * {"schema":"hoard-timeline-v4", ...} object per line, oldest first:
  * policy-time timestamp, the global gauges and counters, blowup, and
  * a "heaps" array of per-heap {"u":..,"a":..} points (index 0 is the
  * global heap).  v2 renames v1's "bin_hits"/"bin_misses" to
@@ -96,8 +96,12 @@ void write_chrome_trace(std::ostream& os, const EventRecorder& recorder,
  * "prof_sampled_rounded" byte totals.  v3 adds per-path operation
  * latency: "lat_<path>_n" (cumulative op count) and "lat_<path>_p99"
  * (cumulative P99 in policy cycles) for each obs::LatencyPath, zeros
- * when the latency histograms are disarmed; bench_compare --timeline
- * reads all three schemas.
+ * when the latency histograms are disarmed.  v4 splits the footprint
+ * gauges for the virtual-memory-first page layer: "committed" (the
+ * RSS ground truth; "os" remains as a deprecated alias), "reserved"
+ * (provider address space), and "purged" (held-but-decommitted, so
+ * committed + purged == held at quiescence); bench_compare --timeline
+ * reads all four schemas.
  */
 void write_timeseries_jsonl(std::ostream& os,
                             const TimeSeriesSampler& sampler);

@@ -96,6 +96,19 @@ class FaultInjectingPageProvider final : public PageProvider
         position_ = 0;
     }
 
+    /**
+     * Fails every purge() while set (modeling madvise refusing, e.g.
+     * EAGAIN on a locked range).  Purge failure is the one fault a
+     * provider reports by return value rather than by nullptr, so it
+     * gets its own toggle instead of riding the map() schedule.
+     */
+    void
+    set_fail_purges(bool fail)
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        fail_purges_ = fail;
+    }
+
     void*
     map(std::size_t bytes, std::size_t align) override
     {
@@ -124,6 +137,36 @@ class FaultInjectingPageProvider final : public PageProvider
         return inner_.peak_mapped_bytes();
     }
 
+    std::size_t reserved_bytes() const override
+    {
+        return inner_.reserved_bytes();
+    }
+
+    std::size_t peak_reserved_bytes() const override
+    {
+        return inner_.peak_reserved_bytes();
+    }
+
+    bool
+    purge(void* p, std::size_t bytes) override
+    {
+        purge_calls_.add();
+        {
+            std::lock_guard<std::mutex> guard(mutex_);
+            if (fail_purges_) {
+                injected_purge_failures_.add();
+                return false;
+            }
+        }
+        return inner_.purge(p, bytes);
+    }
+
+    void
+    unpurge(void* p, std::size_t bytes) override
+    {
+        inner_.unpurge(p, bytes);
+    }
+
     /// @name Injection telemetry.
     /// @{
     std::uint64_t map_calls() const { return map_calls_.get(); }
@@ -131,6 +174,11 @@ class FaultInjectingPageProvider final : public PageProvider
     std::uint64_t injected_failures() const
     {
         return injected_failures_.get();
+    }
+    std::uint64_t purge_calls() const { return purge_calls_.get(); }
+    std::uint64_t injected_purge_failures() const
+    {
+        return injected_purge_failures_.get();
     }
     /// @}
 
@@ -170,6 +218,7 @@ class FaultInjectingPageProvider final : public PageProvider
 
     PageProvider& inner_;
     std::mutex mutex_;
+    bool fail_purges_ = false;
     Mode mode_ = Mode::none;
     std::uint64_t param_ = 0;
     std::uint64_t position_ = 0;
@@ -178,6 +227,8 @@ class FaultInjectingPageProvider final : public PageProvider
     detail::Counter map_calls_;
     detail::Counter unmap_calls_;
     detail::Counter injected_failures_;
+    detail::Counter purge_calls_;
+    detail::Counter injected_purge_failures_;
 };
 
 /**
@@ -254,6 +305,40 @@ class CappedPageProvider final : public PageProvider
 
     std::size_t mapped_bytes() const override { return gauge_.current(); }
     std::size_t peak_mapped_bytes() const override { return gauge_.peak(); }
+
+    // The budget models an RSS ceiling, so it is charged on *committed*
+    // bytes; address-space reservation is reported but unbounded.
+    std::size_t reserved_bytes() const override
+    {
+        return inner_.reserved_bytes();
+    }
+
+    std::size_t peak_reserved_bytes() const override
+    {
+        return inner_.peak_reserved_bytes();
+    }
+
+    bool
+    purge(void* p, std::size_t bytes) override
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        std::size_t before = inner_.mapped_bytes();
+        if (!inner_.purge(p, bytes))
+            return false;
+        // A successful purge lowers the committed total, restoring
+        // budget headroom exactly like an unmap.
+        gauge_.sub(before - inner_.mapped_bytes());
+        return true;
+    }
+
+    void
+    unpurge(void* p, std::size_t bytes) override
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        std::size_t before = inner_.mapped_bytes();
+        inner_.unpurge(p, bytes);
+        gauge_.add(inner_.mapped_bytes() - before);
+    }
 
     /** map() calls refused because they would exceed the budget. */
     std::uint64_t budget_rejections() const

@@ -4,10 +4,13 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
+#include <new>
 
 #include "common/failure.h"
 #include "common/mathutil.h"
+#include "os/reserved_arena.h"
 
 namespace hoard {
 namespace os {
@@ -22,7 +25,24 @@ page_size()
     return ps;
 }
 
+std::size_t
+env_size(const char* name, std::size_t fallback)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr)
+        return fallback;
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    return end != v ? static_cast<std::size_t>(parsed) : fallback;
+}
+
 }  // namespace
+
+std::size_t
+page_bytes()
+{
+    return page_size();
+}
 
 void*
 MmapPageProvider::map(std::size_t bytes, std::size_t align)
@@ -45,7 +65,9 @@ MmapPageProvider::map(std::size_t bytes, std::size_t align)
         return nullptr;
 
     // Over-map so an aligned sub-range of the right size must exist,
-    // then trim the misaligned head and the surplus tail.
+    // then trim the misaligned head and surplus tail slices in one
+    // pass.  Each munmap is checked: a silently failed trim would
+    // leak live PROT_READ|WRITE pages outside every gauge.
     const std::size_t span = bytes + align - ps;
     void* raw = ::mmap(nullptr, span, PROT_READ | PROT_WRITE,
                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
@@ -55,10 +77,21 @@ MmapPageProvider::map(std::size_t bytes, std::size_t align)
     auto base = reinterpret_cast<std::uintptr_t>(raw);
     std::uintptr_t aligned = detail::align_up(base, align);
 
-    if (std::size_t head = aligned - base; head != 0)
-        ::munmap(raw, head);
-    if (std::size_t tail = (base + span) - (aligned + bytes); tail != 0)
-        ::munmap(reinterpret_cast<void*>(aligned + bytes), tail);
+    const struct
+    {
+        std::uintptr_t start;
+        std::size_t bytes;
+    } slices[2] = {
+        {base, aligned - base},
+        {aligned + bytes, (base + span) - (aligned + bytes)},
+    };
+    for (const auto& slice : slices) {
+        if (slice.bytes == 0)
+            continue;
+        int rc = ::munmap(reinterpret_cast<void*>(slice.start),
+                          slice.bytes);
+        HOARD_CHECK(rc == 0);
+    }
 
     gauge_.add(bytes);
     return reinterpret_cast<void*>(aligned);
@@ -74,11 +107,44 @@ MmapPageProvider::unmap(void* p, std::size_t bytes)
     gauge_.sub(bytes);
 }
 
-MmapPageProvider&
+bool
+MmapPageProvider::purge(void* p, std::size_t bytes)
+{
+    HOARD_CHECK(p != nullptr);
+    HOARD_CHECK(detail::is_aligned(p, page_size()));
+    bytes = detail::align_up(bytes, page_size());
+    if (::madvise(p, bytes, MADV_DONTNEED) != 0)
+        return false;
+    gauge_.sub(bytes);
+    return true;
+}
+
+void
+MmapPageProvider::unpurge(void* /* p */, std::size_t bytes)
+{
+    gauge_.add(detail::align_up(bytes, page_size()));
+}
+
+PageProvider&
 default_page_provider()
 {
-    static MmapPageProvider provider;
-    return provider;
+    // Constructed in static storage with placement new: the first call
+    // can arrive from inside malloc bootstrap (the LD_PRELOAD shim's
+    // global allocator), where an operator-new recursion would
+    // deadlock static initialization.  Deliberately never destroyed —
+    // allocator singletons unmap through it during process teardown.
+    alignas(ReservedArenaProvider) static unsigned char
+        storage[sizeof(ReservedArenaProvider)];
+    static ReservedArenaProvider* provider = [] {
+        ReservedArenaProvider::Options opt;
+        opt.arena_bytes =
+            env_size("HOARD_ARENA_BYTES", opt.arena_bytes);
+        opt.max_span_bytes =
+            env_size("HOARD_ARENA_SPAN", opt.max_span_bytes);
+        opt.huge_pages = env_size("HOARD_HUGEPAGE", 0) != 0;
+        return new (storage) ReservedArenaProvider(opt);
+    }();
+    return *provider;
 }
 
 }  // namespace os

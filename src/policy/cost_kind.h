@@ -19,6 +19,8 @@ enum class CostKind
     list_op,          ///< one fullness-group probe or relink
     superblock_init,  ///< formatting a fresh/recycled superblock
     os_map,           ///< a page-provider round trip
+    os_commit,        ///< committing (or reviving) a decommitted span
+    os_purge,         ///< decommitting a span (madvise)
     transfer,         ///< moving a superblock between heaps
 };
 

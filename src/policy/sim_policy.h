@@ -103,6 +103,12 @@ struct SimPolicy
           case CostKind::os_map:
             cycles = c.os_map;
             break;
+          case CostKind::os_commit:
+            cycles = c.os_commit;
+            break;
+          case CostKind::os_purge:
+            cycles = c.os_purge;
+            break;
           case CostKind::transfer:
             cycles = c.transfer;
             break;

@@ -231,6 +231,21 @@ profile_atexit()
 
 /// @}
 
+/** Exit-time timeline dump (HOARD_TIMELINE=<path>): the ofstream's
+    own allocations ride the DepthGuard into the bootstrap arena, so
+    the dump never re-enters the allocator it is sampling. */
+void
+timeline_atexit()
+{
+    DepthGuard guard;
+    const char* path = std::getenv("HOARD_TIMELINE");
+    if (path == nullptr || path[0] == '\0')
+        return;
+    std::ofstream out(path);
+    if (out)
+        hoard::hoard_write_timeline(out);
+}
+
 /** Forces the singleton alive and registers the atfork handlers
     before main() — bootstrap allocations go to the arena. */
 __attribute__((constructor)) void
@@ -252,6 +267,9 @@ shim_init()
         if (prefix != nullptr && prefix[0] != '\0')
             std::atexit(&profile_atexit);
     }
+    const char* timeline = std::getenv("HOARD_TIMELINE");
+    if (timeline != nullptr && timeline[0] != '\0')
+        std::atexit(&timeline_atexit);
 }
 
 }  // namespace

@@ -43,6 +43,9 @@ struct CostModel
     std::uint64_t list_op = 5;          ///< one fullness-group relink
     std::uint64_t superblock_init = 400;///< formatting a fresh superblock
     std::uint64_t os_map = 3000;        ///< mmap round trip
+    std::uint64_t os_commit = 600;      ///< committing / reviving a span
+                                        ///< (mprotect or zero-page refault)
+    std::uint64_t os_purge = 900;       ///< decommitting a span (madvise)
     std::uint64_t transfer = 120;       ///< heap <-> global superblock move
 };
 

@@ -88,7 +88,7 @@ TEST_F(HoardAllocatorTest, HugeAllocationRoundTrip)
     EXPECT_TRUE(detail::pattern_check(p, big, 7));
     EXPECT_EQ(allocator.stats().huge_allocs.get(), 1u);
     allocator.deallocate(p);
-    EXPECT_EQ(allocator.stats().os_bytes.current(), 0u)
+    EXPECT_EQ(allocator.stats().committed_bytes.current(), 0u)
         << "huge region must be unmapped immediately";
 }
 
@@ -193,10 +193,10 @@ TEST_F(HoardAllocatorTest, EmptyCacheLimitReturnsMemoryToOs)
     std::vector<void*> blocks;
     for (int i = 0; i < 5000; ++i)
         blocks.push_back(allocator.allocate(64));
-    std::size_t peak = allocator.stats().os_bytes.current();
+    std::size_t peak = allocator.stats().committed_bytes.current();
     for (void* p : blocks)
         allocator.deallocate(p);
-    EXPECT_LT(allocator.stats().os_bytes.current(), peak / 2)
+    EXPECT_LT(allocator.stats().committed_bytes.current(), peak / 2)
         << "most superblocks should have been unmapped";
     EXPECT_TRUE(allocator.check_invariants());
 }

@@ -99,19 +99,25 @@ TEST(AllocatorSnapshot, SumsAndReconciliation)
     EXPECT_EQ(snap.sum_in_use(), 600u);
     EXPECT_EQ(snap.sum_held(), 6000u);
 
-    // Identities: sum(u)+huge_user == in_use+cached and
-    //             sum(a)+huge_span == held.
+    // Identities: sum(u)+huge_user == in_use+cached,
+    //             sum(a)+huge_span == held, and the virtual-memory
+    //             ledger committed + purged == held.
     snap.huge_user_bytes = 50;
     snap.huge_span_bytes = 64;
     snap.cached_bytes = 40;
     snap.stats.in_use_bytes = 610;
     snap.stats.held_bytes = 6064;
+    snap.stats.committed_bytes = 6000;
+    snap.stats.purged_bytes = 64;
     EXPECT_TRUE(snap.reconciles());
 
     snap.stats.in_use_bytes = 611;  // one stray byte breaks it
     EXPECT_FALSE(snap.reconciles());
     snap.stats.in_use_bytes = 610;
     snap.stats.held_bytes = 6063;
+    EXPECT_FALSE(snap.reconciles());
+    snap.stats.held_bytes = 6064;
+    snap.stats.purged_bytes = 63;  // a lost purged byte breaks it too
     EXPECT_FALSE(snap.reconciles());
 }
 

@@ -31,7 +31,7 @@ TEST(TimeSeriesSampler, RoundTripsAllFields)
     EXPECT_EQ(out[0].timestamp, 7u);
     EXPECT_EQ(out[0].in_use, 70u);
     EXPECT_EQ(out[0].held, 140u);
-    EXPECT_EQ(out[0].os_bytes, 210u);
+    EXPECT_EQ(out[0].committed_bytes, 210u);
     EXPECT_EQ(out[0].cached_bytes, 280u);
     EXPECT_EQ(out[0].allocs, 8u);
     EXPECT_EQ(out[0].frees, 9u);

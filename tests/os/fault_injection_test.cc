@@ -117,6 +117,66 @@ TEST(FaultInjectingPageProvider, ClearScheduleDisarms)
     provider.unmap(p, 4096);
 }
 
+TEST(FaultInjectingPageProvider, PurgePassesThroughWhenDisarmed)
+{
+    MmapPageProvider inner;
+    FaultInjectingPageProvider provider(inner);
+    auto* p = static_cast<unsigned char*>(provider.map(8192, 8192));
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0x5a, 8192);
+    EXPECT_TRUE(provider.purge(p, 8192));
+    EXPECT_EQ(provider.purge_calls(), 1u);
+    EXPECT_EQ(provider.injected_purge_failures(), 0u);
+    EXPECT_EQ(provider.mapped_bytes(), 0u);
+    EXPECT_EQ(p[0], 0u);  // refaulted zero page
+    provider.unpurge(p, 8192);
+    EXPECT_EQ(provider.mapped_bytes(), 8192u);
+    provider.unmap(p, 8192);
+}
+
+TEST(FaultInjectingPageProvider, FailPurgesTogglesIndependently)
+{
+    // Purge failure has its own toggle — it must not consume or
+    // disturb the map() schedule.
+    MmapPageProvider inner;
+    FaultInjectingPageProvider provider(inner);
+    provider.fail_nth_map(2);
+    provider.set_fail_purges(true);
+
+    auto* p = static_cast<unsigned char*>(provider.map(8192, 8192));
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0x66, 8192);
+    EXPECT_FALSE(provider.purge(p, 8192));
+    EXPECT_EQ(provider.injected_purge_failures(), 1u);
+    // Failure means "nothing happened": gauge and data intact.
+    EXPECT_EQ(provider.mapped_bytes(), 8192u);
+    EXPECT_EQ(p[8191], 0x66u);
+
+    // The map schedule is still armed and positioned at call 2.
+    EXPECT_EQ(provider.map(8192, 8192), nullptr);
+    EXPECT_EQ(provider.injected_failures(), 1u);
+
+    provider.set_fail_purges(false);
+    EXPECT_TRUE(provider.purge(p, 8192));
+    provider.unpurge(p, 8192);
+    provider.unmap(p, 8192);
+}
+
+TEST(FaultInjectingPageProvider, ReservedBytesPassThrough)
+{
+    MmapPageProvider inner;
+    FaultInjectingPageProvider provider(inner);
+    void* p = provider.map(8192, 8192);
+    ASSERT_NE(p, nullptr);
+    // The mmap provider reserves exactly what it commits; the
+    // decorator must forward both gauges untouched.
+    EXPECT_EQ(provider.reserved_bytes(), inner.reserved_bytes());
+    EXPECT_EQ(provider.reserved_bytes(), 8192u);
+    EXPECT_EQ(provider.peak_reserved_bytes(), 8192u);
+    provider.unmap(p, 8192);
+    EXPECT_EQ(provider.reserved_bytes(), 0u);
+}
+
 TEST(CappedPageProvider, EnforcesBudget)
 {
     MmapPageProvider inner;
