@@ -78,7 +78,7 @@ usage(std::ostream& os)
           " (default 10),\n"
        << "  1 on regression, 2 on usage/parse errors\n"
        << "  --timeline summarizes a gauge timeline (schema\n"
-       << "  hoard-timeline-v1 through -v4) instead of diffing"
+       << "  hoard-timeline-v1 through -v5) instead of diffing"
           " reports\n";
 }
 
@@ -103,6 +103,7 @@ summarize_timeline(const std::string& path)
     bool v1_seen = false;
     bool v3_seen = false;
     bool v4_seen = false;
+    bool v5_seen = false;
     std::string line;
     for (std::size_t lineno = 1; std::getline(is, line); ++lineno) {
         if (line.empty())
@@ -118,15 +119,19 @@ summarize_timeline(const std::string& path)
         if (schema != "hoard-timeline-v1" &&
             schema != "hoard-timeline-v2" &&
             schema != "hoard-timeline-v3" &&
-            schema != "hoard-timeline-v4") {
+            schema != "hoard-timeline-v4" &&
+            schema != "hoard-timeline-v5") {
             std::cerr << path << ":" << lineno << ": unknown schema '"
                       << schema << "'\n";
             return 2;
         }
         v1_seen = v1_seen || schema == "hoard-timeline-v1";
         v3_seen = v3_seen || schema == "hoard-timeline-v3" ||
-                  schema == "hoard-timeline-v4";
-        v4_seen = v4_seen || schema == "hoard-timeline-v4";
+                  schema == "hoard-timeline-v4" ||
+                  schema == "hoard-timeline-v5";
+        v4_seen = v4_seen || schema == "hoard-timeline-v4" ||
+                  schema == "hoard-timeline-v5";
+        v5_seen = v5_seen || schema == "hoard-timeline-v5";
         if (samples == 0)
             first_ts = static_cast<std::uint64_t>(
                 doc.number_or("ts", 0.0));
@@ -220,6 +225,15 @@ summarize_timeline(const std::string& path)
         if (!any)
             std::printf("  latency: histograms disarmed (all-zero "
                         "series)\n");
+    }
+    if (v5_seen && last.number_or("bg_wakeups", 0.0) > 0.0) {
+        std::printf("  background: wakeups %.0f, refills %.0f, drains "
+                    "%.0f, precommits %.0f, purges %.0f\n",
+                    last.number_or("bg_wakeups", 0.0),
+                    last.number_or("bg_refills", 0.0),
+                    last.number_or("bg_drains", 0.0),
+                    last.number_or("bg_precommits", 0.0),
+                    last.number_or("bg_purges", 0.0));
     }
     return 0;
 }

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * micro-prodcons: producer-consumer pipeline with and without the
+ * asynchronous background engine.
+ *
+ * Paired fibers hand allocation batches through a mailbox: the
+ * producer allocates from its heap, the consumer frees cross-thread,
+ * forever.  This is the workload the background engine exists for —
+ * every free is remote (settling work piles up on the producers'
+ * heaps) and every producer burns through its size class fast enough
+ * that the global bin runs dry (refill work lands on the malloc
+ * critical path as global_fetch misses and fresh maps).
+ *
+ * Each P runs twice on the simulated machine:
+ *
+ *  - `fg` (engine disarmed): the baseline — consumers' frees queue on
+ *    the remote MPSC lists until producers settle them inline, and
+ *    every bin miss pays the superblock format/map on the hot path.
+ *  - `bg` (engine armed): one extra simulated processor runs the
+ *    worker fiber (HoardAllocator::bg_worker_sim — the deterministic
+ *    analogue of the native helper thread), which refills bins,
+ *    settles remote queues, and pre-commits spans off the critical
+ *    path.
+ *
+ * Throughput is measured as allocations per virtual megacycle against
+ * the *workload* fibers' finish clocks (the worker fiber's own tail
+ * does not count against the run), and the per-path latency
+ * histograms (exact mode) attribute where the win comes from: the
+ * armed run's refill / global-fetch / fresh-map p99 should drop while
+ * the fast paths stay put.  Both runs are deterministic, so the
+ * throughput and p99 metrics are gated.
+ *
+ *   ./build/bench/micro_prodcons [--quick] [--bg on|off] [--json FILE]
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/fig_common.h"
+#include "core/hoard_allocator.h"
+#include "metrics/bench_report.h"
+#include "metrics/table.h"
+#include "obs/gating.h"
+#include "obs/latency.h"
+#include "policy/sim_policy.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace hoard;
+
+/** One producer/consumer handoff slot (micro_remote_free's idiom). */
+struct Mailbox
+{
+    std::atomic<void**> batch{nullptr};  ///< null = empty, ready to fill
+};
+
+struct PipeParams
+{
+    int rounds = 0;        ///< batches handed per pair
+    int batch_blocks = 0;  ///< blocks per batch
+    std::size_t object_bytes = 64;
+    int worker_steps = 0;  ///< bg_step() calls the worker fiber makes
+};
+
+/** Spin-loop beat: virtual work so the scheduler can preempt. */
+void
+spin_pause()
+{
+    SimPolicy::work(CostKind::list_op);
+}
+
+struct CaseResult
+{
+    std::uint64_t workload_makespan = 0;  ///< max workload finish clock
+    double allocs_per_mcycle = 0.0;
+    obs::AllocatorSnapshot snap;
+};
+
+/**
+ * Runs P workload fibers (P/2 pairs) on P simulated processors, plus
+ * one helper processor running the worker fiber when @p bg is set.
+ */
+CaseResult
+run_case(int nprocs, bool bg, const PipeParams& params)
+{
+    Config config;
+    config.heap_count = nprocs;
+    config.latency_histograms = true;
+    config.latency_sample_period = 1;  // exact: every op in the histogram
+    config.background_engine = bg;
+    HoardAllocator<SimPolicy> allocator(config);
+
+    const int pairs = nprocs / 2;
+    std::vector<Mailbox> boxes(static_cast<std::size_t>(pairs));
+    std::vector<std::vector<void*>> storage(
+        static_cast<std::size_t>(pairs),
+        std::vector<void*>(
+            2 * static_cast<std::size_t>(params.batch_blocks)));
+    std::vector<std::uint64_t> finish(static_cast<std::size_t>(nprocs),
+                                      0);
+
+    sim::Machine machine(nprocs + (bg ? 1 : 0));
+    for (int tid = 0; tid < nprocs; ++tid) {
+        machine.spawn(tid, tid, [&, tid] {
+            SimPolicy::rebind_thread_index(tid);
+            auto pair = static_cast<std::size_t>(tid / 2);
+            Mailbox& box = boxes[pair];
+            if (tid % 2 == 0) {
+                // Producer: double-buffered so batch k+1 is being
+                // carved while the consumer still frees batch k.
+                void** store = storage[pair].data();
+                for (int round = 0; round < params.rounds; ++round) {
+                    void** batch =
+                        store + (round % 2) * params.batch_blocks;
+                    for (int i = 0; i < params.batch_blocks; ++i)
+                        batch[i] =
+                            allocator.allocate(params.object_bytes);
+                    while (box.batch.load(std::memory_order_acquire) !=
+                           nullptr)
+                        spin_pause();
+                    box.batch.store(batch, std::memory_order_release);
+                }
+                while (box.batch.load(std::memory_order_acquire) !=
+                       nullptr)
+                    spin_pause();
+            } else {
+                // Consumer: every free is cross-thread.
+                for (int round = 0; round < params.rounds; ++round) {
+                    void** batch;
+                    while ((batch = box.batch.load(
+                                std::memory_order_acquire)) == nullptr)
+                        spin_pause();
+                    for (int i = 0; i < params.batch_blocks; ++i)
+                        allocator.deallocate(batch[i]);
+                    box.batch.store(nullptr, std::memory_order_release);
+                }
+            }
+            finish[static_cast<std::size_t>(tid)] =
+                sim::Machine::current()->current_clock();
+        });
+    }
+    if (bg) {
+        // The helper core: the worker fiber runs the same bg_step()
+        // job code the native thread would, a bounded number of times
+        // so the machine terminates.  Steps are sized past the
+        // workload's duration; the tail past the last workload finish
+        // is excluded from the measurement below.
+        machine.spawn(nprocs, nprocs, [&] {
+            SimPolicy::rebind_thread_index(nprocs);
+            allocator.bg_worker_sim(params.worker_steps);
+        });
+    }
+    machine.run();
+
+    CaseResult result;
+    result.workload_makespan =
+        *std::max_element(finish.begin(), finish.end());
+    const double allocs = static_cast<double>(pairs) *
+                          static_cast<double>(params.rounds) *
+                          static_cast<double>(params.batch_blocks);
+    result.allocs_per_mcycle =
+        allocs /
+        (static_cast<double>(result.workload_makespan) / 1e6);
+
+    // Snapshots take virtual mutexes: quiesced walk on a fresh
+    // one-processor checker machine.
+    sim::Machine checker(1);
+    checker.spawn(0, 0, [&allocator, &result] {
+        result.snap = allocator.take_snapshot();
+    });
+    checker.run();
+    return result;
+}
+
+/** The per-path p99s the engine is supposed to move. */
+const obs::LatencyPath kHotPaths[] = {
+    obs::LatencyPath::malloc_refill,
+    obs::LatencyPath::malloc_global_fetch,
+    obs::LatencyPath::malloc_fresh_map,
+    obs::LatencyPath::free_remote_push,
+};
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::FigCli cli;
+    std::string bg_mode = "both";
+    cli.bench_name = bench::bench_basename(argc > 0 ? argv[0] : nullptr);
+    cli::Parser parser(
+        "producer-consumer pipeline, background engine on vs off");
+    bench::register_cli(parser, cli);
+    parser.add_string("--bg", "MODE",
+                      "run only one engine mode: on | off\n"
+                      "(default: both, for the comparison)",
+                      &bg_mode);
+    parser.parse(argc, argv);
+    bench::finish_cli(cli);
+    if (bg_mode != "both" && bg_mode != "on" && bg_mode != "off") {
+        std::fprintf(stderr,
+                     "micro_prodcons: --bg must be on or off\n");
+        return 2;
+    }
+
+    PipeParams params;
+    params.rounds = cli.quick ? 150 : 600;
+    params.batch_blocks = 32;
+    // A batch spans a whole superblock's worth of blocks, so every
+    // round ends in bin-refill / fresh-map traffic — the slow path
+    // the worker exists to absorb.  Small objects never deplete the
+    // heap and leave the worker nothing to do.
+    params.object_bytes = 2048;
+    // Enough passes to cover the run; the measurement clips the tail.
+    params.worker_steps = cli.quick ? 2000 : 8000;
+
+    if (!obs::kCompiledIn) {
+        std::cout << "# micro-prodcons: skipped (HOARD_OBS=OFF build"
+                     " has no latency histograms)\n";
+        return 0;
+    }
+
+    Config echo;
+    metrics::BenchReport report(cli.bench_name, cli.quick);
+    report.set_title(
+        "micro-prodcons: pipeline throughput, background engine on/off");
+    report.set_config(echo);
+
+    std::cout << "# micro-prodcons: producers allocate, consumers free"
+                 " cross-thread; bg adds one helper core\n";
+    metrics::Table table({"P", "engine", "allocs/Mcycle",
+                          "refill p99", "fetch p99", "fresh p99",
+                          "bg refills", "bg drains"});
+    bool healthy = true;
+    for (int nprocs : {2, 4, 8}) {
+        for (int pass = 0; pass < 2; ++pass) {
+            const bool bg = pass == 1;
+            if (bg_mode == "on" && !bg)
+                continue;
+            if (bg_mode == "off" && bg)
+                continue;
+            CaseResult r = run_case(nprocs, bg, params);
+            healthy = healthy && r.snap.reconciles() &&
+                      r.snap.all_heaps_satisfy_invariant();
+
+            table.begin_row();
+            table.cell_u64(static_cast<std::uint64_t>(nprocs));
+            table.cell(bg ? "bg" : "fg");
+            table.cell_double(r.allocs_per_mcycle, 1);
+            table.cell_double(r.snap.latency
+                                  .path(obs::LatencyPath::malloc_refill)
+                                  .percentile(99),
+                              0);
+            table.cell_double(
+                r.snap.latency
+                    .path(obs::LatencyPath::malloc_global_fetch)
+                    .percentile(99),
+                0);
+            table.cell_double(
+                r.snap.latency
+                    .path(obs::LatencyPath::malloc_fresh_map)
+                    .percentile(99),
+                0);
+            table.cell_u64(r.snap.stats.bg_refills);
+            table.cell_u64(r.snap.stats.bg_drains);
+
+            const std::string prefix = "prodcons/p" +
+                                       std::to_string(nprocs) + "/" +
+                                       (bg ? "bg" : "fg");
+            report.add_metric(prefix + "/allocs_per_mcycle",
+                              r.allocs_per_mcycle, "1/Mcycle",
+                              metrics::Better::higher);
+            for (obs::LatencyPath path : kHotPaths) {
+                const obs::LatencyHistogram& h =
+                    r.snap.latency.path(path);
+                if (h.count() == 0)
+                    continue;
+                report.add_metric(prefix + "/p99/" +
+                                      obs::to_string(path),
+                                  h.percentile(99), "cycles",
+                                  metrics::Better::info);
+            }
+            if (bg) {
+                report.add_metric(prefix + "/refills",
+                                  static_cast<double>(
+                                      r.snap.stats.bg_refills),
+                                  "count", metrics::Better::info);
+                report.add_metric(prefix + "/drains",
+                                  static_cast<double>(
+                                      r.snap.stats.bg_drains),
+                                  "count", metrics::Better::info);
+                report.add_metric(prefix + "/precommits",
+                                  static_cast<double>(
+                                      r.snap.stats.bg_precommits),
+                                  "count", metrics::Better::info);
+            }
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\n# Expected: allocs/Mcycle rises in the bg rows —"
+                 " the worker restocks the bins off the critical path,"
+                 " so producers hit warm global fetches (~300 cycles)"
+                 " instead of fresh maps (~3500); nonzero bg refills"
+                 " confirm the worker ran.\n";
+    std::cout << "health (reconcile + invariant, every cell): "
+              << (healthy ? "PASS" : "FAIL") << "\n";
+    report.add_metric("prodcons/health", healthy ? 1.0 : 0.0, "bool",
+                      metrics::Better::higher);
+
+    if (!cli.json_path.empty() && !report.write_file(cli.json_path))
+        return 1;
+    return healthy ? 0 : 1;
+}

@@ -42,7 +42,7 @@ const char* const kBenches[] = {
     "tbl_taxonomy",           "tbl_uniprocessor",
     "tbl_synthetic_frag",     "micro_remote_free",
     "micro_global_contention", "macro_preload",
-    "macro_rss",
+    "macro_rss",              "micro_prodcons",
 };
 
 std::string

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * WorkHintQueue implementation: the Vyukov bounded-queue protocol.
+ * Each cell's sequence word encodes its state relative to the ticket
+ * counters — seq == ticket means "writable by the producer holding
+ * ticket", seq == ticket + 1 means "readable by the consumer expecting
+ * ticket" — so a single acquire load decides, and the only contended
+ * CAS is the ticket claim itself.
+ */
+
+#include "core/background.h"
+
+namespace hoard {
+namespace detail {
+
+WorkHintQueue::WorkHintQueue()
+{
+    for (std::size_t i = 0; i < kSlots; ++i)
+        cells_[i].seq.store(static_cast<std::uint32_t>(i),
+                            std::memory_order_relaxed);
+}
+
+bool
+WorkHintQueue::push(Kind kind, std::uint32_t arg)
+{
+    const std::uint32_t value = pack(kind, arg);
+    std::uint32_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+        Cell& cell = cells_[pos & (kSlots - 1)];
+        const std::uint32_t seq =
+            cell.seq.load(std::memory_order_acquire);
+        const auto dif = static_cast<std::int32_t>(seq - pos);
+        if (dif == 0) {
+            if (head_.compare_exchange_weak(
+                    pos, pos + 1, std::memory_order_relaxed)) {
+                cell.value = value;
+                cell.seq.store(pos + 1, std::memory_order_release);
+                return true;
+            }
+            // CAS refreshed pos; retry against the new ticket.
+        } else if (dif < 0) {
+            // The cell still holds an unconsumed hint a full ring ago:
+            // drop (the watermark scan recovers the work).
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        } else {
+            pos = head_.load(std::memory_order_relaxed);
+        }
+    }
+}
+
+std::uint32_t
+WorkHintQueue::pop()
+{
+    std::uint32_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+        Cell& cell = cells_[pos & (kSlots - 1)];
+        const std::uint32_t seq =
+            cell.seq.load(std::memory_order_acquire);
+        const auto dif = static_cast<std::int32_t>(seq - (pos + 1));
+        if (dif == 0) {
+            // Single consumer: the ticket bump cannot race another
+            // pop, but keep the CAS so a future multi-consumer caller
+            // degrades safely instead of corrupting the ring.
+            if (tail_.compare_exchange_weak(
+                    pos, pos + 1, std::memory_order_relaxed)) {
+                const std::uint32_t value = cell.value;
+                cell.seq.store(
+                    pos + static_cast<std::uint32_t>(kSlots),
+                    std::memory_order_release);
+                return value;
+            }
+        } else if (dif < 0) {
+            return 0;  // empty
+        } else {
+            pos = tail_.load(std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+WorkHintQueue::clear()
+{
+    while (pop() != 0) {
+    }
+}
+
+}  // namespace detail
+}  // namespace hoard

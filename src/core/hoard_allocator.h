@@ -62,6 +62,7 @@
 #include "common/memutil.h"
 #include "common/stats.h"
 #include "core/allocator.h"
+#include "core/background.h"
 #include "core/config.h"
 #include "core/heap.h"
 #include "core/magazine.h"
@@ -178,11 +179,23 @@ class HoardAllocator final : public Allocator
                     static_cast<std::uint32_t>(classes_.count()));
             }
         }
+        // Worker-only state; sized here, touched by nothing on the
+        // foreground paths.  The engine itself is NOT started in the
+        // constructor: spawning a thread can re-enter malloc (TLS
+        // setup), which deadlocks a facade whose magic static is
+        // mid-construction.  Embedders call start_background() once
+        // the instance is reachable (the facade does so lazily).
+        bg_miss_seen_.assign(static_cast<std::size_t>(classes_.count()),
+                             0);
     }
 
     ~HoardAllocator() override
     {
-        // Unregister first: it blocks until any in-flight thread-exit
+        // Quiesce the background worker before anything is torn down:
+        // a pass in flight may hold bin or heap locks and map fresh
+        // memory, all of which must settle before release_everything.
+        stop_background();
+        // Unregister next: it blocks until any in-flight thread-exit
         // flush drains, and afterwards no exit hook will call back
         // into this allocator.  Surviving threads' stale nodes are
         // freed by their own exit hooks (the dead id skips the flush).
@@ -739,6 +752,11 @@ class HoardAllocator final : public Allocator
         snap.stats.bad_free_foreign = stats_.bad_free_foreign.get();
         snap.stats.bad_free_interior = stats_.bad_free_interior.get();
         snap.stats.bad_free_double = stats_.bad_free_double.get();
+        snap.stats.bg_wakeups = stats_.bg_wakeups.get();
+        snap.stats.bg_refills = stats_.bg_refills.get();
+        snap.stats.bg_drains = stats_.bg_drains.get();
+        snap.stats.bg_precommits = stats_.bg_precommits.get();
+        snap.stats.bg_purges = stats_.bg_purges.get();
         if constexpr (Policy::kObsEnabled) {
             // Merged per-path latency histograms: fixed arrays, so no
             // allocation here either; exact at quiescence like the
@@ -823,23 +841,178 @@ class HoardAllocator final : public Allocator
 
     /// @}
 
+    /// @name Background engine (core/background.h; docs/ARCHITECTURE.md).
+    ///
+    /// The engine is configured with Config::background_engine and
+    /// *started* with start_background() — two separate acts, because
+    /// spawning a thread from inside a facade's magic-static
+    /// initializer can deadlock (the engine header explains).  While
+    /// armed, the deallocate tail's inline purge election is folded
+    /// away (purge_inline_armed_): the worker owns the purge cadence.
+    /// Under SimPolicy start/stop are inert; the harness spawns
+    /// bg_worker_sim as one more fiber instead.
+    /// @{
+
+    /**
+     * Spawns the native worker at the Config::bg_interval_ticks
+     * cadence (a tick is a nanosecond under NativePolicy).  No-op
+     * when Config::background_engine is off, when already running, or
+     * under policies without native threads.  Never call from inside
+     * a function-local static's initializer.
+     */
+    void
+    start_background()
+    {
+        if (!bg_armed_)
+            return;
+        bg_engine_.start(config_.bg_interval_ticks);
+    }
+
+    /** Quiesces the worker: signals, joins, leaves no pass in flight.
+        Idempotent; safe when never started. */
+    void
+    stop_background()
+    {
+        bg_engine_.stop();
+    }
+
+    /** True when the engine is configured on (whether or not the
+        worker thread has been started yet). */
+    bool background_armed() const { return bg_armed_; }
+
+    /** True while a native worker thread is live. */
+    bool background_running() const { return bg_engine_.running(); }
+
+    /** Wakes a running worker for an immediate pass (tests). */
+    void kick_background() { bg_engine_.kick(); }
+
+    /** Completed worker passes (engine-side mirror of bg_wakeups). */
+    std::uint64_t background_passes() const
+    {
+        return bg_engine_.passes();
+    }
+
+    /** Work hints dropped against a full ring (telemetry). */
+    std::uint64_t background_hint_drops() const
+    {
+        return bg_hints_.dropped();
+    }
+
+    /**
+     * One worker pass, runnable from any context that holds no
+     * allocator lock: services queued hints, scans the refill and
+     * remote-depth watermarks, pre-commits spans, and runs the purge
+     * cadence.  This is the single body both worlds execute — the
+     * native thread calls it on its interval, the sim fiber from
+     * bg_worker_sim — so behavior differences between worlds reduce
+     * to scheduling.  Returns true when any job found work (idle
+     * passes cost one hint-pop, one watermark scan, and the prewarm
+     * probe).
+     */
+    bool
+    bg_step()
+    {
+        Policy::work(CostKind::bg_wakeup);
+        stats_.bg_wakeups.add();
+        bool worked = false;
+        // Hinted refills first: a hint names the exact class a
+        // foreground miss just paid for, so it beats the scan to it.
+        for (std::uint32_t hint = bg_hints_.pop(); hint != 0;
+             hint = bg_hints_.pop()) {
+            if (detail::WorkHintQueue::kind_of(hint) ==
+                detail::WorkHintQueue::Kind::refill) {
+                worked |= bg_refill_class(static_cast<int>(
+                    detail::WorkHintQueue::arg_of(hint)));
+            }
+        }
+        // Watermark scan: classes whose demand advanced since the last
+        // pass but whose hint was dropped or predates the engine.
+        for (int cls = 0; cls < classes_.count(); ++cls)
+            worked |= bg_refill_class(cls);
+        // Remote-free settling, deepest queues first would need a
+        // sort; a flat scan is O(P + classes) and every pass.
+        for (auto& heap : heaps_)
+            worked |= bg_settle(*heap);
+        for (auto& bin : global_bins_)
+            worked |= bg_settle(*bin);
+        // Pre-commit: keep bg_precommit_spans superblock spans warm in
+        // the provider so the foreground fresh_map path is a tagged
+        // pop with zero syscalls.
+        if (config_.bg_precommit_spans != 0) {
+            const std::size_t warmed = provider_.prewarm(
+                config_.superblock_bytes, config_.bg_precommit_spans);
+            if (warmed != 0) {
+                for (std::size_t i = 0; i < warmed; ++i)
+                    Policy::work(CostKind::os_commit);
+                stats_.bg_precommits.add(warmed);
+                record_event(obs::EventKind::bg_precommit, 0, -1,
+                             warmed * config_.superblock_bytes);
+                worked = true;
+            }
+        }
+        // Purge cadence: same next_purge_tick_ election the inline
+        // hook uses, so a manual maybe_purge caller and the worker
+        // can never double-run an interval.
+        if (purge_armed_) {
+            const std::uint64_t now = Policy::timestamp();
+            std::uint64_t due =
+                next_purge_tick_.load(std::memory_order_relaxed);
+            if (now >= due &&
+                next_purge_tick_.compare_exchange_strong(
+                    due, now + config_.purge_interval_ticks,
+                    std::memory_order_relaxed)) {
+                const std::size_t released = purge();
+                stats_.bg_purges.add();
+                record_event(obs::EventKind::bg_purge, 0, -1,
+                             released);
+                worked |= released != 0;
+            }
+        }
+        record_event(obs::EventKind::bg_wakeup, 0, -1,
+                     worked ? 1 : 0);
+        return worked;
+    }
+
+    /**
+     * Deterministic sim worker: the body a harness spawns as one more
+     * fiber *before* Machine::run().  Bounded at @p steps passes so
+     * the machine's run-to-completion scheduler and deadlock detector
+     * see an ordinary finite fiber; each pass charges
+     * CostKind::bg_wakeup plus whatever its jobs cost, so two
+     * identical runs replay byte-identically.
+     */
+    void
+    bg_worker_sim(int steps)
+    {
+        for (int i = 0; i < steps; ++i)
+            bg_step();
+    }
+
+    /// @}
+
     /// @name Fork support (pthread_atfork; see docs/SHIM.md).
     /// @{
 
     /**
      * Acquires every lock this allocator owns, in a fixed total order
-     * (cache mutex, then per-processor heaps by index, then global
-     * bins by class, then huge stripes by slot), so fork() snapshots
-     * no lock in a half-held state and no heap structure mid-mutation.
-     * The magazine registry's own lock is taken by the caller
-     * (hoard_install_atfork) *before* this, since flushes can hold it
-     * while waiting on heap locks.  MmapPageProvider and the reuse
-     * cache are lock-free and need no quiescing here.
+     * (cache mutex, then the purge mutex, then per-processor heaps by
+     * index, then global bins by class, then huge stripes by slot),
+     * so fork() snapshots no lock in a half-held state and no heap
+     * structure mid-mutation.  The background worker is quiesced
+     * *before* the first lock — it takes bin and heap locks on its
+     * own schedule — and the engine's lifecycle mutex stays held
+     * across the fork so no late start_background() can slip a worker
+     * in mid-snapshot.  The magazine registry's own lock is taken by
+     * the caller (hoard_install_atfork) *before* this, since flushes
+     * can hold it while waiting on heap locks.  MmapPageProvider and
+     * the reuse cache are lock-free and need no quiescing here.
      */
     void
     prepare_fork()
     {
+        bg_engine_.prepare_fork();
         cache_mutex_.lock();
+        purge_mutex_.lock();
         for (auto& heap : heaps_)
             heap->mutex.lock();
         for (auto& bin : global_bins_)
@@ -848,24 +1021,25 @@ class HoardAllocator final : public Allocator
             stripe.mutex.lock();
     }
 
-    /** Releases every lock prepare_fork() took, in reverse order. */
+    /** Releases every lock prepare_fork() took, in reverse order,
+        then restarts the worker if the engine is armed. */
     void
     parent_after_fork()
     {
-        for (std::size_t i = kHugeStripes; i-- > 0;)
-            huge_stripes_[i].mutex.unlock();
-        for (std::size_t i = global_bins_.size(); i-- > 0;)
-            global_bins_[i]->mutex.unlock();
-        for (std::size_t i = heaps_.size(); i-- > 0;)
-            heaps_[i]->mutex.unlock();
-        cache_mutex_.unlock();
+        release_fork_locks();
+        bg_engine_.parent_after_fork();
+        start_background();
     }
 
     /**
      * Child-side recovery: the forking thread (the only one alive)
      * still owns every lock prepare_fork() took, so release them,
-     * then repair the two pieces of state fork() can tear:
+     * then repair the pieces of state fork() can tear:
      *
+     *  - the background engine's primitives are reinitialized (the
+     *    worker thread does not exist in the child) and its hint
+     *    queue cleared; the worker is NOT respawned here — it comes
+     *    back lazily on the child's next allocation;
      *  - the reuse cache's popper count may include parent threads
      *    that no longer exist; a nonzero count would make the next
      *    release_to_provider() spin in await_poppers() forever;
@@ -885,10 +1059,23 @@ class HoardAllocator final : public Allocator
     void
     child_after_fork()
     {
-        parent_after_fork();
+        release_fork_locks();
+        bg_engine_.child_after_fork();
+        bg_hints_.clear();
         reuse_cache_.reset_poppers();
+        if constexpr (Policy::kObsEnabled) {
+            // A dead parent thread may have held the sampler's append
+            // ordering lock at the fork instant.
+            if (sampler_ != nullptr)
+                sampler_->child_after_fork();
+        }
         flush_thread_caches();
         repair_after_fork();
+        // Deliberately NO start_background() here: pthread_create
+        // inside an atfork child handler runs while the process is
+        // still inside fork(); the facade's lazy spawn restarts the
+        // worker on the child's next allocation instead.  Embedders
+        // driving the allocator directly do the same after forking.
     }
 
     /// @}
@@ -1763,6 +1950,11 @@ class HoardAllocator final : public Allocator
                                  stats_.bad_free_foreign.get(),
                                  stats_.bad_free_interior.get(),
                                  stats_.bad_free_double.get());
+            writer.set_bg(stats_.bg_wakeups.get(),
+                          stats_.bg_refills.get(),
+                          stats_.bg_drains.get(),
+                          stats_.bg_precommits.get(),
+                          stats_.bg_purges.get());
             if constexpr (Policy::kProfilerEnabled) {
                 if (profiler_ != nullptr) {
                     const obs::ProfilerTotals pt = profiler_->totals();
@@ -2391,8 +2583,10 @@ class HoardAllocator final : public Allocator
         }
     }
 
-    /** Hands unlinked, non-empty @p sb to @p bin. Caller holds the bin
-        lock; the owner store happens under it (escaped blocks exist). */
+    /** Hands unlinked @p sb to @p bin. Caller holds the bin lock; the
+        owner store happens under it (escaped blocks may exist).  A
+        caller landing an *empty* superblock (the background refill)
+        also owns the bin_empties_ bump. */
     void
     land_in_bin_locked(Bin& bin, Superblock* sb)
     {
@@ -2456,6 +2650,18 @@ class HoardAllocator final : public Allocator
             return first;
         }
         stats_.global_bin_misses.add();
+        // Demand hint for the background refill job: the bump alone
+        // arms the watermark scan; the queued hint names the class so
+        // the next pass services it first.  Both already on the cold
+        // miss path, so the armed cost is invisible and the disarmed
+        // cost is one predicted branch.
+        bin.fetch_misses.store(
+            bin.fetch_misses.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+        if (bg_armed_) {
+            bg_hints_.push(detail::WorkHintQueue::Kind::refill,
+                           static_cast<std::uint32_t>(cls));
+        }
 
         Superblock* sb = reuse_cache_.pop(cls);
         if (sb == nullptr)
@@ -2585,6 +2791,127 @@ class HoardAllocator final : public Allocator
         }
     }
 
+    /** Reverse of prepare_fork()'s lock sweep (both after-fork hooks
+        start here; the engine and repair steps differ per side). */
+    void
+    release_fork_locks()
+    {
+        for (std::size_t i = kHugeStripes; i-- > 0;)
+            huge_stripes_[i].mutex.unlock();
+        for (std::size_t i = global_bins_.size(); i-- > 0;)
+            global_bins_[i]->mutex.unlock();
+        for (std::size_t i = heaps_.size(); i-- > 0;)
+            heaps_[i]->mutex.unlock();
+        purge_mutex_.unlock();
+        cache_mutex_.unlock();
+    }
+
+    /// @name Background-engine jobs (called from bg_step only).
+    /// @{
+
+    /**
+     * Refill job: when @p cls's global bin sits below
+     * Config::bg_refill_watermark *and* a foreground fetch has missed
+     * the class since the worker's last look (the fetch_misses demand
+     * hint), park one empty formatted superblock in the bin's band 0,
+     * so the next fetch_from_global is a warm hit instead of a
+     * fresh-map.  The demand gate is what keeps the blowup bound
+     * honest: an idle class is never pre-filled, so worker-created
+     * empties only ever replace fresh maps the foreground was about
+     * to pay for anyway.  Sourcing prefers the cross-class reuse
+     * cache (reviving and reformatting off the critical path — the
+     * exact work fetch_from_global would otherwise do under the
+     * caller's latency); only a dry cache maps fresh memory, and
+     * never past Config::empty_cache_limit, the same bound the free
+     * path enforces.
+     */
+    bool
+    bg_refill_class(int cls)
+    {
+        if (cls < 0 || cls >= classes_.count())
+            return false;  // stale or corrupt hint; ignore
+        const auto idx = static_cast<std::size_t>(cls);
+        Bin& bin = *global_bins_[idx];
+        const std::uint32_t misses =
+            bin.fetch_misses.load(std::memory_order_relaxed);
+        if (misses == bg_miss_seen_[idx])
+            return false;  // no demand since the last pass
+        if (config_.bg_refill_watermark == 0 ||
+            bin.occupancy.load(std::memory_order_relaxed) >=
+                config_.bg_refill_watermark) {
+            bg_miss_seen_[idx] = misses;
+            return false;
+        }
+        Superblock* sb = reuse_cache_.pop(cls);
+        if (sb != nullptr) {
+            stats_.cache_pops.add();
+            record_event(obs::EventKind::cache_pop, 0,
+                         sb->size_class(), sb->span_bytes());
+            revive_superblock(sb);
+            if (sb->size_class() != cls) {
+                Policy::work(CostKind::superblock_init);
+                sb->reformat(cls,
+                             static_cast<std::uint32_t>(
+                                 classes_.block_size(cls)));
+            }
+        } else {
+            if (reuse_cache_.size() +
+                    bin_empties_.load(std::memory_order_relaxed) >=
+                config_.empty_cache_limit)
+                return false;
+            sb = fresh_superblock(cls);
+            if (sb == nullptr)
+                return false;  // OOM; the foreground path reclaims
+        }
+        // Stamp before publication: once linked, a fetch may adopt
+        // and reformat the superblock concurrently.
+        if (purge_armed_)
+            sb->set_retire_tick(Policy::timestamp());
+        {
+            std::lock_guard<typename Bin::Mutex> guard(bin.mutex);
+            land_in_bin_locked(bin, sb);
+            bin_empties_.fetch_add(1, std::memory_order_relaxed);
+        }
+        bg_miss_seen_[idx] = misses;
+        stats_.bg_refills.add();
+        record_event(obs::EventKind::bg_refill, 0, cls,
+                     config_.superblock_bytes);
+        return true;
+    }
+
+    /**
+     * Settle job: drains @p home's remote-free queue once its depth
+     * hint crosses Config::bg_drain_threshold, but only when the
+     * owner lock looks free — the worker must never contend a lock a
+     * foreground thread is using (the owner settles its own queue at
+     * its next acquisition anyway; this job exists for queues whose
+     * owner went quiet with frees still parked).
+     */
+    bool
+    bg_settle(Base& home)
+    {
+        if (home.remote_depth.load(std::memory_order_relaxed) <
+            config_.bg_drain_threshold)
+            return false;
+        if (home.mutex.is_locked_hint())
+            return false;
+        std::size_t drained = 0;
+        {
+            std::lock_guard<typename Base::Mutex> guard(home.mutex);
+            drained = drain_remote_locked(home);
+            if (home.index != 0 && drained != 0)
+                maybe_release_superblock(static_cast<Heap&>(home));
+        }
+        if (drained == 0)
+            return false;
+        stats_.bg_drains.add();
+        record_event(obs::EventKind::bg_drain, home.index, -1,
+                     drained);
+        return true;
+    }
+
+    /// @}
+
     /// Frees between purge-cadence checks.  Coarser than the sampler's
     /// period: a due check still costs a timestamp, and a due pass
     /// takes bin locks and issues madvise.
@@ -2596,12 +2923,15 @@ class HoardAllocator final : public Allocator
      * next_purge_tick_) and run one.  The CAS elects a single thread
      * per interval; losers — and winners — never block here beyond the
      * pass itself.  Compiled to a single predicted-not-taken branch
-     * when the pass is disarmed.
+     * when the pass is disarmed — and "disarmed" includes the case
+     * where the background engine owns the cadence instead
+     * (purge_inline_armed_), so arming the engine removes this
+     * election from the deallocate tail entirely.
      */
     void
     maybe_purge()
     {
-        if (!purge_armed_) [[likely]]
+        if (!purge_inline_armed_) [[likely]]
             return;
         thread_local unsigned countdown = kPurgeCheckPeriod;
         if (--countdown != 0) [[likely]]
@@ -2954,6 +3284,22 @@ class HoardAllocator final : public Allocator
     /// Policy time before which no automatic pass runs; the CAS in
     /// maybe_purge() elects one thread per interval.
     std::atomic<std::uint64_t> next_purge_tick_{0};
+    /// True when Config::background_engine asked for the engine:
+    /// hints are pushed and start_background() spawns the worker.
+    const bool bg_armed_ = config_.background_engine;
+    /// The deallocate tail's inline purge election stays armed only
+    /// while the background engine is not the cadence owner; hoisted
+    /// so maybe_purge() keeps exactly one predicted branch either way.
+    const bool purge_inline_armed_ = purge_armed_ && !bg_armed_;
+    /// Foreground-to-worker work hints (lock-free MPSC; droppable).
+    detail::WorkHintQueue bg_hints_;
+    /// Per-class fetch_misses value at the worker's last pass — the
+    /// demand gate of bg_refill_class.  Worker-only state.
+    std::vector<std::uint32_t> bg_miss_seen_;
+    /// The worker's lifecycle shell: a native thread under
+    /// Policy::kBackgroundThread, inert under SimPolicy (the harness
+    /// drives bg_worker_sim instead).
+    BackgroundEngine<HoardAllocator, Policy> bg_engine_{this};
     detail::AllocatorStats stats_;
     /// Event rings; non-null only while tracing is enabled.
     std::unique_ptr<obs::EventRecorder> recorder_;

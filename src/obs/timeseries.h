@@ -92,6 +92,16 @@ struct TimeSample
     std::array<std::uint64_t, kLatencyPathCount> lat_counts{};
     std::array<std::uint64_t, kLatencyPathCount> lat_p99{};
     /// @}
+    /// @name Background-engine counters (schema hoard-timeline-v5;
+    /// zeros while the engine is disarmed).  Cumulative, like every
+    /// other counter here.
+    /// @{
+    std::uint64_t bg_wakeups = 0;     ///< worker passes
+    std::uint64_t bg_refills = 0;     ///< bin refills parked
+    std::uint64_t bg_drains = 0;      ///< remote-queue settle passes
+    std::uint64_t bg_precommits = 0;  ///< spans pre-committed
+    std::uint64_t bg_purges = 0;      ///< cadenced purge passes run
+    /// @}
     std::vector<HeapPoint> heaps;    ///< [0] is the global heap
 
     /** A/U blowup at this instant (0 when nothing is live). */
@@ -245,6 +255,22 @@ class TimeSeriesSampler
             slot_->bad_free_double.store(dbl, std::memory_order_relaxed);
         }
 
+        /** Background-engine counters (schema v5). */
+        void
+        set_bg(std::uint64_t wakeups, std::uint64_t refills,
+               std::uint64_t drains, std::uint64_t precommits,
+               std::uint64_t purges)
+        {
+            slot_->bg_wakeups.store(wakeups,
+                                    std::memory_order_relaxed);
+            slot_->bg_refills.store(refills,
+                                    std::memory_order_relaxed);
+            slot_->bg_drains.store(drains, std::memory_order_relaxed);
+            slot_->bg_precommits.store(precommits,
+                                       std::memory_order_relaxed);
+            slot_->bg_purges.store(purges, std::memory_order_relaxed);
+        }
+
         void
         set_profiler(std::uint64_t sampled_requested,
                      std::uint64_t sampled_rounded)
@@ -287,14 +313,41 @@ class TimeSeriesSampler
         std::size_t heap_slots_;
     };
 
-    /** Claims the next ring slot for a sample stamped @p now. */
+    /**
+     * Claims the next ring slot for a sample stamped @p now.
+     *
+     * Slot order must match stamp order (collect() promises monotone
+     * timestamps across the retained window).  Claims are monotone,
+     * but the claimer of an *earlier* window can reach this append
+     * *after* a later claimer — the drain between claim and append is
+     * long — so the slot index and the stamp are assigned under one
+     * tiny ordering lock, with the stamp clamped forward to the
+     * newest appended one.  The critical section is three stores; the
+     * lock is policy-free on purpose (no virtual-time cost under the
+     * simulator, no yield point inside).
+     */
     Writer
     begin_sample(std::uint64_t now)
     {
+        while (order_lock_.test_and_set(std::memory_order_acquire)) {
+        }
         std::uint64_t i = head_.fetch_add(1, std::memory_order_relaxed);
+        if (now < last_appended_)
+            now = last_appended_;
+        last_appended_ = now;
         Slot& slot = slots_[i & mask_];
         slot.timestamp.store(now, std::memory_order_relaxed);
+        order_lock_.clear(std::memory_order_release);
         return Writer(&slot, heap_slots_);
+    }
+
+    /** Forked-child repair: a parent thread may have been inside
+        begin_sample()'s ordering lock at the fork instant; the thread
+        does not exist in the child, so the flag must be cleared. */
+    void
+    child_after_fork()
+    {
+        order_lock_.clear(std::memory_order_relaxed);
     }
 
     /** Samples ever taken (including overwritten ones). */
@@ -367,6 +420,16 @@ class TimeSeriesSampler
                 slot.prof_requested.load(std::memory_order_relaxed);
             sample.prof_rounded =
                 slot.prof_rounded.load(std::memory_order_relaxed);
+            sample.bg_wakeups =
+                slot.bg_wakeups.load(std::memory_order_relaxed);
+            sample.bg_refills =
+                slot.bg_refills.load(std::memory_order_relaxed);
+            sample.bg_drains =
+                slot.bg_drains.load(std::memory_order_relaxed);
+            sample.bg_precommits =
+                slot.bg_precommits.load(std::memory_order_relaxed);
+            sample.bg_purges =
+                slot.bg_purges.load(std::memory_order_relaxed);
             for (std::size_t p = 0; p < sample.lat_counts.size(); ++p) {
                 sample.lat_counts[p] =
                     slot.lat_counts[p].load(std::memory_order_relaxed);
@@ -409,6 +472,11 @@ class TimeSeriesSampler
         std::atomic<std::uint64_t> bad_free_double{0};
         std::atomic<std::uint64_t> prof_requested{0};
         std::atomic<std::uint64_t> prof_rounded{0};
+        std::atomic<std::uint64_t> bg_wakeups{0};
+        std::atomic<std::uint64_t> bg_refills{0};
+        std::atomic<std::uint64_t> bg_drains{0};
+        std::atomic<std::uint64_t> bg_precommits{0};
+        std::atomic<std::uint64_t> bg_purges{0};
         std::array<std::atomic<std::uint64_t>, kLatencyPathCount>
             lat_counts{};
         std::array<std::atomic<std::uint64_t>, kLatencyPathCount>
@@ -424,6 +492,10 @@ class TimeSeriesSampler
     std::unique_ptr<Slot[]> slots_;
     std::atomic<std::uint64_t> head_{0};
     std::atomic<std::uint64_t> last_claim_{0};
+    /// Orders slot assignment against stamping in begin_sample().
+    std::atomic_flag order_lock_ = ATOMIC_FLAG_INIT;
+    /// Newest appended stamp; guarded by order_lock_.
+    std::uint64_t last_appended_ = 0;
 };
 
 }  // namespace obs

@@ -87,7 +87,7 @@ void write_chrome_trace(std::ostream& os, const EventRecorder& recorder,
 
 /**
  * Writes the sampler's retained samples as JSONL, one
- * {"schema":"hoard-timeline-v4", ...} object per line, oldest first:
+ * {"schema":"hoard-timeline-v5", ...} object per line, oldest first:
  * policy-time timestamp, the global gauges and counters, blowup, and
  * a "heaps" array of per-heap {"u":..,"a":..} points (index 0 is the
  * global heap).  v2 renames v1's "bin_hits"/"bin_misses" to
@@ -100,8 +100,10 @@ void write_chrome_trace(std::ostream& os, const EventRecorder& recorder,
  * gauges for the virtual-memory-first page layer: "committed" (the
  * RSS ground truth; "os" remains as a deprecated alias), "reserved"
  * (provider address space), and "purged" (held-but-decommitted, so
- * committed + purged == held at quiescence); bench_compare --timeline
- * reads all four schemas.
+ * committed + purged == held at quiescence).  v5 adds the
+ * background-engine counters "bg_wakeups", "bg_refills", "bg_drains",
+ * "bg_precommits", and "bg_purges", zeros while the engine is
+ * disarmed; bench_compare --timeline reads all five schemas.
  */
 void write_timeseries_jsonl(std::ostream& os,
                             const TimeSeriesSampler& sampler);

@@ -137,6 +137,11 @@ TEST(PurgePass, RssTargetStopsAtTheLine)
     os::ReservedArenaProvider provider(small_arena());
     Config config = purge_config();
     config.rss_target_bytes = 16 * kSuperblock;  // 1 MiB
+    // The target also arms the deallocate-tail cadence; on a slow run
+    // (sanitizers) the spike's free loop outlasts the interval and a
+    // cadence pass purges toward the target before the assertions
+    // below.  Park it — this test is about the explicit purge().
+    config.purge_interval_ticks = std::uint64_t{1} << 62;
     NativeHoard allocator(config, provider);
     spike_and_free(allocator, kSpikeBlocks);
     ASSERT_GT(allocator.stats().committed_bytes.current(),

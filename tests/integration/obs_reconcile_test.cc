@@ -73,14 +73,20 @@ TEST(ObsReconcile, NativeLarsonRun)
     EXPECT_TRUE(allocator.check_invariants());
 
     // The workload's cross-thread churn must have produced events
-    // (at minimum class refills for the 10..100-byte classes).
+    // (at minimum class refills for the 10..100-byte classes).  The
+    // recorder is an overwrite ring, and the refills cluster at the
+    // start of the run: once the window wraps, a schedule where every
+    // thread refills early can evict all of them, so the kind check
+    // only holds for an unwrapped window.
     const obs::EventRecorder* recorder = allocator.recorder();
     ASSERT_NE(recorder, nullptr);
     EXPECT_GT(recorder->total_recorded(), 0u);
+    const bool window_wrapped = recorder->dropped() > 0;
     std::vector<std::uint64_t> counts = recorder->kind_counts();
-    EXPECT_GT(
-        counts[static_cast<std::size_t>(obs::EventKind::class_refill)],
-        0u);
+    if (!window_wrapped)
+        EXPECT_GT(counts[static_cast<std::size_t>(
+                      obs::EventKind::class_refill)],
+                  0u);
 
     // Heap locks were profiled: the run acquired them many times.
     std::uint64_t acquires = 0;
@@ -94,8 +100,9 @@ TEST(ObsReconcile, NativeLarsonRun)
     obs::write_chrome_trace(os, *recorder);
     std::string trace = os.str();
     EXPECT_TRUE(testutil::json_valid(trace));
-    EXPECT_NE(trace.find("\"name\":\"class_refill\""),
-              std::string::npos);
+    if (!window_wrapped)
+        EXPECT_NE(trace.find("\"name\":\"class_refill\""),
+                  std::string::npos);
 
     // Exporters accept the live snapshot.
     std::ostringstream prom;
